@@ -1,0 +1,80 @@
+"""Ablation C — generality across TEE platforms (§II design goal).
+
+TEE-Perf's pitch is architecture- and platform-independence: the same
+profiler must work on "different instruction sets (x86 or RISC) or
+versions (SGX v1 or SGX v2)".  This bench runs the same workload under
+TEE-Perf on every modelled platform and reports (a) the enclave's own
+slowdown over native and (b) TEE-Perf's overhead relative to perf —
+demonstrating the tool needs nothing platform-specific anywhere.
+"""
+
+import pytest
+
+from repro.fex import ResultTable
+from repro.phoenix import WordCount, run_baseline, run_perf, run_teeperf
+from repro.tee import ALL_PLATFORMS, NATIVE, SGX_V1, TRUSTZONE
+
+PARAMS = {"n_words": 8_000}
+
+
+def measure(platform):
+    base = run_baseline(WordCount, platform=platform, seed=1, **PARAMS)
+    tee = run_teeperf(WordCount, platform=platform, seed=1, **PARAMS)
+    perf = run_perf(WordCount, platform=platform, seed=1, **PARAMS)
+    return base.elapsed_cycles, tee.elapsed_cycles, perf.elapsed_cycles
+
+
+def test_platform_generality(emit, benchmark):
+    def collect():
+        results = {}
+        native_base, _, _ = measure(NATIVE)
+        for platform in (NATIVE,) + ALL_PLATFORMS:
+            base, tee, perf = measure(platform)
+            results[platform.name] = {
+                "isa": platform.isa,
+                "enclave_slowdown": base / native_base,
+                "teeperf_vs_perf": tee / perf,
+            }
+        return results
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    table = ResultTable(
+        "Ablation C — word_count under TEE-Perf on every platform",
+        ["platform", "isa", "slowdown vs native", "TEE-Perf / perf"],
+    )
+    for name, row in results.items():
+        table.add_row(
+            name,
+            row["isa"],
+            f"{row['enclave_slowdown']:.2f}x",
+            f"{row['teeperf_vs_perf']:.2f}x",
+        )
+    emit("ablation_platforms.txt", table.render())
+
+    # The profiler ran everywhere, including the RISC-V model.
+    assert set(results) == {
+        "native", "sgx-v1", "sgx-v2", "trustzone", "sev", "keystone",
+    }
+    isas = {row["isa"] for row in results.values()}
+    assert isas == {"x86_64", "aarch64", "riscv64"}
+    # No TEE beats native; the memory-encrypting ones pay for it, while
+    # TrustZone/Keystone are free for a syscall-less compute workload.
+    for name, row in results.items():
+        assert row["enclave_slowdown"] >= 0.999, name
+    for name in ("sgx-v1", "sgx-v2", "sev"):
+        assert results[name]["enclave_slowdown"] > 1.0, name
+    # SGX's expensive AEX makes perf *relatively* cheap to beat
+    # elsewhere: the overhead ratio is platform-dependent but bounded.
+    for name, row in results.items():
+        assert 0.8 < row["teeperf_vs_perf"] < 5.0, name
+
+
+def test_sgx_transitions_costlier_than_trustzone(benchmark):
+    def collect():
+        return (
+            run_baseline(WordCount, platform=SGX_V1, seed=1, **PARAMS),
+            run_baseline(WordCount, platform=TRUSTZONE, seed=1, **PARAMS),
+        )
+
+    sgx, trustzone = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert sgx.elapsed_cycles > trustzone.elapsed_cycles

@@ -1,0 +1,79 @@
+"""Ablation G — SCONE syscall modes (the paper's runtime substrate).
+
+The Phoenix measurements run "inside the Intel SGX enclave using
+SCONE".  SCONE's signature mechanism is asynchronous system calls:
+instead of one world switch per syscall, requests flow through shared
+queues served by host threads — an order of magnitude cheaper per call
+at the price of dedicated host cores.  This bench quantifies that
+trade-off on a syscall-heavy workload and shows where each mode wins.
+"""
+
+import pytest
+
+from repro.fex import ResultTable
+from repro.machine import Machine
+from repro.tee import ASYNC, SGX_V1, SYNC, SconeShim, make_env
+
+SYSCALLS = 2_000
+COMPUTE_PER_CALL = 3_000.0
+
+
+def run_mode(mode, cores=8, workers=6):
+    """Several enclave threads doing compute + a syscall per round."""
+    machine = Machine(cores=cores)
+    env = make_env(machine, SGX_V1)
+
+    def worker(shim):
+        for _ in range(SYSCALLS // workers):
+            env.compute(COMPUTE_PER_CALL)
+            shim.syscall("write")
+
+    def main():
+        with SconeShim(env, mode=mode) as shim:
+            threads = [
+                machine.spawn(worker, shim, name=f"w{i}")
+                for i in range(workers)
+            ]
+            for thread in threads:
+                thread.join()
+
+    machine.run(main)
+    return machine.elapsed_cycles()
+
+
+def test_scone_modes(emit, benchmark):
+    def collect():
+        return {
+            "synchronous ocalls": run_mode(SYNC),
+            "asynchronous queues": run_mode(ASYNC),
+        }
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    sync_cycles = results["synchronous ocalls"]
+    async_cycles = results["asynchronous queues"]
+    table = ResultTable(
+        "Ablation G — SCONE syscall forwarding "
+        f"({SYSCALLS} syscalls across 6 enclave threads)",
+        ["mode", "cycles", "vs sync"],
+    )
+    for name, cycles in results.items():
+        table.add_row(name, cycles, f"{cycles / sync_cycles:.2f}x")
+    emit("ablation_scone_modes.txt", table.render())
+
+    # Async is several times faster on a syscall-heavy mix, despite
+    # sacrificing a host core to the syscall threads.
+    assert sync_cycles > 3 * async_cycles
+
+
+def test_async_costs_a_core_on_saturated_machine(benchmark):
+    """With exactly as many app threads as cores, the async syscall
+    worker's stolen core shows up as processor-sharing slowdown."""
+
+    def collect():
+        # 8 workers on 8 cores: async mode reserves 1 core -> 8/7.
+        return run_mode(ASYNC, cores=8, workers=8), run_mode(
+            ASYNC, cores=9, workers=8
+        )
+
+    saturated, roomy = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert saturated > roomy

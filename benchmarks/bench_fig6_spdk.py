@@ -1,0 +1,82 @@
+"""Figure 6: TEE-Perf flame graphs of SPDK inside SGX.
+
+Profiles the SPDK perf tool in the SGX model twice — the naive port
+and the pid/tsc-cached optimised port — writes both flame graphs, and
+asserts the paper's shares: "nearly 72 % of its time in a system call
+to get the current process ID, i.e. getpid.  Further, 20 % are spent in
+receiving the current time stamp, i.e. rdtsc", dropping "to nearly 0"
+after the optimisation.
+"""
+
+import pytest
+
+from repro.core import FlameGraph
+from repro.fex import ResultTable
+from repro.spdk import profile_spdk_perf
+
+OPS = 600
+
+
+def collect_figure6():
+    perf_naive, _, _, naive = profile_spdk_perf(optimized=False, ops=OPS)
+    perf_naive.uninstrument()
+    perf_opt, _, _, optimized = profile_spdk_perf(optimized=True, ops=OPS)
+    perf_opt.uninstrument()
+    return naive, optimized
+
+
+def test_figure6_flame_graphs(emit, out_dir, benchmark):
+    naive, optimized = benchmark.pedantic(
+        collect_figure6, rounds=1, iterations=1
+    )
+    top = FlameGraph.from_analysis(
+        naive, title="Figure 6 (top) — unoptimized SPDK in SGX"
+    )
+    bottom = FlameGraph.from_analysis(
+        optimized, title="Figure 6 (bottom) — optimized SPDK in SGX"
+    )
+    top.write_svg(str(out_dir / "fig6_spdk_unoptimized.svg"))
+    bottom.write_svg(str(out_dir / "fig6_spdk_optimized.svg"))
+    top.write_folded(str(out_dir / "fig6_spdk_unoptimized.folded"))
+    bottom.write_folded(str(out_dir / "fig6_spdk_optimized.folded"))
+
+    table = ResultTable(
+        "Figure 6 — time shares in SPDK perf inside SGX (TEE-Perf)",
+        ["symbol", "unoptimized", "optimized", "paper_unopt"],
+    )
+    shares = {}
+    for name, paper in (("getpid", "~72%"), ("rdtsc", "~20%")):
+        shares[name] = (top.share(name), bottom.share(name))
+        table.add_row(
+            name,
+            f"{shares[name][0]:.1%}",
+            f"{shares[name][1]:.1%}",
+            paper,
+        )
+    emit("fig6_spdk_shares.txt", table.render())
+
+    getpid_before, getpid_after = shares["getpid"]
+    rdtsc_before, rdtsc_after = shares["rdtsc"]
+    assert getpid_before == pytest.approx(0.72, abs=0.08)
+    assert rdtsc_before == pytest.approx(0.20, abs=0.05)
+    assert getpid_after < 0.03
+    assert rdtsc_after < 0.05
+    # The figure's characteristic stacks exist in the folded output.
+    folded_top = top.to_folded()
+    assert (
+        "work_fn;check_io;qpair_process_completions;"
+        "transport_qpair_process_completions;"
+        "pcie_qpair_process_completions" in folded_top
+    )
+    assert "allocate_request;getpid" in folded_top
+    # The init tower (bottom-left of the figure) is present too.
+    assert "main;env_init;eal_init;eal_memory_init" in folded_top
+
+
+def test_figure6_runtime_benchmark(benchmark):
+    def run():
+        perf, _, result, _ = profile_spdk_perf(optimized=False, ops=300)
+        perf.uninstrument()
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Ablation H — SPDK multi-queue scaling and latency percentiles.
+
+SPDK's design point is one poller core per queue pair, scaling IOPS
+linearly until the device saturates.  This bench sweeps poller counts
+on the simulated P3700 (native, optimised build) and reports aggregate
+IOPS plus latency percentiles — showing the CPU-bound region, the
+device ceiling (~400k 4-KiB IOPS) and the queueing latency that builds
+up at saturation.
+"""
+
+import pytest
+
+from repro.fex import ResultTable
+from repro.spdk import run_spdk_perf_multi
+from repro.tee import NATIVE
+
+WORKERS = (1, 2, 4, 6)
+OPS_PER_WORKER = 1_200
+DEVICE_CEILING_IOPS = 3.6e9 / 9_000  # service_cycles = 9k
+
+
+def test_multiqueue_scaling(emit, benchmark):
+    def collect():
+        return {
+            n: run_spdk_perf_multi(
+                NATIVE, workers=n, ops_per_worker=OPS_PER_WORKER
+            )
+            for n in WORKERS
+        }
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    table = ResultTable(
+        "Ablation H — SPDK poller scaling (native, 4 KiB, 80% reads)",
+        ["pollers", "IOPS", "p50 lat (us)", "p99 lat (us)"],
+    )
+    for n, result in results.items():
+        table.add_row(
+            n,
+            result.iops,
+            result.latency_percentile_us(50),
+            result.latency_percentile_us(99),
+        )
+    emit("ablation_spdk_scaling.txt", table.render())
+
+    # Near-linear scaling while CPU-bound...
+    assert results[2].iops > 1.7 * results[1].iops
+    # ...then the device's service rate caps the aggregate.
+    assert results[4].iops == pytest.approx(DEVICE_CEILING_IOPS, rel=0.12)
+    assert results[6].iops == pytest.approx(DEVICE_CEILING_IOPS, rel=0.12)
+    # Past saturation, queueing pushes tail latency up.
+    assert (
+        results[6].latency_percentile_us(99)
+        > results[1].latency_percentile_us(99)
+    )
+    # Below saturation, latency is dominated by the 80 us device.
+    assert results[1].latency_percentile_us(50) >= 80

@@ -1,0 +1,38 @@
+"""Shared plumbing for the benchmark harness.
+
+Every benchmark prints the paper-style table/series it reproduces *and*
+writes it to ``benchmarks/out/`` so the artefacts survive without
+``pytest -s``.  ``REPRO_RUNS`` scales the number of repeated runs per
+measurement (the paper uses 10; default here is 3 to keep the harness
+fast — results are deterministic per seed, so spread comes only from
+dataset seeds).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def runs():
+    return int(os.environ.get("REPRO_RUNS", "3"))
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(out_dir):
+    """emit(name, text): print and persist a benchmark artefact."""
+
+    def _emit(name, text):
+        print()
+        print(text)
+        (out_dir / name).write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Figure-4-style experiment on one Phoenix benchmark.
+
+Runs word_count inside the SGX v1 model three ways — unprofiled, under
+the Linux-perf model, and under TEE-Perf — and prints the runtimes,
+the overhead ratio the paper plots, and the two profilers' views of
+the same execution side by side.
+
+Run:  python examples/phoenix_sgx_overhead.py [workload]
+"""
+
+import sys
+
+from repro.phoenix import (
+    run_baseline,
+    run_perf,
+    run_teeperf,
+    workload_by_name,
+)
+from repro.tee import SGX_V1
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "word_count"
+    workload = workload_by_name(name)
+    print(f"workload: {name} (4 workers, SGX v1 model)\n")
+
+    base = run_baseline(workload, platform=SGX_V1, seed=1)
+    perf = run_perf(workload, platform=SGX_V1, seed=1)
+    tee = run_teeperf(workload, platform=SGX_V1, seed=1)
+
+    ms = lambda cycles: cycles / 3.6e9 * 1e3  # noqa: E731
+    print(f"{'configuration':<22} {'runtime':>12}")
+    print(f"{'no profiler':<22} {ms(base.elapsed_cycles):>10.2f} ms")
+    print(f"{'Linux perf (model)':<22} {ms(perf.elapsed_cycles):>10.2f} ms")
+    print(f"{'TEE-Perf':<22} {ms(tee.elapsed_cycles):>10.2f} ms")
+    ratio = tee.elapsed_cycles / perf.elapsed_cycles
+    print(f"\nTEE-Perf overhead relative to perf (Figure 4): {ratio:.2f}x")
+
+    print("\n--- what perf saw (sampled) " + "-" * 30)
+    print(perf.perf.report(top=6))
+    print("\n--- what TEE-Perf saw (traced) " + "-" * 27)
+    print(tee.analysis.report(top=6))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: profile a real multithreaded Python program, live.
+
+TEE-Perf's pipeline in four stages on actual code (no simulation):
+
+1. compile  — instrument the functions of this module;
+2. record   — run them under the recorder with a real software-counter
+              thread;
+3. analyze  — reconstruct per-thread call stacks, inclusive/exclusive
+              times, and print the method table;
+4. visualize — write a Flame Graph SVG next to this script.
+
+Run:  python examples/quickstart.py
+"""
+
+import pathlib
+import sys
+import threading
+
+from repro.core import TEEPerf
+
+THIS_MODULE = sys.modules[__name__]
+OUT = pathlib.Path(__file__).parent / "out"
+
+
+def tokenize(text):
+    return [token for token in text.replace(",", " ").split() if token]
+
+
+def count_words(text):
+    counts = {}
+    for token in tokenize(text):
+        counts[token] = counts.get(token, 0) + 1
+    return counts
+
+
+def busy_hash(data, rounds=40_000):
+    value = 17
+    for i in range(rounds):
+        value = (value * 31 + (i & 0xFF)) & 0xFFFFFFFF
+    return value ^ len(data)
+
+
+def worker(corpus):
+    counts = count_words(corpus)
+    return busy_hash(corpus), counts
+
+
+def run_workers(n_threads=4):
+    corpus = "the quick brown fox jumps over the lazy dog " * 400
+    threads = [
+        threading.Thread(target=worker, args=(corpus,))
+        for _ in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def main():
+    OUT.mkdir(exist_ok=True)
+    perf = TEEPerf.live(name="quickstart")
+    perf.compile_module(THIS_MODULE)  # stage 1
+    try:
+        perf.record(run_workers)  # stage 2
+        analysis = perf.analyze()  # stage 3
+        print(analysis.report())
+        print()
+        session = perf.query()
+        print("Which thread called which method how often:")
+        print(session.thread_method_counts())
+        svg = OUT / "quickstart_flamegraph.svg"
+        perf.flamegraph(title="quickstart (live)").write_svg(str(svg))
+        print(f"\nflame graph written to {svg}")
+    finally:
+        perf.uninstrument()
+
+
+if __name__ == "__main__":
+    main()

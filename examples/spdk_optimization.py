@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The full §IV-C case study: find and fix SPDK's enclave bottlenecks.
+
+1. Measure SPDK perf natively and inside the SGX model — the IOPS
+   collapse (~224k -> ~16k).
+2. Profile the naive port with TEE-Perf — the flame graph shows ~72 %
+   of the time in getpid (a synchronous ocall per request) and ~20 %
+   in rdtsc (emulated inside SGX v1).
+3. Apply the paper's fix — cache the pid forever and serve timestamps
+   from a cached value corrected every N calls.
+4. Re-measure: back above native (the cached build skips even the
+   native getpid cost), a ~14.7x improvement.
+
+Run:  python examples/spdk_optimization.py
+"""
+
+import pathlib
+
+from repro.core import AnalysisDiff, FlameGraph
+from repro.spdk import profile_spdk_perf, run_spdk_perf
+from repro.tee import NATIVE, SGX_V1
+
+OUT = pathlib.Path(__file__).parent / "out"
+
+
+def main():
+    OUT.mkdir(exist_ok=True)
+
+    print("step 1 — measure (no profiler attached)")
+    native = run_spdk_perf(NATIVE, optimized=False, ops=2_000)
+    naive = run_spdk_perf(SGX_V1, optimized=False, ops=600)
+    print(f"  native: {native.report()}")
+    print(f"  sgx:    {naive.report()}")
+    print(f"  the enclave port runs {native.iops / naive.iops:.1f}x slower\n")
+
+    print("step 2 — profile the naive port with TEE-Perf")
+    perf, _, _, analysis = profile_spdk_perf(
+        platform=SGX_V1, optimized=False, ops=500
+    )
+    perf.uninstrument()
+    graph = FlameGraph.from_analysis(
+        analysis, title="SPDK in SGX, unoptimized"
+    )
+    graph.write_svg(str(OUT / "spdk_unoptimized.svg"))
+    print(f"  getpid share of runtime: {graph.share('getpid'):.1%}")
+    print(f"  rdtsc  share of runtime: {graph.share('rdtsc'):.1%}")
+    print("  -> cache the pid; cache timestamps with periodic "
+          "correction\n")
+
+    print("step 3 — re-measure the optimized build")
+    optimized = run_spdk_perf(SGX_V1, optimized=True, ops=2_000)
+    print(f"  sgx optimized: {optimized.report()}")
+    print(f"  improvement over naive: "
+          f"{optimized.iops / naive.iops:.1f}x (paper: 14.7x)")
+    print(f"  vs native: {optimized.iops / native.iops:.2f}x "
+          "(the cached build beats native)\n")
+
+    print("step 4 — confirm with a second profile")
+    perf2, _, _, analysis2 = profile_spdk_perf(
+        platform=SGX_V1, optimized=True, ops=500
+    )
+    perf2.uninstrument()
+    graph2 = FlameGraph.from_analysis(
+        analysis2, title="SPDK in SGX, optimized"
+    )
+    graph2.write_svg(str(OUT / "spdk_optimized.svg"))
+    print(f"  getpid share now: {graph2.share('getpid'):.1%}")
+    print(f"  rdtsc  share now: {graph2.share('rdtsc'):.1%}")
+
+    print("\nstep 5 — differential profile (before vs after)")
+    diff = AnalysisDiff(analysis, analysis2)
+    print(diff.report(top=8))
+    diff.flamegraph(title="SPDK optimization: before vs after").write_svg(
+        str(OUT / "spdk_diff.svg")
+    )
+    print(f"\n  flame graphs written to {OUT}/spdk_*.svg")
+
+
+if __name__ == "__main__":
+    main()

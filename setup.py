@@ -1,0 +1,6 @@
+"""Shim so `python setup.py develop` works where the `wheel` package is
+unavailable (offline environments); all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""TEE-Perf reproduction.
+
+A production-quality Python reproduction of *TEE-Perf: A Profiler for
+Trusted Execution Environments* (Bailleu, Dragoti, Bhatotia, Fetzer —
+DSN 2019): an architecture- and platform-independent method-level
+profiler for TEEs, together with every substrate its evaluation needs —
+a deterministic virtual-time machine, TEE cost models (SGX v1/v2,
+TrustZone, SEV, Keystone), a Linux-perf-style sampling baseline, the
+Phoenix 2.0 workloads, an LSM key-value store with a db_bench driver,
+and a user-space NVMe (SPDK-style) storage stack.
+
+The four paper stages map to::
+
+    repro.core.instrument   # stage 1: the "compiler" pass
+    repro.core.recorder     # stage 2: recorder + software counter
+    repro.core.analyzer     # stage 3: offline analysis + queries
+    repro.core.flamegraph   # stage 4: Flame Graph output
+
+with :class:`repro.core.profiler.TEEPerf` as the facade tying them
+together.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

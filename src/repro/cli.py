@@ -1,0 +1,251 @@
+"""The ``tee-perf`` command-line interface.
+
+Three offline utilities around the log format and the visualizer::
+
+    tee-perf inspect <run.teeperf>          # header + entry statistics
+    tee-perf flamegraph <stacks.folded> -o out.svg
+    tee-perf demo [--platform sgx-v1] [-o DIR]
+
+``inspect`` works on any persisted log without needing the binary
+image; ``flamegraph`` renders standard folded-stacks text (from this
+tool or any other producer) into a standalone SVG; ``demo`` runs a
+small simulated workload end to end and writes its artefacts.
+"""
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.core import (
+    AnalysisDiff,
+    Analyzer,
+    FlameGraph,
+    SharedLog,
+    TEEPerf,
+    symbol,
+    to_callgrind,
+    to_gprof,
+    to_json,
+    to_speedscope,
+)
+from repro.core.log import KIND_CALL
+from repro.symbols import BinaryImage
+from repro.tee import platform_by_name
+
+
+def cmd_inspect(args):
+    log = SharedLog.load(args.log)
+    print(f"TEE-Perf log: {args.log}")
+    print(f"  version:        {log.version}")
+    print(f"  pid:            {log.pid}")
+    print(f"  multithreaded:  {log.multithread}")
+    print(f"  active flag:    {log.active}")
+    print(f"  capacity:       {log.capacity} entries")
+    print(f"  entries:        {len(log)}")
+    print(f"  profiler addr:  {log.profiler_addr:#x}")
+    calls = rets = 0
+    threads = Counter()
+    lo = hi = None
+    for entry in log:
+        if entry.kind == KIND_CALL:
+            calls += 1
+        else:
+            rets += 1
+        threads[entry.tid] += 1
+        lo = entry.counter if lo is None else min(lo, entry.counter)
+        hi = entry.counter if hi is None else max(hi, entry.counter)
+    print(f"  calls/returns:  {calls}/{rets}")
+    print(f"  threads:        {len(threads)}")
+    if lo is not None:
+        print(f"  counter span:   {lo} .. {hi}")
+    for tid, count in threads.most_common(10):
+        print(f"    thread {tid}: {count} events")
+    return 0
+
+
+def cmd_analyze(args):
+    """Offline stage 3: log + symbol table -> reports."""
+    image_path = args.image or f"{args.log}.symtab.json"
+    try:
+        with open(image_path) as fh:
+            image = BinaryImage.from_json(fh.read())
+    except FileNotFoundError:
+        print(
+            f"no symbol table at {image_path}; pass --image",
+            file=sys.stderr,
+        )
+        return 1
+    analysis = Analyzer(image).analyze(args.log)
+    if args.format == "report":
+        print(analysis.report(top=args.top))
+    elif args.format == "gprof":
+        print(to_gprof(analysis, top=args.top))
+    elif args.format == "callgrind":
+        print(to_callgrind(analysis))
+    elif args.format == "speedscope":
+        print(to_speedscope(analysis))
+    elif args.format == "json":
+        print(to_json(analysis))
+    elif args.format == "folded":
+        print(FlameGraph.from_analysis(analysis).to_folded(), end="")
+    return 0
+
+
+def _load_analysis(log_path, image_path):
+    image_path = image_path or f"{log_path}.symtab.json"
+    with open(image_path) as fh:
+        image = BinaryImage.from_json(fh.read())
+    return Analyzer(image).analyze(log_path)
+
+
+def cmd_diff(args):
+    """Differential profile of two runs (before vs after a change)."""
+    try:
+        before = _load_analysis(args.before, args.before_image)
+        after = _load_analysis(args.after, args.after_image)
+    except FileNotFoundError as exc:
+        print(f"missing input: {exc.filename}", file=sys.stderr)
+        return 1
+    diff = AnalysisDiff(before, after)
+    print(diff.report(top=args.top))
+    if args.svg:
+        diff.flamegraph(
+            title=f"diff: {args.before} -> {args.after}"
+        ).write_svg(args.svg)
+        print(f"\ndifferential flame graph written to {args.svg}")
+    return 0
+
+
+def cmd_flamegraph(args):
+    folded = {}
+    with open(args.folded) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            stack, _, count = line.rpartition(" ")
+            if not stack or not count.isdigit():
+                print(
+                    f"{args.folded}:{lineno}: not a folded-stacks line",
+                    file=sys.stderr,
+                )
+                return 1
+            folded[tuple(stack.split(";"))] = folded.get(
+                tuple(stack.split(";")), 0
+            ) + int(count)
+    graph = FlameGraph(folded, title=args.title)
+    graph.write_svg(args.output, width=args.width)
+    print(f"wrote {args.output} ({graph.total_ticks()} total ticks)")
+    return 0
+
+
+class _DemoApp:
+    """A tiny two-phase workload for the demo command."""
+
+    def __init__(self, env):
+        self.env = env
+
+    @symbol("demo::Main()")
+    def main(self):
+        for _ in range(50):
+            self.parse()
+            self.process()
+
+    @symbol("demo::Parse()")
+    def parse(self):
+        self.env.compute(20_000)
+        self.env.mem_read(4_096)
+
+    @symbol("demo::Process()")
+    def process(self):
+        self.env.compute(60_000)
+        self.env.syscall("write")
+
+
+def cmd_demo(args):
+    platform = platform_by_name(args.platform)
+    perf = TEEPerf.simulated(platform=platform, name="demo")
+    app = _DemoApp(perf.env)
+    perf.compile_instance(app)
+    perf.record(app.main)
+    analysis = perf.analyze()
+    print(analysis.report())
+    import pathlib
+
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    log_path = out / "demo.teeperf"
+    svg_path = out / "demo_flamegraph.svg"
+    perf.persist(str(log_path))
+    perf.flamegraph(title=f"demo on {platform.name}").write_svg(
+        str(svg_path)
+    )
+    print(f"\nwrote {log_path} and {svg_path}")
+    print(f"try: tee-perf inspect {log_path}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="tee-perf",
+        description="TEE-Perf: a profiler for trusted execution "
+        "environments (DSN'19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inspect = sub.add_parser("inspect", help="describe a persisted log")
+    inspect.add_argument("log", help="path to a .teeperf log file")
+    inspect.set_defaults(fn=cmd_inspect)
+
+    analyze = sub.add_parser(
+        "analyze", help="analyze a persisted log offline"
+    )
+    analyze.add_argument("log", help="path to a .teeperf log file")
+    analyze.add_argument(
+        "--image", help="symbol table JSON (default: <log>.symtab.json)"
+    )
+    analyze.add_argument(
+        "--format",
+        choices=(
+            "report", "gprof", "callgrind", "speedscope", "json", "folded",
+        ),
+        default="report",
+    )
+    analyze.add_argument("--top", type=int, default=20)
+    analyze.set_defaults(fn=cmd_analyze)
+
+    diff = sub.add_parser(
+        "diff", help="compare two runs (before vs after a change)"
+    )
+    diff.add_argument("before", help="baseline .teeperf log")
+    diff.add_argument("after", help="changed .teeperf log")
+    diff.add_argument("--before-image", help="symtab for the baseline")
+    diff.add_argument("--after-image", help="symtab for the changed run")
+    diff.add_argument("--top", type=int, default=15)
+    diff.add_argument("--svg", help="write a differential flame graph")
+    diff.set_defaults(fn=cmd_diff)
+
+    flame = sub.add_parser(
+        "flamegraph", help="render folded stacks into an SVG"
+    )
+    flame.add_argument("folded", help="folded-stacks text file")
+    flame.add_argument("-o", "--output", default="flamegraph.svg")
+    flame.add_argument("--title", default="TEE-Perf Flame Graph")
+    flame.add_argument("--width", type=int, default=1200)
+    flame.set_defaults(fn=cmd_flamegraph)
+
+    demo = sub.add_parser("demo", help="run a small simulated profile")
+    demo.add_argument("--platform", default="sgx-v1")
+    demo.add_argument("-o", "--output", default="tee-perf-demo")
+    demo.set_defaults(fn=cmd_demo)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

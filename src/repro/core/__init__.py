@@ -1,0 +1,81 @@
+"""TEE-Perf itself: the paper's four-stage profiler.
+
+* stage 1 — :mod:`repro.core.instrument`: the compiler pass;
+* stage 2 — :mod:`repro.core.recorder` + :mod:`repro.core.counter` +
+  :mod:`repro.core.log`: the run-time recorder, software counter and
+  shared-memory log (Figure 2);
+* stage 3 — :mod:`repro.core.analyzer` + :mod:`repro.core.query`: the
+  offline analyzer and its declarative query interface;
+* stage 4 — :mod:`repro.core.flamegraph`: Flame Graph output.
+
+:class:`TEEPerf` ties the stages together.
+"""
+
+from repro.core.analyzer import Analysis, Analyzer, CallRecord, MethodStats
+from repro.core.diff import AnalysisDiff, MethodDelta
+from repro.core.export import to_callgrind, to_gprof, to_json, to_speedscope
+from repro.core.counter import (
+    PerfCounterClock,
+    ThreadCounter,
+    VirtualCounter,
+)
+from repro.core.errors import (
+    AnalyzerError,
+    LogFormatError,
+    RecorderError,
+    TEEPerfError,
+)
+from repro.core.flamegraph import FlameGraph, fold_stacks
+from repro.core.instrument import (
+    Instrumenter,
+    InstrumentedProgram,
+    no_instrument,
+    symbol,
+)
+from repro.core.log import (
+    ENTRY_SIZE,
+    HEADER_SIZE,
+    KIND_CALL,
+    KIND_RET,
+    LogEntry,
+    SharedLog,
+)
+from repro.core.profiler import TEEPerf
+from repro.core.query import QuerySession
+from repro.core.recorder import LiveRecorder, Recorder
+
+__all__ = [
+    "Analysis",
+    "AnalysisDiff",
+    "Analyzer",
+    "AnalyzerError",
+    "MethodDelta",
+    "to_callgrind",
+    "to_gprof",
+    "to_json",
+    "to_speedscope",
+    "CallRecord",
+    "ENTRY_SIZE",
+    "FlameGraph",
+    "HEADER_SIZE",
+    "Instrumenter",
+    "InstrumentedProgram",
+    "KIND_CALL",
+    "KIND_RET",
+    "LiveRecorder",
+    "LogEntry",
+    "LogFormatError",
+    "MethodStats",
+    "PerfCounterClock",
+    "QuerySession",
+    "Recorder",
+    "RecorderError",
+    "SharedLog",
+    "TEEPerf",
+    "TEEPerfError",
+    "ThreadCounter",
+    "VirtualCounter",
+    "fold_stacks",
+    "no_instrument",
+    "symbol",
+]

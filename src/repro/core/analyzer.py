@@ -1,0 +1,347 @@
+"""Stage 3 — the offline analyzer.
+
+The analyzer reads the entire log, groups entries per thread (the
+thread id in each entry makes per-thread order reliable even though the
+global log order is not), reconstructs each thread's call stack from
+the call/return events, and computes for every method:
+
+* *inclusive* time — counter ticks between entry and exit;
+* *exclusive* ("real") time — inclusive minus the time spent in
+  callees, the paper's "infer the real time spent in the method".
+
+Addresses are runtime addresses; the analyzer recovers the relocation
+offset from the log header's well-known profiler address and resolves
+every address through the simulated binary's symbol table (the
+addr2line/readelf/c++filt pipeline of the implementation section).
+
+Robustness rules, matching §II-B:
+
+* entries past the log's maximum size were never written — reservation
+  overflow simply drops them — and calls left open when the log filled
+  up (or the thread was still running) are closed at the thread's last
+  observed counter value and marked *truncated*;
+* a return that matches a deeper frame closes the intermediate frames
+  as truncated (tracing was paused in between);
+* a return with no matching frame at all is counted and dismissed.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import AnalyzerError
+from repro.core.log import SharedLog
+from repro.frame import Frame
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One completed (or truncated) method invocation."""
+
+    method: str
+    tid: int
+    enter: int
+    exit: int
+    inclusive: int
+    exclusive: int
+    depth: int
+    caller: str
+    path: tuple
+    truncated: bool = False
+
+
+@dataclass
+class MethodStats:
+    """Aggregate statistics for one method across all its calls."""
+
+    method: str
+    calls: int = 0
+    inclusive: int = 0
+    exclusive: int = 0
+    min_inclusive: int = None
+    max_inclusive: int = None
+    threads: set = field(default_factory=set)
+
+    def add(self, record):
+        self.calls += 1
+        self.inclusive += record.inclusive
+        self.exclusive += record.exclusive
+        self.threads.add(record.tid)
+        if self.min_inclusive is None:
+            self.min_inclusive = self.max_inclusive = record.inclusive
+        else:
+            self.min_inclusive = min(self.min_inclusive, record.inclusive)
+            self.max_inclusive = max(self.max_inclusive, record.inclusive)
+
+    @property
+    def mean_inclusive(self):
+        return self.inclusive / self.calls if self.calls else 0.0
+
+
+class Analysis:
+    """The result object: records, aggregates, frames and reports."""
+
+    def __init__(self, records, unmatched_returns, tick_ns, meta,
+                 locations=None):
+        self.records = records
+        self.unmatched_returns = unmatched_returns
+        self.tick_ns = tick_ns
+        self.meta = meta
+        self.locations = locations or {}
+        self._stats = {}
+        for record in records:
+            stats = self._stats.get(record.method)
+            if stats is None:
+                stats = self._stats[record.method] = MethodStats(record.method)
+            stats.add(record)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+
+    def methods(self):
+        """Per-method statistics, hottest exclusive time first."""
+        return sorted(
+            self._stats.values(), key=lambda s: s.exclusive, reverse=True
+        )
+
+    def method(self, name):
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise AnalyzerError(
+                f"method {name!r} does not appear in the profile"
+            ) from None
+
+    def threads(self):
+        """Thread ids observed, in first-appearance order."""
+        seen, out = set(), []
+        for record in self.records:
+            if record.tid not in seen:
+                seen.add(record.tid)
+                out.append(record.tid)
+        return out
+
+    def total_exclusive(self):
+        """Total attributed ticks (sums to total traced time)."""
+        return sum(r.exclusive for r in self.records)
+
+    def truncated_calls(self):
+        return sum(1 for r in self.records if r.truncated)
+
+    def exclusive_fraction(self, name):
+        """Share of total traced time spent directly in `name`."""
+        total = self.total_exclusive()
+        if total == 0:
+            return 0.0
+        return self.method(name).exclusive / total
+
+    def folded(self):
+        """Folded stacks: {(root, ..., leaf): exclusive ticks}.
+
+        This is the Flame-Graph input — each invocation contributes its
+        *exclusive* ticks to its full call path, so widths nest exactly.
+        """
+        folded = {}
+        for record in self.records:
+            if record.exclusive <= 0:
+                continue
+            folded[record.path] = folded.get(record.path, 0) + record.exclusive
+        return folded
+
+    # ------------------------------------------------------------------
+    # Frames (the declarative query interface builds on these)
+
+    def records_frame(self):
+        return Frame.from_records(
+            (
+                {
+                    "method": r.method,
+                    "thread": r.tid,
+                    "caller": r.caller,
+                    "depth": r.depth,
+                    "enter": r.enter,
+                    "exit": r.exit,
+                    "inclusive": r.inclusive,
+                    "exclusive": r.exclusive,
+                    "truncated": r.truncated,
+                }
+                for r in self.records
+            ),
+            columns=[
+                "method",
+                "thread",
+                "caller",
+                "depth",
+                "enter",
+                "exit",
+                "inclusive",
+                "exclusive",
+                "truncated",
+            ],
+        )
+
+    def methods_frame(self):
+        return Frame.from_records(
+            (
+                {
+                    "method": s.method,
+                    "calls": s.calls,
+                    "inclusive": s.inclusive,
+                    "exclusive": s.exclusive,
+                    "mean_inclusive": s.mean_inclusive,
+                    "threads": len(s.threads),
+                }
+                for s in self.methods()
+            ),
+            columns=[
+                "method",
+                "calls",
+                "inclusive",
+                "exclusive",
+                "mean_inclusive",
+                "threads",
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+
+    def to_ns(self, ticks):
+        return ticks * self.tick_ns
+
+    def report(self, top=20):
+        """The sorted per-method table presented to the programmer."""
+        total = self.total_exclusive() or 1
+        lines = [
+            f"TEE-Perf profile: {len(self.records)} calls, "
+            f"{len(self.threads())} threads, "
+            f"{self.meta.get('events', 0)} log entries "
+            f"(pid {self.meta.get('pid')})",
+            f"{'excl %':>7} {'exclusive':>12} {'inclusive':>12} "
+            f"{'calls':>8}  method",
+        ]
+        for stats in self.methods()[:top]:
+            lines.append(
+                f"{100 * stats.exclusive / total:>6.2f}% "
+                f"{stats.exclusive:>12} {stats.inclusive:>12} "
+                f"{stats.calls:>8}  {stats.method}"
+            )
+        if self.unmatched_returns:
+            lines.append(f"dismissed unmatched returns: {self.unmatched_returns}")
+        if self.truncated_calls():
+            lines.append(f"truncated calls: {self.truncated_calls()}")
+        return "\n".join(lines)
+
+
+class _OpenFrame:
+    __slots__ = ("addr", "method", "enter", "child_ticks", "call_site")
+
+    def __init__(self, addr, method, enter, call_site=0):
+        self.addr = addr
+        self.method = method
+        self.enter = enter
+        self.child_ticks = 0
+        self.call_site = call_site
+
+
+class Analyzer:
+    """Turns a log (+ the binary image) into an :class:`Analysis`."""
+
+    def __init__(self, image, tick_ns=1.0):
+        self.image = image
+        self.tick_ns = tick_ns
+
+    def analyze(self, log):
+        """`log` may be a :class:`SharedLog`, raw bytes, or a path."""
+        log = self._coerce(log)
+        offset = log.profiler_addr - self.image.profiler_addr
+        per_thread = {}
+        for entry in log:
+            per_thread.setdefault(entry.tid, []).append(entry)
+        records = []
+        unmatched = 0
+        self._callsite_mismatches = 0
+        for tid, entries in per_thread.items():
+            unmatched += self._reconstruct(tid, entries, offset, records)
+        meta = {
+            "events": len(log),
+            "pid": log.pid,
+            "capacity": log.capacity,
+            "version": log.version,
+            "multithread": log.multithread,
+        }
+        meta["callsite_mismatches"] = self._callsite_mismatches
+        locations = {
+            sym.pretty: (sym.file, sym.line) for sym in self.image.symtab
+        }
+        return Analysis(records, unmatched, self.tick_ns, meta, locations)
+
+    # ------------------------------------------------------------------
+
+    def _coerce(self, log):
+        if isinstance(log, SharedLog):
+            return log
+        if isinstance(log, (bytes, bytearray)):
+            return SharedLog.from_bytes(log)
+        if isinstance(log, str) or hasattr(log, "__fspath__"):
+            return SharedLog.load(log)
+        raise AnalyzerError(f"cannot analyze {type(log).__name__}")
+
+    def _resolve(self, runtime_addr, offset):
+        symbol = self.image.symtab.resolve(runtime_addr - offset)
+        if symbol is None:
+            return f"[unknown {runtime_addr:#x}]"
+        return symbol.pretty
+
+    def _reconstruct(self, tid, entries, offset, records):
+        stack = []
+        unmatched = 0
+        last_counter = entries[-1].counter if entries else 0
+
+        def close(frame, at, truncated):
+            inclusive = max(0, at - frame.enter)
+            exclusive = max(0, inclusive - frame.child_ticks)
+            if stack:
+                stack[-1].child_ticks += inclusive
+            records.append(
+                CallRecord(
+                    method=frame.method,
+                    tid=tid,
+                    enter=frame.enter,
+                    exit=at,
+                    inclusive=inclusive,
+                    exclusive=exclusive,
+                    depth=len(stack),
+                    caller=stack[-1].method if stack else None,
+                    path=tuple(f.method for f in stack) + (frame.method,),
+                    truncated=truncated,
+                )
+            )
+
+        for entry in entries:
+            if entry.is_call:
+                # v2 logs carry the call site; cross-check it against
+                # the stack-derived caller (a log-integrity diagnostic).
+                if entry.call_site and stack:
+                    expected = self._resolve(entry.call_site, offset)
+                    if expected != stack[-1].method:
+                        self._callsite_mismatches += 1
+                stack.append(
+                    _OpenFrame(
+                        entry.addr,
+                        self._resolve(entry.addr, offset),
+                        entry.counter,
+                        entry.call_site,
+                    )
+                )
+                continue
+            # A return: match against the open stack.
+            if stack and stack[-1].addr == entry.addr:
+                close(stack.pop(), entry.counter, truncated=False)
+            elif any(f.addr == entry.addr for f in stack):
+                while stack[-1].addr != entry.addr:
+                    close(stack.pop(), entry.counter, truncated=True)
+                close(stack.pop(), entry.counter, truncated=False)
+            else:
+                unmatched += 1
+        while stack:
+            close(stack.pop(), last_counter, truncated=True)
+        return unmatched

@@ -1,0 +1,147 @@
+"""Software counters: the profiler's platform-independent clock.
+
+The paper's recorder maps a counter into the TEE.  If the platform has
+a usable hardware counter it is used directly; otherwise a *software
+counter* — a host thread incrementing a word in a tight loop —
+provides a fine-grained, "reasonably accurate" clock at the price of
+one dedicated core.
+
+Three implementations share one interface (``start``/``stop``/``read``
+plus ``ticks_to_ns``):
+
+* :class:`VirtualCounter` — simulation mode; reads quantise the calling
+  thread's virtual time to the counter resolution, and starting it
+  reserves a machine core just as the real loop would.
+* :class:`ThreadCounter` — live mode; an actual Python thread bumping
+  an attribute in a loop.  The GIL makes its resolution coarse, which
+  is faithfully reported through :meth:`resolution_ns`.
+* :class:`PerfCounterClock` — live mode when a "hardware" counter is
+  acceptable: ``time.perf_counter_ns``.
+"""
+
+import threading
+import time
+
+from repro.core.errors import RecorderError
+
+# A dependent increment through a shared cache line: the effective tick
+# granularity of the paper's tight-loop counter as seen by a reader on
+# another core.
+DEFAULT_RESOLUTION_CYCLES = 8.0
+
+
+class VirtualCounter:
+    """Simulation-mode counter backed by the machine's virtual clock."""
+
+    def __init__(self, machine, resolution_cycles=DEFAULT_RESOLUTION_CYCLES):
+        if resolution_cycles <= 0:
+            raise ValueError(
+                f"resolution must be positive: {resolution_cycles}"
+            )
+        self.machine = machine
+        self.resolution_cycles = resolution_cycles
+        self._running = False
+
+    def start(self):
+        """Dedicate a core to the counter loop."""
+        if self._running:
+            raise RecorderError("counter already running")
+        self.machine.reserve_core()
+        self._running = True
+
+    def stop(self):
+        if not self._running:
+            raise RecorderError("counter not running")
+        self.machine.release_core()
+        self._running = False
+
+    @property
+    def running(self):
+        return self._running
+
+    def read(self):
+        """Current tick count as seen by the calling simulated thread."""
+        thread = self.machine.current()
+        return int(thread.local_time / self.resolution_cycles)
+
+    def ticks_to_ns(self, ticks):
+        return self.machine.clock.cycles_to_ns(ticks * self.resolution_cycles)
+
+    def resolution_ns(self):
+        return self.machine.clock.cycles_to_ns(self.resolution_cycles)
+
+
+class ThreadCounter:
+    """Live-mode counter: a real thread incrementing in a tight loop."""
+
+    def __init__(self):
+        self.value = 0
+        self._stop = threading.Event()
+        self._thread = None
+        self._started_ns = None
+        self._stopped_ns = None
+
+    def start(self):
+        if self._thread is not None:
+            raise RecorderError("counter already running")
+        self._stop.clear()
+        self._started_ns = time.perf_counter_ns()
+        self._thread = threading.Thread(
+            target=self._loop, name="tee-perf-counter", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self):
+        # The attribute store is the shared word; the periodic event
+        # check keeps shutdown prompt without a lock on the hot path.
+        while not self._stop.is_set():
+            value = self.value
+            for _ in range(1024):
+                value += 1
+            self.value = value
+
+    def stop(self):
+        if self._thread is None:
+            raise RecorderError("counter not running")
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self._stopped_ns = time.perf_counter_ns()
+
+    @property
+    def running(self):
+        return self._thread is not None
+
+    def read(self):
+        return self.value
+
+    def ticks_to_ns(self, ticks):
+        """Calibrated after the run: wall time divided by total ticks."""
+        if not self.value or self._started_ns is None:
+            return 0.0
+        end = self._stopped_ns or time.perf_counter_ns()
+        return ticks * (end - self._started_ns) / self.value
+
+    def resolution_ns(self):
+        return self.ticks_to_ns(1)
+
+
+class PerfCounterClock:
+    """Live-mode "hardware" counter: the host's monotonic clock."""
+
+    running = False
+
+    def start(self):
+        self.running = True
+
+    def stop(self):
+        self.running = False
+
+    def read(self):
+        return time.perf_counter_ns()
+
+    def ticks_to_ns(self, ticks):
+        return float(ticks)
+
+    def resolution_ns(self):
+        return 1.0

@@ -1,0 +1,133 @@
+"""Differential profiling: compare two analyses of the same program.
+
+This is the workflow of the paper's SPDK case study (§IV-C): profile,
+optimise, profile again, and *see* where the time went.  The diff works
+on per-method shares of total traced time (runs of different lengths
+compare cleanly), and the differential flame graph colours the "after"
+graph by change — red where a method's share grew, blue where it
+shrank, Brendan Gregg's red/blue convention.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.flamegraph import FlameGraph
+
+
+@dataclass(frozen=True)
+class MethodDelta:
+    """One method's movement between two profiles."""
+
+    method: str
+    before_share: float
+    after_share: float
+    before_calls: int
+    after_calls: int
+
+    @property
+    def delta(self):
+        """Share change in percentage points (negative = improved)."""
+        return self.after_share - self.before_share
+
+    @property
+    def appeared(self):
+        return self.before_calls == 0 and self.after_calls > 0
+
+    @property
+    def vanished(self):
+        return self.before_calls > 0 and self.after_calls == 0
+
+
+def _shares(analysis):
+    total = analysis.total_exclusive() or 1
+    return {
+        stats.method: (stats.exclusive / total, stats.calls)
+        for stats in analysis.methods()
+    }
+
+
+class AnalysisDiff:
+    """All method deltas between a *before* and an *after* profile."""
+
+    def __init__(self, before, after):
+        self.before = before
+        self.after = after
+        before_shares = _shares(before)
+        after_shares = _shares(after)
+        self._deltas = []
+        for method in sorted(set(before_shares) | set(after_shares)):
+            b_share, b_calls = before_shares.get(method, (0.0, 0))
+            a_share, a_calls = after_shares.get(method, (0.0, 0))
+            self._deltas.append(
+                MethodDelta(method, b_share, a_share, b_calls, a_calls)
+            )
+
+    def deltas(self):
+        """All deltas, largest absolute share change first."""
+        return sorted(self._deltas, key=lambda d: -abs(d.delta))
+
+    def improvements(self, n=10):
+        """Methods whose share shrank the most."""
+        shrunk = [d for d in self._deltas if d.delta < 0]
+        return sorted(shrunk, key=lambda d: d.delta)[:n]
+
+    def regressions(self, n=10):
+        """Methods whose share grew the most."""
+        grown = [d for d in self._deltas if d.delta > 0]
+        return sorted(grown, key=lambda d: -d.delta)[:n]
+
+    def delta_for(self, method):
+        for delta in self._deltas:
+            if delta.method == method:
+                return delta
+        raise KeyError(f"{method!r} appears in neither profile")
+
+    def report(self, top=15):
+        lines = [
+            "differential profile (exclusive-time shares)",
+            f"{'before':>9} {'after':>9} {'change':>9}  method",
+        ]
+        for delta in self.deltas()[:top]:
+            marker = ""
+            if delta.vanished:
+                marker = "  [gone]"
+            elif delta.appeared:
+                marker = "  [new]"
+            lines.append(
+                f"{delta.before_share:>8.2%} {delta.after_share:>8.2%} "
+                f"{delta.delta:>+8.2%}  {delta.method}{marker}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+
+    def flamegraph(self, title="differential flame graph"):
+        """The *after* flame graph coloured by share change."""
+        before_graph = FlameGraph.from_analysis(self.before)
+        after_graph = FlameGraph.from_analysis(self.after, title=title)
+        before_incl = _inclusive_shares(before_graph)
+        after_incl = _inclusive_shares(after_graph)
+
+        def palette(node):
+            before = before_incl.get(node.name)
+            if before is None:
+                return "rgb(230,60,60)"  # new code: strong red
+            drift = after_incl.get(node.name, 0.0) - before
+            if abs(drift) < 0.005:
+                return "rgb(212,212,212)"  # unchanged: grey
+            intensity = min(1.0, abs(drift) * 4)
+            level = int(235 - 110 * intensity)
+            if drift > 0:
+                return f"rgb(235,{level},{level})"  # grew: red
+            return f"rgb({level},{level},235)"  # shrank: blue
+
+        after_graph.palette = palette
+        return after_graph
+
+
+def _inclusive_shares(graph):
+    """Summed inclusive share per frame name across the whole graph."""
+    shares = {}
+    for _, _, node in graph.frames():
+        shares[node.name] = shares.get(node.name, 0.0) + node.total
+    total = graph.root.total or 1
+    return {name: value / total for name, value in shares.items()}

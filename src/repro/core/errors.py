@@ -1,0 +1,17 @@
+"""Errors raised by the TEE-Perf core."""
+
+
+class TEEPerfError(Exception):
+    """Base class for profiler failures."""
+
+
+class LogFormatError(TEEPerfError):
+    """A log buffer or file does not parse as a TEE-Perf log."""
+
+
+class RecorderError(TEEPerfError):
+    """The recorder was driven through an invalid lifecycle."""
+
+
+class AnalyzerError(TEEPerfError):
+    """The analyzer could not make sense of its input."""

@@ -1,0 +1,334 @@
+"""The TEE-Perf log: Figure 2 of the paper, byte for byte.
+
+The log lives in shared memory between the profiled application (inside
+the TEE) and the recorder (on the host).  It consists of a 64-byte
+header followed by fixed-size 24-byte entries::
+
+    header  (8 x u64)                     entry (3 x u64)
+    ------------------------------        -------------------------------
+    0  magic ("TEEPERF\\0")               0  kind (bit 63) | counter value
+    1  flags | version                    1  call/ret instruction address
+    2  shared-memory base address         2  thread id
+    3  process id
+    4  log size (max entries)
+    5  tail index (next free entry)
+    6  address of profiler function
+    7  reserved
+
+Entries are reserved with a fetch-and-add on the tail, so writers never
+contend on a lock; reservations past the maximum size are *dropped* and
+counted, and the analyzer independently dismisses anything past the
+maximum — the paper's rule for records "which might be wrong at the end
+of the log".
+
+The flags word is the only mutable control surface: bit 0 (ACTIVE)
+gates recording and may be flipped while the application runs, which is
+how dynamic de-/activation and selective phases work without adding a
+critical section to the hot path.
+"""
+
+import itertools
+import struct
+from dataclasses import dataclass
+
+from repro.core.errors import LogFormatError
+
+MAGIC = int.from_bytes(b"TEEPERF\x00", "little")
+HEADER_SIZE = 64
+VERSION = 1
+# Version 2 extends each entry with the call-site address — the second
+# argument the compiler passes to __cyg_profile_func_enter.  The
+# header's version field exists exactly so the analyzer can support
+# multiple entry layouts (§II-B).
+VERSION_2 = 2
+ENTRY_SIZE = 24  # version-1 layout
+ENTRY_SIZE_V2 = 32
+_ENTRY_SIZES = {VERSION: ENTRY_SIZE, VERSION_2: ENTRY_SIZE_V2}
+
+# Flags (low 16 bits of header word 1; the version sits above them).
+FLAG_ACTIVE = 1 << 0
+FLAG_MULTITHREAD = 1 << 1
+# Event mask: which events are measured (both set by default).
+FLAG_MASK_CALLS = 1 << 2
+FLAG_MASK_RETS = 1 << 3
+
+_VERSION_SHIFT = 16
+
+# Entry word 0: bit 63 is the kind, the low 63 bits the counter value.
+KIND_CALL = 0
+KIND_RET = 1
+_KIND_BIT = 1 << 63
+COUNTER_MASK = _KIND_BIT - 1
+
+_HEADER = struct.Struct("<8Q")
+_ENTRY = struct.Struct("<3Q")
+_ENTRY_V2 = struct.Struct("<4Q")
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One decoded call/return record."""
+
+    kind: int  # KIND_CALL or KIND_RET
+    counter: int  # software-counter value at the event
+    addr: int  # runtime address of the entered/exited function
+    tid: int  # id of the executing thread
+    call_site: int = 0  # v2 logs: runtime address of the call site
+
+    @property
+    def is_call(self):
+        return self.kind == KIND_CALL
+
+    @property
+    def is_ret(self):
+        return self.kind == KIND_RET
+
+
+class SharedLog:
+    """The shared-memory log: header + append-only entry array.
+
+    The buffer is a plain ``bytearray``; in live mode real threads
+    append concurrently (reservation is GIL-atomic), in simulated mode
+    the machine serialises writers anyway.  ``capacity`` is the maximum
+    number of entries, fixed at creation exactly as in the paper.
+    """
+
+    def __init__(self, buf):
+        if len(buf) < HEADER_SIZE:
+            raise LogFormatError(
+                f"buffer of {len(buf)} bytes is smaller than the header"
+            )
+        self._buf = buf
+        header = _HEADER.unpack_from(buf, 0)
+        if header[0] != MAGIC:
+            raise LogFormatError("bad magic: not a TEE-Perf log")
+        version = (header[1] >> _VERSION_SHIFT) & 0xFFFF
+        if version not in _ENTRY_SIZES:
+            raise LogFormatError(
+                f"unsupported log version {version} "
+                f"(known: {sorted(_ENTRY_SIZES)})"
+            )
+        self._entry_size = _ENTRY_SIZES[version]
+        self._capacity = header[4]
+        self._reservations = itertools.count(self.tail)
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def create(
+        cls,
+        capacity,
+        pid=0,
+        profiler_addr=0,
+        shm_base=0x7F00_0000_0000,
+        multithread=True,
+        version=VERSION,
+    ):
+        """Allocate and initialise a log for `capacity` entries."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        if version not in _ENTRY_SIZES:
+            raise ValueError(
+                f"unsupported version {version} (known: "
+                f"{sorted(_ENTRY_SIZES)})"
+            )
+        buf = bytearray(HEADER_SIZE + capacity * _ENTRY_SIZES[version])
+        flags = FLAG_MASK_CALLS | FLAG_MASK_RETS
+        if multithread:
+            flags |= FLAG_MULTITHREAD
+        _HEADER.pack_into(
+            buf,
+            0,
+            MAGIC,
+            flags | (version << _VERSION_SHIFT),
+            shm_base,
+            pid,
+            capacity,
+            0,  # tail
+            profiler_addr,
+            0,  # reserved
+        )
+        return cls(buf)
+
+    @classmethod
+    def from_bytes(cls, data):
+        """Wrap an existing log image (e.g. read back from disk)."""
+        return cls(bytearray(data))
+
+    @classmethod
+    def load(cls, path):
+        """Read a persisted log file."""
+        with open(path, "rb") as fh:
+            return cls.from_bytes(fh.read())
+
+    def dump(self, path):
+        """Persist the log (what the recorder wrapper does after a run)."""
+        self._store_tail()
+        with open(path, "wb") as fh:
+            fh.write(bytes(self._buf))
+
+    def to_bytes(self):
+        """The full log image, header synchronised."""
+        self._store_tail()
+        return bytes(self._buf)
+
+    # ------------------------------------------------------------------
+    # Header accessors
+
+    def _word(self, index):
+        return struct.unpack_from("<Q", self._buf, index * 8)[0]
+
+    def _set_word(self, index, value):
+        struct.pack_into("<Q", self._buf, index * 8, value)
+
+    @property
+    def flags(self):
+        return self._word(1) & 0xFFFF
+
+    @property
+    def version(self):
+        return (self._word(1) >> _VERSION_SHIFT) & 0xFFFF
+
+    @property
+    def shm_base(self):
+        return self._word(2)
+
+    @property
+    def pid(self):
+        return self._word(3)
+
+    @property
+    def capacity(self):
+        return self._capacity
+
+    @property
+    def tail(self):
+        return self._word(5)
+
+    @property
+    def profiler_addr(self):
+        return self._word(6)
+
+    def set_profiler_addr(self, addr):
+        """The recorder stores the well-known function address here."""
+        self._set_word(6, addr)
+
+    def set_pid(self, pid):
+        self._set_word(3, pid)
+
+    @property
+    def active(self):
+        return bool(self.flags & FLAG_ACTIVE)
+
+    def set_active(self, active):
+        """Flip the ACTIVE flag (atomic on real hardware; here the GIL
+        plays that role).  Safe to call while the application runs."""
+        word = self._word(1)
+        if active:
+            word |= FLAG_ACTIVE
+        else:
+            word &= ~FLAG_ACTIVE
+        self._set_word(1, word)
+
+    @property
+    def multithread(self):
+        return bool(self.flags & FLAG_MULTITHREAD)
+
+    @property
+    def entry_size(self):
+        return self._entry_size
+
+    def measures(self, kind):
+        """Whether the event mask admits this event kind."""
+        flag = FLAG_MASK_CALLS if kind == KIND_CALL else FLAG_MASK_RETS
+        return bool(self.flags & flag)
+
+    def set_event_mask(self, calls=True, rets=True):
+        """Choose which events are measured — changeable while the
+        application runs, like the ACTIVE flag (§II-B)."""
+        word = self._word(1)
+        word &= ~(FLAG_MASK_CALLS | FLAG_MASK_RETS)
+        if calls:
+            word |= FLAG_MASK_CALLS
+        if rets:
+            word |= FLAG_MASK_RETS
+        self._set_word(1, word)
+
+    # ------------------------------------------------------------------
+    # Appending (the injected code's hot path)
+
+    def try_reserve(self):
+        """Fetch-and-add on the tail; ``None`` once the log is full."""
+        index = next(self._reservations)
+        if index >= self._capacity:
+            self.dropped += 1
+            return None
+        return index
+
+    def write_entry(self, index, kind, counter, addr, tid, call_site=0):
+        """Fill a previously reserved slot."""
+        word0 = (counter & COUNTER_MASK) | (_KIND_BIT if kind else 0)
+        offset = HEADER_SIZE + index * self._entry_size
+        if self._entry_size == ENTRY_SIZE_V2:
+            _ENTRY_V2.pack_into(
+                self._buf, offset, word0, addr, tid, call_site
+            )
+        else:
+            _ENTRY.pack_into(self._buf, offset, word0, addr, tid)
+
+    def append(self, kind, counter, addr, tid, call_site=0):
+        """Reserve and write in one step; False when the log was full
+        or the event mask filters this kind out."""
+        if not self.measures(kind):
+            return False
+        index = self.try_reserve()
+        if index is None:
+            return False
+        self.write_entry(index, kind, counter, addr, tid, call_site)
+        return True
+
+    # ------------------------------------------------------------------
+    # Reading (the analyzer's side)
+
+    def __len__(self):
+        return min(self.tail_or_live(), self._capacity)
+
+    def tail_or_live(self):
+        """Entries written: live reservation counter or stored tail,
+        whichever has advanced further."""
+        return max(self._next_reservation(), self.tail)
+
+    def _next_reservation(self):
+        # Peek at the itertools counter without consuming it.
+        probe = self._reservations.__reduce__()[1][0]
+        return probe
+
+    def entry(self, index):
+        """Decode entry `index` (layout chosen by the header version)."""
+        if index >= min(self.tail_or_live(), self._capacity):
+            raise IndexError(f"entry {index} past end of log")
+        offset = HEADER_SIZE + index * self._entry_size
+        call_site = 0
+        if self._entry_size == ENTRY_SIZE_V2:
+            word0, addr, tid, call_site = _ENTRY_V2.unpack_from(
+                self._buf, offset
+            )
+        else:
+            word0, addr, tid = _ENTRY.unpack_from(self._buf, offset)
+        kind = KIND_RET if word0 & _KIND_BIT else KIND_CALL
+        return LogEntry(kind, word0 & COUNTER_MASK, addr, tid, call_site)
+
+    def __iter__(self):
+        for index in range(min(self.tail_or_live(), self._capacity)):
+            yield self.entry(index)
+
+    def _store_tail(self):
+        self._set_word(5, min(self._next_reservation(), self._capacity))
+
+    def __repr__(self):
+        return (
+            f"SharedLog(entries={len(self)}/{self._capacity}, "
+            f"active={self.active}, dropped={self.dropped})"
+        )

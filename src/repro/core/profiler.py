@@ -1,0 +1,232 @@
+"""The TEE-Perf facade: all four stages behind one handle.
+
+Typical simulated-mode use (the evaluation's configuration)::
+
+    from repro.core import TEEPerf
+    from repro.tee import SGX_V1
+
+    perf = TEEPerf.simulated(platform=SGX_V1, cores=8)
+    perf.compile_instance(workload)        # stage 1
+    perf.record(workload.run)              # stage 2
+    analysis = perf.analyze()              # stage 3
+    print(analysis.report())
+    perf.flamegraph().write_svg("out.svg") # stage 4
+
+Live mode profiles real Python code the same way, with a real counter
+thread instead of the virtual clock::
+
+    perf = TEEPerf.live()
+    perf.compile_module(my_module)
+    perf.record(my_module.main)
+    print(perf.analyze().report())
+    perf.uninstrument()
+"""
+
+from repro.core.analyzer import Analyzer
+from repro.core.errors import RecorderError, TEEPerfError
+from repro.core.flamegraph import FlameGraph
+from repro.core.instrument import Instrumenter
+from repro.core.query import QuerySession
+from repro.core.recorder import DEFAULT_CAPACITY, LiveRecorder, Recorder
+from repro.machine import Machine
+from repro.tee import NATIVE, make_env
+
+
+class TEEPerf:
+    """One profiling pipeline: compile, record, analyze, visualize."""
+
+    def __init__(self, recorder_factory, instrumenter, machine=None, env=None):
+        self._recorder_factory = recorder_factory
+        self._instrumenter = instrumenter
+        self.machine = machine
+        self.env = env
+        self.program = None
+        self.recorder = None
+        self._analysis = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+
+    @classmethod
+    def simulated(
+        cls,
+        platform=NATIVE,
+        cores=8,
+        machine=None,
+        capacity=DEFAULT_CAPACITY,
+        select=None,
+        name="a.out",
+        aslr_seed=1,
+    ):
+        """A profiler for workloads on the simulated machine.
+
+        `platform` picks the TEE cost model the workload runs under;
+        the profiler itself stays platform-independent.
+        """
+        machine = machine or Machine(cores=cores)
+        env = make_env(machine, platform)
+
+        def factory(program):
+            return Recorder(
+                machine, env, program, capacity=capacity, aslr_seed=aslr_seed
+            )
+
+        return cls(
+            factory, Instrumenter(name, select=select), machine=machine, env=env
+        )
+
+    @classmethod
+    def live(cls, capacity=DEFAULT_CAPACITY, select=None, name="a.out"):
+        """A profiler for real (unsimulated) Python code."""
+
+        def factory(program):
+            return LiveRecorder(program, capacity=capacity)
+
+        return cls(factory, Instrumenter(name, select=select))
+
+    @classmethod
+    def auto(cls, scope=None, capacity=DEFAULT_CAPACITY, version=None):
+        """A zero-setup live profiler for *unmodified* Python code.
+
+        No compile stage: the interpreter's profile hook supplies the
+        call/return events, and functions are laid out in the image the
+        first time they execute.  `scope` restricts tracing to your own
+        modules (a prefix string, a list of prefixes, or a predicate on
+        the module name).
+        """
+        from repro.core.autotrace import AutoRecorder, AutoTracer
+
+        tracer = AutoTracer(scope=scope)
+
+        def factory(program):
+            return AutoRecorder(tracer, capacity=capacity, version=version)
+
+        profiler = cls(factory, None)
+        profiler.program = tracer.program
+        return profiler
+
+    # ------------------------------------------------------------------
+    # Stage 1: compile
+
+    def compile_module(self, module, prefix=None):
+        """Instrument every function defined in `module`."""
+        self._require_instrumenter().instrument_module(module, prefix=prefix)
+        return self
+
+    def compile_instance(self, obj, prefix=None):
+        """Instrument the methods of `obj`."""
+        self._require_instrumenter().instrument_instance(obj, prefix=prefix)
+        return self
+
+    def compile_class(self, cls, prefix=None):
+        """Instrument the methods of `cls` for all its instances."""
+        self._require_instrumenter().instrument_class(cls, prefix=prefix)
+        return self
+
+    def compile_function(self, func, owner, attr, prefix=None):
+        """Instrument one function bound at ``owner.attr``."""
+        self._require_instrumenter().instrument_function(
+            func, owner, attr, prefix
+        )
+        return self
+
+    def _require_instrumenter(self):
+        if self._instrumenter is None:
+            raise TEEPerfError(
+                "this profiler auto-traces: there is no compile stage"
+            )
+        return self._instrumenter
+
+    # ------------------------------------------------------------------
+    # Stage 2: record
+
+    def record(self, entry, *args, **kwargs):
+        """Run ``entry(*args, **kwargs)`` under the recorder.
+
+        In simulated mode the entry function becomes the machine's root
+        thread; in live mode it is called directly.  Returns the entry
+        function's result.
+        """
+        if self.program is None:
+            self.program = self._instrumenter.finish()
+        self.recorder = self._recorder_factory(self.program)
+        self._analysis = None
+        with self.recorder:
+            if self.machine is not None:
+                return self.machine.run(entry, *args, **kwargs)
+            return entry(*args, **kwargs)
+
+    def pause(self):
+        self._require_recorder().pause()
+
+    def resume(self):
+        self._require_recorder().resume()
+
+    def persist(self, path, image_path=None):
+        """Write the raw log — and the simulated binary's symbol table
+        — to disk, so ``tee-perf analyze`` can work fully offline.
+
+        `image_path` defaults to ``<path>.symtab.json``; pass False to
+        skip the image.
+        """
+        self._require_recorder().persist(path)
+        if image_path is not False:
+            image_path = image_path or f"{path}.symtab.json"
+            with open(image_path, "w") as fh:
+                fh.write(self.program.image.to_json())
+
+    # ------------------------------------------------------------------
+    # Stage 3: analyze
+
+    def analyze(self, log=None):
+        """Analyze the last recording (or an explicit log/path)."""
+        if self.program is None:
+            if not self._instrumenter.program.functions:
+                raise TEEPerfError("nothing compiled yet")
+            raise RecorderError("no recording was made yet")
+        recorder = self._require_recorder() if log is None else None
+        source = log if log is not None else recorder.log
+        analyzer = Analyzer(self.program.image, tick_ns=self._tick_ns())
+        self._analysis = analyzer.analyze(source)
+        return self._analysis
+
+    def query(self):
+        """An interactive-style query session over the last analysis."""
+        return QuerySession(self._last_analysis())
+
+    # ------------------------------------------------------------------
+    # Stage 4: visualize
+
+    def flamegraph(self, title=None):
+        analysis = self._last_analysis()
+        return FlameGraph.from_analysis(
+            analysis, title=title or f"TEE-Perf: {self.program.name}"
+        )
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+
+    def uninstrument(self):
+        """Restore every patched function (clean rebuild)."""
+        if self.program is not None:
+            self.program.restore_all()
+
+    def events_recorded(self):
+        return self._require_recorder().events_recorded()
+
+    def _tick_ns(self):
+        if self.recorder is not None and hasattr(
+            self.recorder.counter, "resolution_ns"
+        ):
+            return self.recorder.counter.resolution_ns() or 1.0
+        return 1.0
+
+    def _require_recorder(self):
+        if self.recorder is None:
+            raise RecorderError("no recording was made yet")
+        return self.recorder
+
+    def _last_analysis(self):
+        if self._analysis is None:
+            return self.analyze()
+        return self._analysis

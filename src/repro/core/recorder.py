@@ -1,0 +1,208 @@
+"""Stage 2 — the recorder.
+
+The recorder wrapper is the run-time half of TEE-Perf: it sets up the
+shared-memory log between the measured application (inside the TEE) and
+itself (native, on the host), starts the software counter, announces
+the log through the instrumented program's hook slot (the paper's
+globally accessible variable), and persists the log afterwards.
+
+Two recorders share that lifecycle:
+
+* :class:`Recorder` — simulation mode, used by the evaluation.  The
+  counter is the virtual clock (its loop still costs a core) and every
+  instrumentation event charges the platform's per-event cycles.
+* :class:`LiveRecorder` — live mode for real Python programs: a real
+  counter thread and wall-clock-free logging.
+
+Note that the shared log lives in *untrusted host memory*: it is never
+charged against the enclave's EPC, exactly as §II-B requires ("it
+should not increase the TEE's memory, which is usually limited").
+"""
+
+from repro.core.counter import ThreadCounter, VirtualCounter
+from repro.core.errors import RecorderError
+from repro.core.instrument import LiveHooks, SimHooks
+from repro.core.log import SharedLog, VERSION
+
+DEFAULT_CAPACITY = 1 << 20  # entries
+DEFAULT_PID = 4242
+
+
+class _RecorderBase:
+    """Shared lifecycle: idle -> started -> stopped."""
+
+    def __init__(self, program, capacity, pid, version=VERSION):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.program = program
+        self.capacity = capacity
+        self.pid = pid
+        self.version = version
+        self.log = None
+        self.loaded = None
+        self.hooks = None
+        self._started = False
+
+    def start(self):
+        """Map the shared memory, arm the hooks, start the counter."""
+        if self._started:
+            raise RecorderError("recorder already started")
+        self.loaded = self.program.image.load(self._aslr_seed())
+        self.log = SharedLog.create(
+            self.capacity,
+            pid=self.pid,
+            profiler_addr=self.loaded.profiler_addr,
+            version=self.version,
+        )
+        self._start_counter()
+        self.hooks = self._make_hooks()
+        self.program.hooks.arm(self.hooks, self.loaded.offset)
+        self.log.set_active(True)
+        self._started = True
+
+    def stop(self):
+        """Stop recording and detach from the application."""
+        if not self._started:
+            raise RecorderError("recorder not started")
+        self.log.set_active(False)
+        self.program.hooks.disarm()
+        self._stop_counter()
+        self.log._store_tail()
+        self._started = False
+
+    def pause(self):
+        """Dynamically deactivate tracing (flags stay writable while
+        the application runs — §II-B)."""
+        self._require_started()
+        self.log.set_active(False)
+
+    def resume(self):
+        """Re-activate tracing."""
+        self._require_started()
+        self.log.set_active(True)
+
+    def persist(self, path):
+        """Write the entire log to persistent storage for the analyzer."""
+        if self.log is None:
+            raise RecorderError("nothing recorded yet")
+        self.log.dump(path)
+
+    def events_recorded(self):
+        return len(self.log) if self.log is not None else 0
+
+    def events_dropped(self):
+        return self.log.dropped if self.log is not None else 0
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        if self._started:
+            self.stop()
+        return False
+
+    def _require_started(self):
+        if not self._started:
+            raise RecorderError("recorder not started")
+
+    def _aslr_seed(self):
+        return 1
+
+    def _start_counter(self):
+        raise NotImplementedError
+
+    def _stop_counter(self):
+        raise NotImplementedError
+
+    def _make_hooks(self):
+        raise NotImplementedError
+
+
+class Recorder(_RecorderBase):
+    """Simulation-mode recorder: virtual counter, per-event cycle cost.
+
+    Parameters
+    ----------
+    machine, env:
+        The simulated machine and the environment the application runs
+        in; the per-event instrumentation cost comes from the
+        environment's platform (it is higher inside an enclave, where
+        the entry write crosses to untrusted memory).
+    """
+
+    def __init__(
+        self,
+        machine,
+        env,
+        program,
+        capacity=DEFAULT_CAPACITY,
+        pid=DEFAULT_PID,
+        counter=None,
+        aslr_seed=1,
+        version=VERSION,
+    ):
+        super().__init__(program, capacity, pid, version)
+        self.machine = machine
+        self.env = env
+        self.counter = counter or VirtualCounter(machine)
+        self._seed = aslr_seed
+
+    def _aslr_seed(self):
+        return self._seed
+
+    def _start_counter(self):
+        self.counter.start()
+
+    def _stop_counter(self):
+        self.counter.stop()
+
+    def _make_hooks(self):
+        return SimHooks(
+            self.log,
+            self.counter,
+            self.machine,
+            self.env.costs.instrument_event_cycles,
+        )
+
+
+class LiveRecorder(_RecorderBase):
+    """Live-mode recorder for real Python programs.
+
+    While recording, the interpreter's thread-switch interval is
+    lowered so the software-counter thread is scheduled often enough to
+    give the counter useful resolution despite the GIL; the previous
+    interval is restored at stop.
+    """
+
+    SWITCH_INTERVAL = 0.0005
+
+    def __init__(
+        self,
+        program,
+        capacity=DEFAULT_CAPACITY,
+        pid=DEFAULT_PID,
+        counter=None,
+        version=VERSION,
+    ):
+        super().__init__(program, capacity, pid, version)
+        self.counter = counter or ThreadCounter()
+        self._saved_interval = None
+
+    def _start_counter(self):
+        import sys
+
+        self._saved_interval = sys.getswitchinterval()
+        sys.setswitchinterval(self.SWITCH_INTERVAL)
+        self.counter.start()
+
+    def _stop_counter(self):
+        import sys
+
+        self.counter.stop()
+        if self._saved_interval is not None:
+            sys.setswitchinterval(self._saved_interval)
+            self._saved_interval = None
+
+    def _make_hooks(self):
+        return LiveHooks(self.log, self.counter)

@@ -1,0 +1,24 @@
+"""A Fex-style evaluation harness.
+
+The paper runs all measurements through Fex (Oleksenko et al.,
+DSN'17) and reports "the geometric mean over 10 runs across all
+benchmarks".  This package provides the same methodology: repeated
+measurements, geometric-mean aggregation, and uniform table/series
+output used by every benchmark in ``benchmarks/``.
+"""
+
+from repro.fex.experiment import (
+    Experiment,
+    Measurement,
+    ResultTable,
+    geomean,
+    repeat,
+)
+
+__all__ = [
+    "Experiment",
+    "Measurement",
+    "ResultTable",
+    "geomean",
+    "repeat",
+]

@@ -1,0 +1,144 @@
+"""Repeated measurements, geometric means, result tables."""
+
+import math
+
+from repro.frame import Frame
+
+
+def geomean(values):
+    """Geometric mean; the paper's aggregate for cross-benchmark means."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geomean needs positive values: {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class Measurement:
+    """A set of repeated observations of one quantity."""
+
+    def __init__(self, values):
+        self.values = list(values)
+        if not self.values:
+            raise ValueError("empty measurement")
+
+    @property
+    def geomean(self):
+        return geomean(self.values)
+
+    @property
+    def mean(self):
+        return sum(self.values) / len(self.values)
+
+    @property
+    def min(self):
+        return min(self.values)
+
+    @property
+    def max(self):
+        return max(self.values)
+
+    @property
+    def spread(self):
+        """Relative spread (max-min)/geomean — a quick stability check."""
+        return (self.max - self.min) / self.geomean
+
+    def __repr__(self):
+        return (
+            f"Measurement(n={len(self.values)}, geomean={self.geomean:.4g}, "
+            f"spread={self.spread:.2%})"
+        )
+
+
+def repeat(fn, runs=10):
+    """Run ``fn`` `runs` times; returns a :class:`Measurement` of its
+    returned values.  `fn` receives the run index."""
+    if runs < 1:
+        raise ValueError(f"need at least one run: {runs}")
+    return Measurement([fn(i) for i in range(runs)])
+
+
+class Experiment:
+    """A named experiment accumulating one measurement per variant."""
+
+    def __init__(self, name, runs=10):
+        self.name = name
+        self.runs = runs
+        self.results = {}
+
+    def measure(self, variant, fn):
+        """Measure one variant; `fn(run_index)` returns the metric."""
+        measurement = repeat(fn, self.runs)
+        self.results[variant] = measurement
+        return measurement
+
+    def geomeans(self):
+        return {v: m.geomean for v, m in self.results.items()}
+
+    def ratio(self, numerator, denominator):
+        """Geomean ratio between two variants."""
+        return (
+            self.results[numerator].geomean
+            / self.results[denominator].geomean
+        )
+
+    def __repr__(self):
+        return f"Experiment({self.name!r}, {len(self.results)} variants)"
+
+
+class ResultTable:
+    """Uniform text output for benchmark rows (paper-table style)."""
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = list(columns)
+        self._rows = []
+
+    def add_row(self, *values, **named):
+        if values and named:
+            raise ValueError("pass positional or named values, not both")
+        if named:
+            values = [named.get(c) for c in self.columns]
+        values = list(values)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self._rows.append(values)
+
+    def to_frame(self):
+        return Frame(
+            {
+                name: [row[i] for row in self._rows]
+                for i, name in enumerate(self.columns)
+            }
+        )
+
+    def render(self):
+        cells = [self.columns] + [
+            [_fmt(v) for v in row] for row in self._rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells)
+            for i in range(len(self.columns))
+        ]
+        bar = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, bar]
+        for row in cells:
+            lines.append(
+                "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:,.3f}" if value < 1000 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,12 @@
+"""A tiny column-oriented dataframe.
+
+The paper's analyzer exposes its results through "the declarative
+Pandas API".  Pandas is not available in this offline environment, so
+this package provides the small, well-tested subset the query interface
+needs: selection, filtering, sorting, group-by/aggregate, and pretty
+printing.  The API shape intentionally mirrors pandas where it can.
+"""
+
+from repro.frame.frame import Frame, FrameError
+
+__all__ = ["Frame", "FrameError"]

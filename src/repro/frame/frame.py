@@ -1,0 +1,252 @@
+"""The Frame: a small, immutable, column-oriented table."""
+
+
+class FrameError(ValueError):
+    """A frame was constructed or queried inconsistently."""
+
+
+class Frame:
+    """Columns of equal length with pandas-flavoured operations.
+
+    All operations return new frames; nothing mutates in place.
+    """
+
+    def __init__(self, columns):
+        if not isinstance(columns, dict):
+            raise FrameError(f"columns must be a dict, got {type(columns)}")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise FrameError(f"ragged columns: {lengths}")
+        self._columns = {name: list(values) for name, values in columns.items()}
+        self._length = next(iter(lengths.values()), 0)
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def from_records(cls, records, columns=None):
+        """Build a frame from dicts; `columns` fixes order/selection."""
+        records = list(records)
+        if columns is None:
+            columns = []
+            for record in records:
+                for key in record:
+                    if key not in columns:
+                        columns.append(key)
+        data = {name: [r.get(name) for r in records] for name in columns}
+        return cls(data)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def columns(self):
+        return list(self._columns)
+
+    def __len__(self):
+        return self._length
+
+    def __contains__(self, name):
+        return name in self._columns
+
+    def column(self, name):
+        """The values of one column (a copy)."""
+        self._check(name)
+        return list(self._columns[name])
+
+    def __getitem__(self, name):
+        return self.column(name)
+
+    def row(self, index):
+        """Row `index` as a dict."""
+        if not -self._length <= index < self._length:
+            raise IndexError(f"row {index} out of {self._length}")
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def rows(self):
+        """Iterate rows as dicts."""
+        for i in range(self._length):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    # Relational operations
+
+    def select(self, *names):
+        for name in names:
+            self._check(name)
+        return Frame({name: self._columns[name] for name in names})
+
+    def filter(self, predicate=None, **equals):
+        """Keep rows where `predicate(row)` is true and/or columns
+        equal the given keyword values (``filter(thread=3)``)."""
+        for name in equals:
+            self._check(name)
+
+        def keep(row):
+            if predicate is not None and not predicate(row):
+                return False
+            return all(row[name] == value for name, value in equals.items())
+
+        return Frame.from_records(
+            (row for row in self.rows() if keep(row)), self.columns
+        )
+
+    def sort(self, by, reverse=False):
+        """Rows ordered by column `by` (stable)."""
+        self._check(by)
+        order = sorted(
+            range(self._length),
+            key=lambda i: self._columns[by][i],
+            reverse=reverse,
+        )
+        return Frame(
+            {
+                name: [values[i] for i in order]
+                for name, values in self._columns.items()
+            }
+        )
+
+    def head(self, n=10):
+        return Frame(
+            {name: values[:n] for name, values in self._columns.items()}
+        )
+
+    def with_column(self, name, values_or_fn):
+        """A frame with one extra/replaced column; callables receive
+        each row and compute the value."""
+        if callable(values_or_fn):
+            values = [values_or_fn(row) for row in self.rows()]
+        else:
+            values = list(values_or_fn)
+            if len(values) != self._length:
+                raise FrameError(
+                    f"column {name!r} has {len(values)} values, "
+                    f"frame has {self._length} rows"
+                )
+        columns = dict(self._columns)
+        columns[name] = values
+        return Frame(columns)
+
+    def groupby(self, *keys):
+        for key in keys:
+            self._check(key)
+        return GroupBy(self, keys)
+
+    def unique(self, name):
+        """Distinct values of a column, in first-seen order."""
+        self._check(name)
+        seen, out = set(), []
+        for value in self._columns[name]:
+            if value not in seen:
+                seen.add(value)
+                out.append(value)
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+
+    def sum(self, name):
+        return sum(self.column(name))
+
+    def mean(self, name):
+        if not self._length:
+            raise FrameError("mean of empty frame")
+        return self.sum(name) / self._length
+
+    def min(self, name):
+        return min(self.column(name))
+
+    def max(self, name):
+        return max(self.column(name))
+
+    # ------------------------------------------------------------------
+    # Output
+
+    def to_csv(self):
+        """The frame as CSV text."""
+        def cell(value):
+            text = "" if value is None else str(value)
+            if any(ch in text for ch in ",\"\n"):
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(self.columns)]
+        for row in self.rows():
+            lines.append(",".join(cell(row[name]) for name in self.columns))
+        return "\n".join(lines) + "\n"
+
+    def __str__(self):
+        if not self._columns:
+            return "<empty frame>"
+        shown = min(self._length, 30)
+        cells = [self.columns]
+        for i in range(shown):
+            cells.append(
+                [_fmt(self._columns[name][i]) for name in self.columns]
+            )
+        widths = [
+            max(len(row[c]) for row in cells) for c in range(len(self.columns))
+        ]
+        lines = [
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            for row in cells
+        ]
+        if shown < self._length:
+            lines.append(f"... {self._length - shown} more rows")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Frame({self._length} rows x {len(self.columns)} columns)"
+
+    def _check(self, name):
+        if name not in self._columns:
+            raise FrameError(
+                f"no column {name!r}; have {list(self._columns)}"
+            )
+
+
+class GroupBy:
+    """Deferred group-by: created by :meth:`Frame.groupby`."""
+
+    def __init__(self, frame, keys):
+        self._frame = frame
+        self._keys = keys
+        self._groups = {}
+        for row in frame.rows():
+            key = tuple(row[k] for k in keys)
+            self._groups.setdefault(key, []).append(row)
+
+    def count(self, name="count"):
+        """One row per group with the group size."""
+        return self._build({name: len})
+
+    def agg(self, **aggregations):
+        """Aggregate columns per group.
+
+        Each keyword maps an output column to ``(input_column, fn)``
+        where fn reduces a list of values (``sum``, ``max``, ...).
+        """
+        def reducer(spec):
+            column, fn = spec
+            return lambda rows: fn([r[column] for r in rows])
+
+        return self._build(
+            {out: reducer(spec) for out, spec in aggregations.items()}
+        )
+
+    def _build(self, reducers):
+        records = []
+        for key, rows in self._groups.items():
+            record = dict(zip(self._keys, key))
+            for out, fn in reducers.items():
+                record[out] = fn(rows)
+            records.append(record)
+        return Frame.from_records(
+            records, list(self._keys) + list(reducers)
+        )
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,53 @@
+"""An LSM key-value store and db_bench driver (the RocksDB substrate).
+
+The paper's Figure 5 profiles RocksDB's db_bench (random read/write,
+80 % reads) with TEE-Perf inside SGX and finds the time sunk into
+``rocksdb::Stats::Now()`` and ``rocksdb::RandomGenerator``.  This
+package rebuilds that whole stack: skip-list memtable, write-ahead log,
+bloom-filtered block-based SSTables, leveled compaction, a versioned
+read path, RocksDB-style statistics and the db_bench tool — with method
+symbols matching the frames of the paper's flame graph.
+"""
+
+from repro.kvstore.bloom import BloomFilter, fnv1a
+from repro.kvstore.compaction import Compactor
+from repro.kvstore.db import DB, Snapshot, WriteBatch
+from repro.kvstore.db_bench import DbBench, ThreadState
+from repro.kvstore.entry import Entry, TYPE_DELETE, TYPE_PUT
+from repro.kvstore.iterator import (
+    latest_visible,
+    merge_entries,
+    newest_versions,
+    visible_versions,
+)
+from repro.kvstore.memtable import MemTable
+from repro.kvstore.random_gen import Random, RandomGenerator
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.stats import Statistics, Stats
+from repro.kvstore.wal import WalCorruption, WriteAheadLog
+
+__all__ = [
+    "BloomFilter",
+    "Compactor",
+    "DB",
+    "DbBench",
+    "Entry",
+    "MemTable",
+    "Random",
+    "RandomGenerator",
+    "SSTable",
+    "Snapshot",
+    "Statistics",
+    "Stats",
+    "ThreadState",
+    "TYPE_DELETE",
+    "TYPE_PUT",
+    "WalCorruption",
+    "WriteBatch",
+    "WriteAheadLog",
+    "fnv1a",
+    "latest_visible",
+    "merge_entries",
+    "newest_versions",
+    "visible_versions",
+]

@@ -1,0 +1,82 @@
+"""A Bloom filter, as used by RocksDB's block-based tables.
+
+Real implementation: double hashing over a bit array, with the usual
+``k = m/n * ln 2`` choice of probe count.  The false-positive behaviour
+is exercised by property tests; the DB uses one filter per SSTable to
+skip tables that cannot contain a key.
+"""
+
+import math
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = (1 << 64) - 1
+
+
+def fnv1a(data, seed=0):
+    """64-bit FNV-1a; cheap, deterministic, and good enough here."""
+    value = (_FNV_OFFSET ^ seed) & _MASK
+    for byte in data:
+        value = ((value ^ byte) * _FNV_PRIME) & _MASK
+    return value
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over byte-string keys."""
+
+    def __init__(self, n_keys, bits_per_key=10):
+        if n_keys < 0:
+            raise ValueError(f"negative key count: {n_keys}")
+        self.bits = max(64, n_keys * bits_per_key)
+        self.k = max(1, min(30, round(bits_per_key * math.log(2))))
+        self._array = bytearray((self.bits + 7) // 8)
+        self.added = 0
+
+    def add(self, key):
+        h1 = fnv1a(key)
+        h2 = fnv1a(key, seed=h1) | 1
+        for i in range(self.k):
+            bit = (h1 + i * h2) % self.bits
+            self._array[bit >> 3] |= 1 << (bit & 7)
+        self.added += 1
+
+    def may_contain(self, key):
+        """False means *definitely absent*; True means maybe."""
+        h1 = fnv1a(key)
+        h2 = fnv1a(key, seed=h1) | 1
+        for i in range(self.k):
+            bit = (h1 + i * h2) % self.bits
+            if not self._array[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    def to_bytes(self):
+        """Serialise the filter (SSTable on-disk format)."""
+        import struct
+
+        return struct.pack("<QHI", self.bits, self.k, self.added) + bytes(
+            self._array
+        )
+
+    @classmethod
+    def from_bytes(cls, data):
+        """Rebuild a filter serialised with :meth:`to_bytes`."""
+        import struct
+
+        bits, k, added = struct.unpack_from("<QHI", data, 0)
+        filt = cls.__new__(cls)
+        filt.bits = bits
+        filt.k = k
+        filt.added = added
+        filt._array = bytearray(data[14:])
+        if len(filt._array) != (bits + 7) // 8:
+            raise ValueError("bloom filter payload truncated")
+        return filt
+
+    def fill_ratio(self):
+        """Fraction of set bits (saturation diagnostic)."""
+        set_bits = sum(bin(b).count("1") for b in self._array)
+        return set_bits / self.bits
+
+    def __len__(self):
+        return self.added

@@ -1,0 +1,104 @@
+"""Leveled compaction.
+
+L0 tables come straight from memtable flushes and may overlap; deeper
+levels are sorted runs of non-overlapping tables.  When L0 grows past
+its trigger, all of L0 plus the overlapping part of L1 merge into new
+L1 tables; when a level exceeds its byte budget, it spills into the
+next level the same way.  Compaction keeps only the newest version per
+key and drops tombstones once they reach the bottom level.
+"""
+
+from repro.core import symbol
+from repro.kvstore.iterator import merge_entries, visible_versions
+from repro.kvstore.sstable import SSTable
+
+L0_COMPACTION_TRIGGER = 4
+LEVEL_SIZE_MULTIPLIER = 10
+BASE_LEVEL_BYTES = 256 * 1024
+TARGET_TABLE_BYTES = 64 * 1024
+MAX_LEVELS = 7
+
+
+class Compactor:
+    """Owns the level structure mutation (the DB holds the lock)."""
+
+    def __init__(self, env):
+        self.env = env
+        self.compactions = 0
+        self.bytes_compacted = 0
+
+    def level_budget(self, level):
+        return BASE_LEVEL_BYTES * LEVEL_SIZE_MULTIPLIER ** (level - 1)
+
+    @symbol("rocksdb::DBImpl::BackgroundCompaction()")
+    def maybe_compact(self, levels, next_number, protected_seqs=()):
+        """Run compactions until the shape invariants hold again.
+
+        `levels[0]` is L0 (newest table first).  `protected_seqs` are
+        live snapshots whose visible versions must survive.  Returns
+        the next table number.
+        """
+        while True:
+            if len(levels[0]) >= L0_COMPACTION_TRIGGER:
+                next_number = self.compact_level(
+                    levels, 0, next_number, protected_seqs
+                )
+                continue
+            for level in range(1, len(levels) - 1):
+                size = sum(t.bytes for t in levels[level])
+                if size > self.level_budget(level):
+                    next_number = self.compact_level(
+                        levels, level, next_number, protected_seqs
+                    )
+                    break
+            else:
+                return next_number
+
+    @symbol("rocksdb::DBImpl::CompactRange()")
+    def compact_level(self, levels, level, next_number, protected_seqs=()):
+        """Merge `level` (all of it for L0) into level+1."""
+        upper = list(levels[level])
+        if not upper:
+            return next_number
+        smallest = min(t.smallest for t in upper)
+        largest = max(t.largest for t in upper)
+        lower = [
+            t for t in levels[level + 1] if t.overlaps(smallest, largest)
+        ]
+        keep = [t for t in levels[level + 1] if not t.overlaps(smallest, largest)]
+        # Newest first: L0 tables are already newest-first, then L1.
+        merged = merge_entries(upper + lower)
+        is_bottom = level + 1 == len(levels) - 1 or not any(
+            levels[i] for i in range(level + 2, len(levels))
+        )
+        survivors = visible_versions(
+            merged,
+            protected_seqs=protected_seqs,
+            drop_tombstones=is_bottom,
+        )
+        new_tables, next_number = self._build_tables(survivors, next_number)
+        levels[level] = []
+        levels[level + 1] = sorted(keep + new_tables, key=lambda t: t.smallest)
+        self.compactions += 1
+        moved = sum(t.bytes for t in upper + lower)
+        self.bytes_compacted += moved
+        # Compaction is a streaming merge: sequential read + write.
+        self.env.mem_read(moved)
+        self.env.mem_write(moved)
+        self.env.compute(sum(len(t) for t in upper + lower) * 60)
+        return next_number
+
+    def _build_tables(self, entries, next_number):
+        tables = []
+        batch, batch_bytes = [], 0
+        for entry in entries:
+            batch.append(entry)
+            batch_bytes += entry.size()
+            if batch_bytes >= TARGET_TABLE_BYTES:
+                tables.append(SSTable(batch, next_number))
+                next_number += 1
+                batch, batch_bytes = [], 0
+        if batch:
+            tables.append(SSTable(batch, next_number))
+            next_number += 1
+        return tables, next_number

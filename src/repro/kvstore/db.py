@@ -1,0 +1,313 @@
+"""The LSM key-value store: RocksDB's architecture in miniature.
+
+Write path: WAL append -> memtable insert; a full memtable flushes to
+an L0 SSTable and leveled compaction keeps the tree shaped.  Read path:
+memtable -> immutable memtable -> L0 (newest first) -> deeper levels,
+with Bloom filters skipping tables.  A single DB mutex serialises
+writers (as RocksDB's does); reads are lock-free.
+
+Method symbols mirror the RocksDB frames of the paper's Figure 5 so a
+TEE-Perf flame graph of db_bench reads like the original.
+"""
+
+from repro.core import symbol
+from repro.kvstore.compaction import MAX_LEVELS, Compactor
+from repro.kvstore.entry import Entry, TYPE_DELETE, TYPE_PUT
+from repro.kvstore.iterator import latest_visible, merge_entries
+from repro.kvstore.memtable import MemTable
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.stats import Statistics
+from repro.kvstore.wal import WriteAheadLog
+from repro.machine import SimLock
+
+DEFAULT_MEMTABLE_BYTES = 64 * 1024
+
+
+class WriteBatch:
+    """An atomic group of writes, applied in one mutex acquisition.
+
+    Build the batch without touching the DB, then ``db.write(batch)``:
+    all operations receive consecutive sequence numbers under one lock,
+    so readers observe either none or all of them (per key), and the
+    WAL carries the batch contiguously.
+    """
+
+    def __init__(self):
+        self._ops = []
+
+    def put(self, key, value):
+        self._ops.append((TYPE_PUT, key, value))
+        return self
+
+    def delete(self, key):
+        self._ops.append((TYPE_DELETE, key, b""))
+        return self
+
+    def clear(self):
+        self._ops.clear()
+
+    def __len__(self):
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops)
+
+
+class Snapshot:
+    """A pinned sequence number: reads through it see the DB as it was
+    when :meth:`DB.snapshot` was called."""
+
+    def __init__(self, db, seq):
+        self._db = db
+        self.seq = seq
+        self.released = False
+
+    def release(self):
+        if not self.released:
+            self._db._release_snapshot(self)
+            self.released = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def __repr__(self):
+        state = "released" if self.released else "live"
+        return f"Snapshot(seq={self.seq}, {state})"
+
+# Cycle prices of the pure-CPU parts of each operation (the skip-list
+# probe chain, key comparisons, seqno bookkeeping).
+MEMTABLE_ADD_CYCLES = 420.0
+MEMTABLE_GET_CYCLES = 380.0
+TABLE_GET_CYCLES = 520.0
+BLOOM_CHECK_CYCLES = 90.0
+
+
+class DB:
+    """An LSM store bound to one simulated environment."""
+
+    def __init__(self, env, memtable_bytes=DEFAULT_MEMTABLE_BYTES, seed=0):
+        self.env = env
+        self.memtable_bytes = memtable_bytes
+        self.seed = seed
+        self.stats = Statistics(env)
+        self.wal = WriteAheadLog(env)
+        self.mem = MemTable(seed)
+        self.imm = None  # immutable memtable being flushed
+        self.levels = [[] for _ in range(MAX_LEVELS)]
+        self.compactor = Compactor(env)
+        self.mutex = SimLock(name="db-mutex")
+        self.seq = 0
+        self.next_table_number = 1
+        self._snapshots = []
+        self.env.alloc(memtable_bytes)
+
+    # ------------------------------------------------------------------
+    # Write path
+
+    @symbol("rocksdb::DB::Put(rocksdb::WriteOptions*)")
+    def put(self, key, value):
+        self._write(Entry.put(key, 0, value))
+        self.stats.record_tick("keys.written")
+
+    @symbol("rocksdb::DB::Delete(rocksdb::WriteOptions*)")
+    def delete(self, key):
+        self._write(Entry.delete(key, 0))
+        self.stats.record_tick("keys.deleted")
+
+    @symbol("rocksdb::DB::Write(rocksdb::WriteBatch*)")
+    def write(self, batch):
+        """Apply a :class:`WriteBatch` atomically."""
+        with self.mutex:
+            for type_, key, value in batch:
+                self.seq += 1
+                self.write_batch(Entry(key, self.seq, type_, value))
+            if self.mem.bytes >= self.memtable_bytes:
+                self.flush_memtable()
+
+    def _write(self, entry):
+        with self.mutex:
+            self.seq += 1
+            entry = Entry(entry.key, self.seq, entry.type, entry.value)
+            self.write_batch(entry)
+            if self.mem.bytes >= self.memtable_bytes:
+                self.flush_memtable()
+
+    @symbol("rocksdb::DBImpl::Write(rocksdb::WriteBatch*)")
+    def write_batch(self, entry):
+        self.wal.add_record(entry)
+        self.stats.record_tick("wal.bytes", entry.size())
+        self.memtable_add(entry)
+
+    @symbol("rocksdb::MemTable::Add()")
+    def memtable_add(self, entry):
+        self.env.compute(MEMTABLE_ADD_CYCLES)
+        self.env.mem_write(entry.size(), random=True)
+        self.mem.add(entry)
+
+    @symbol("rocksdb::DBImpl::FlushMemTable()")
+    def flush_memtable(self):
+        """Freeze the memtable and write it out as an L0 table."""
+        if not len(self.mem):
+            return
+        self.imm = self.mem
+        self.mem = MemTable(self.seed + self.next_table_number)
+        table = SSTable(list(self.imm), self.next_table_number)
+        self.next_table_number += 1
+        self.env.mem_read(table.bytes)
+        self.env.syscall("write", extra_cycles=table.bytes * 0.4)
+        self.levels[0].insert(0, table)  # newest first
+        self.imm = None
+        self.wal.truncate()
+        self.stats.record_tick("memtable.flush")
+        before = self.compactor.compactions
+        self.next_table_number = self.compactor.maybe_compact(
+            self.levels,
+            self.next_table_number,
+            protected_seqs=tuple(s.seq for s in self._snapshots),
+        )
+        if self.compactor.compactions != before:
+            self.stats.record_tick(
+                "compaction.run", self.compactor.compactions - before
+            )
+
+    # ------------------------------------------------------------------
+    # Read path
+
+    @symbol("rocksdb::DB::Get(rocksdb::ReadOptions*)")
+    def get(self, key, snapshot=None):
+        value = self.get_impl(key, snapshot)
+        self.stats.record_tick("keys.read")
+        self.stats.record_tick("get.hit" if value is not None else "get.miss")
+        return value
+
+    @symbol("rocksdb::DBImpl::GetImpl(rocksdb::ReadOptions*)")
+    def get_impl(self, key, snapshot=None):
+        max_seq = snapshot.seq if snapshot is not None else None
+        entry = self.memtable_get(self.mem, key, max_seq)
+        if entry is None and self.imm is not None:
+            entry = self.memtable_get(self.imm, key, max_seq)
+        if entry is None:
+            entry = self.table_get(key, max_seq)
+        if entry is None or entry.is_tombstone:
+            return None
+        return entry.value
+
+    @symbol("rocksdb::MemTable::Get()")
+    def memtable_get(self, memtable, key, max_seq=None):
+        self.env.compute(MEMTABLE_GET_CYCLES)
+        self.env.mem_read(64, random=True)
+        return memtable.get(key, max_seq)
+
+    @symbol("rocksdb::TableCache::Get()")
+    def table_get(self, key, max_seq=None):
+        for table in self.levels[0]:
+            entry = self._probe(table, key, max_seq)
+            if entry is not None:
+                return entry
+        for level in self.levels[1:]:
+            for table in level:
+                if table.smallest <= key <= table.largest:
+                    entry = self._probe(table, key, max_seq)
+                    if entry is not None:
+                        return entry
+                    break  # non-overlapping: only one candidate per level
+        return None
+
+    def _probe(self, table, key, max_seq=None):
+        self.env.compute(BLOOM_CHECK_CYCLES)
+        if not table.may_contain(key):
+            self.stats.record_tick("bloom.useful")
+            return None
+        self.env.compute(TABLE_GET_CYCLES)
+        self.env.mem_read(4096, random=True)  # one block
+        return table.get(key, max_seq)
+
+    # ------------------------------------------------------------------
+    # Scans
+
+    @symbol("rocksdb::DB::NewIterator(rocksdb::ReadOptions*)")
+    def scan(self, start=None, end=None, snapshot=None):
+        """All live (key, value) pairs in [start, end), key-ordered."""
+        sources = [self.mem]
+        if self.imm is not None:
+            sources.append(self.imm)
+        sources.extend(self.levels[0])
+        for level in self.levels[1:]:
+            sources.extend(level)
+        max_seq = snapshot.seq if snapshot is not None else None
+        out = []
+        for key, value in latest_visible(merge_entries(sources), max_seq):
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                break
+            self.env.compute(120)
+            out.append((key, value))
+        return out
+
+    # ------------------------------------------------------------------
+    # Snapshots
+
+    @symbol("rocksdb::DB::GetSnapshot()")
+    def snapshot(self):
+        """A consistent point-in-time view; release when done so
+        compaction can reclaim the versions it pins."""
+        snap = Snapshot(self, self.seq)
+        self._snapshots.append(snap)
+        return snap
+
+    def _release_snapshot(self, snap):
+        if snap in self._snapshots:
+            self._snapshots.remove(snap)
+
+    @symbol("rocksdb::DB::CompactRange()")
+    def compact_range(self):
+        """Force a full manual compaction (flush + merge everything)."""
+        with self.mutex:
+            self.flush_memtable()
+            for level in range(len(self.levels) - 1):
+                if self.levels[level]:
+                    self.next_table_number = self.compactor.compact_level(
+                        self.levels,
+                        level,
+                        self.next_table_number,
+                        protected_seqs=tuple(
+                            s.seq for s in self._snapshots
+                        ),
+                    )
+
+    # ------------------------------------------------------------------
+    # Recovery
+
+    def crash(self):
+        """Simulate a crash: lose the memtable, keep WAL + tables."""
+        survivor = DB.__new__(DB)
+        survivor.__dict__.update(self.__dict__)
+        survivor.mem = MemTable(self.seed + 1000)
+        survivor.imm = None
+        survivor.mutex = SimLock(name="db-mutex")
+        return survivor
+
+    @symbol("rocksdb::DBImpl::Recover()")
+    def recover(self):
+        """Replay the WAL into the fresh memtable (startup path)."""
+        replayed = 0
+        for entry in self.wal.replay():
+            self.env.compute(MEMTABLE_ADD_CYCLES)
+            self.mem.add(entry)
+            self.seq = max(self.seq, entry.seq)
+            replayed += 1
+        return replayed
+
+    # ------------------------------------------------------------------
+
+    def table_count(self):
+        return sum(len(level) for level in self.levels)
+
+    def level_shape(self):
+        """Tables per level — tests assert the LSM invariants on this."""
+        return [len(level) for level in self.levels]

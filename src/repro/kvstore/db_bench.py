@@ -1,0 +1,177 @@
+"""db_bench: the RocksDB benchmark driver the paper evaluates with.
+
+Implements the workloads the evaluation uses — ``fillrandom`` to load
+the store and ``readrandomwriterandom`` with a configurable read
+percentage (the paper runs 80 % reads) — with the same thread/stat
+structure as the original: every benchmark thread gets a ThreadState,
+runs through ``StartThreadWrapper`` -> ``ThreadBody`` -> the benchmark
+method, stamps every operation through ``Stats``, and the per-thread
+stats merge into the final ops/s report.
+"""
+
+from repro.core import symbol
+from repro.kvstore.random_gen import DATA_BYTES, Random, RandomGenerator
+from repro.kvstore.stats import Stats
+
+DEFAULT_NUM_KEYS = 2_000
+DEFAULT_OPS_PER_THREAD = 1_500
+DEFAULT_THREADS = 4
+DEFAULT_VALUE_SIZE = 100
+DEFAULT_READ_PCT = 80
+
+
+class ThreadState:
+    """Per-benchmark-thread state, as in db_bench."""
+
+    def __init__(self, tid, env, seed):
+        self.tid = tid
+        self.rand = Random(1000 + seed + tid)
+        self.stats = Stats(env)
+
+
+class DbBench:
+    """The benchmark tool shipped with RocksDB, in miniature."""
+
+    def __init__(
+        self,
+        machine,
+        env,
+        db,
+        num_keys=DEFAULT_NUM_KEYS,
+        ops_per_thread=DEFAULT_OPS_PER_THREAD,
+        threads=DEFAULT_THREADS,
+        value_size=DEFAULT_VALUE_SIZE,
+        read_pct=DEFAULT_READ_PCT,
+        seed=0,
+        generator_bytes=None,
+    ):
+        if not 0 <= read_pct <= 100:
+            raise ValueError(f"read_pct must be 0..100: {read_pct}")
+        self.machine = machine
+        self.env = env
+        self.db = db
+        self.num_keys = num_keys
+        self.ops_per_thread = ops_per_thread
+        self.threads = threads
+        self.value_size = value_size
+        self.read_pct = read_pct
+        self.seed = seed
+        self.generator_bytes = generator_bytes
+        self.merged = Stats(env)
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, index):
+        return b"%016d" % index
+
+    @symbol("rocksdb::Benchmark::FillRandom(ThreadState*)")
+    def fill_random(self):
+        """Preload the store (the paper profiles only the mixed phase)."""
+        rand = Random(99 + self.seed)
+        gen = self._small_generator()
+        for _ in range(self.num_keys):
+            key = self.key_for(rand.uniform(self.num_keys))
+            self.db.put(key, gen.generate())
+
+    @symbol("rocksdb::Benchmark::FillSeq(ThreadState*)")
+    def fill_seq(self):
+        """Load every key once, in order (db_bench's fillseq)."""
+        gen = self._small_generator()
+        for index in range(self.num_keys):
+            self.db.put(self.key_for(index), gen.generate())
+
+    @symbol("rocksdb::Benchmark::ReadRandom(ThreadState*)")
+    def read_random(self, ops=None):
+        """Point reads of random keys; returns the hit count."""
+        rand = Random(171 + self.seed)
+        hits = 0
+        for _ in range(ops or self.ops_per_thread):
+            key = self.key_for(rand.uniform(self.num_keys))
+            if self.db.get(key) is not None:
+                hits += 1
+        return hits
+
+    @symbol("rocksdb::Benchmark::ReadSeq(ThreadState*)")
+    def read_seq(self):
+        """One full ordered scan; returns pairs visited."""
+        return len(self.db.scan())
+
+    @symbol("rocksdb::Benchmark::Overwrite(ThreadState*)")
+    def overwrite(self, ops=None):
+        """Random overwrites of existing keys."""
+        rand = Random(313 + self.seed)
+        gen = self._small_generator()
+        for _ in range(ops or self.ops_per_thread):
+            key = self.key_for(rand.uniform(self.num_keys))
+            self.db.put(key, gen.generate())
+
+    def _small_generator(self):
+        return RandomGenerator(
+            self.env,
+            rand=Random(7),
+            data_bytes=self.generator_bytes or (64 * 1024),
+            value_size=self.value_size,
+        )
+
+    @symbol("rocksdb::Benchmark::Run()")
+    def run(self):
+        """The mixed phase: N threads of ReadRandomWriteRandom."""
+        states = [
+            ThreadState(i, self.env, self.seed) for i in range(self.threads)
+        ]
+        threads = [
+            self.machine.spawn(
+                self.start_thread_wrapper, state, name=f"db_bench-{i}"
+            )
+            for i, state in enumerate(states)
+        ]
+        for thread in threads:
+            thread.join()
+        self.merged = Stats(self.env)
+        for state in states:
+            self.merged.merge(state.stats)
+        return self.merged
+
+    @symbol("rocksdb::StartThreadWrapper(void*)")
+    def start_thread_wrapper(self, state):
+        self.thread_body(state)
+
+    @symbol("rocksdb::Benchmark::ThreadBody(void*)")
+    def thread_body(self, state):
+        self.read_random_write_random(state)
+
+    @symbol("rocksdb::Benchmark::ReadRandomWriteRandom(ThreadState*)")
+    def read_random_write_random(self, state):
+        """The 80/20 mixed workload of the evaluation."""
+        gen = RandomGenerator(
+            self.env,
+            rand=Random(301 + state.tid),
+            data_bytes=self.generator_bytes or DATA_BYTES,
+            value_size=self.value_size,
+        )
+        state.stats.start()
+        reads = writes = 0
+        for _ in range(self.ops_per_thread):
+            key = self.key_for(state.rand.uniform(self.num_keys))
+            if state.rand.uniform(100) < self.read_pct:
+                self.db.get(key)
+                reads += 1
+            else:
+                self.db.put(key, gen.generate())
+                writes += 1
+            state.stats.finished_single_op()
+        state.stats.stop()
+        return reads, writes
+
+    # ------------------------------------------------------------------
+
+    def report(self):
+        ops = self.merged.done
+        elapsed = self.machine.clock.cycles_to_seconds(
+            self.machine.elapsed_cycles()
+        )
+        ops_s = ops / elapsed if elapsed else 0.0
+        return (
+            f"readrandomwriterandom: {ops} ops, {self.threads} threads, "
+            f"{self.read_pct}% reads, {ops_s:,.0f} ops/s"
+        )

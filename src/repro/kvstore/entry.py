@@ -1,0 +1,32 @@
+"""Versioned key-value entries shared by memtable, WAL and SSTables."""
+
+from dataclasses import dataclass
+
+TYPE_PUT = 1
+TYPE_DELETE = 0  # a tombstone
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One version of one key."""
+
+    key: bytes
+    seq: int
+    type: int
+    value: bytes = b""
+
+    @property
+    def is_tombstone(self):
+        return self.type == TYPE_DELETE
+
+    def size(self):
+        """Approximate in-memory footprint in bytes."""
+        return len(self.key) + len(self.value) + 16
+
+    @staticmethod
+    def put(key, seq, value):
+        return Entry(key, seq, TYPE_PUT, value)
+
+    @staticmethod
+    def delete(key, seq):
+        return Entry(key, seq, TYPE_DELETE)

@@ -1,0 +1,95 @@
+"""Merging iterators over versioned entry streams.
+
+``merge_entries`` is the k-way merge at the heart of both scans and
+compaction: sources are iterated in (key asc, seq desc) order and ties
+between sources are broken by source priority (lower index = newer
+source), so a memtable entry shadows an L0 entry, which shadows deeper
+levels.  ``latest_visible`` collapses the merged stream to what a user
+read sees: one newest version per key, tombstones filtered out.
+"""
+
+import heapq
+
+
+def merge_entries(sources):
+    """K-way merge of (key asc, seq desc)-ordered entry iterables.
+
+    `sources` are ordered newest-first; on exact (key, seq) ties the
+    newer source wins and the older duplicate is still yielded after it
+    (compaction decides what to drop).
+    """
+    heap = []
+    iterators = [iter(source) for source in sources]
+    for priority, iterator in enumerate(iterators):
+        entry = next(iterator, None)
+        if entry is not None:
+            heapq.heappush(heap, (entry.key, -entry.seq, priority, entry))
+    while heap:
+        _, _, priority, entry = heapq.heappop(heap)
+        yield entry
+        nxt = next(iterators[priority], None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt.key, -nxt.seq, priority, nxt))
+
+
+def latest_visible(entries, max_seq=None):
+    """Reduce a merged stream to user-visible (key, value) pairs."""
+    current_key = None
+    for entry in entries:
+        if max_seq is not None and entry.seq > max_seq:
+            continue
+        if entry.key == current_key:
+            continue  # an older, shadowed version
+        current_key = entry.key
+        if not entry.is_tombstone:
+            yield entry.key, entry.value
+
+
+def newest_versions(entries):
+    """Keep only the newest version per key (compaction's filter for
+    a full compaction, where history is no longer needed)."""
+    current_key = None
+    for entry in entries:
+        if entry.key == current_key:
+            continue
+        current_key = entry.key
+        yield entry
+
+
+def visible_versions(entries, protected_seqs=(), drop_tombstones=False):
+    """Compaction's snapshot-aware garbage collector.
+
+    Keeps, per key, the newest version plus the newest version visible
+    at each protected sequence number (a live snapshot), discarding
+    everything no snapshot can observe.  With `drop_tombstones` (bottom
+    level), a tombstone that is the *only* surviving version of its key
+    vanishes entirely — dropping it while older puts survive would
+    resurrect the key.
+    """
+    protected = sorted(set(protected_seqs), reverse=True)
+
+    def flush(kept):
+        if not kept:
+            return
+        if drop_tombstones and kept[0].is_tombstone and len(kept) == 1:
+            return
+        yield from kept
+
+    current_key = None
+    kept = []
+    for entry in entries:
+        if entry.key != current_key:
+            yield from flush(kept)
+            current_key = entry.key
+            kept = []
+            remaining = list(protected)
+            newest_taken = False
+        if not newest_taken:
+            kept.append(entry)
+            newest_taken = True
+            remaining = [s for s in remaining if s < entry.seq]
+            continue
+        if remaining and entry.seq <= remaining[0]:
+            kept.append(entry)
+            remaining = [s for s in remaining if s < entry.seq]
+    yield from flush(kept)

@@ -1,0 +1,115 @@
+"""The memtable: a skip list ordered by (key, descending sequence).
+
+RocksDB's default memtable is a concurrent skip list; ours is a real
+skip list (deterministic tower heights from a seeded RNG) ordered the
+same way: ascending key, then *descending* sequence number, so the
+newest version of a key is found first and iteration yields versions
+newest-first — exactly what the read path and compaction need.
+"""
+
+import random
+
+from repro.kvstore.entry import Entry
+
+MAX_HEIGHT = 12
+BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("entry", "next")
+
+    def __init__(self, entry, height):
+        self.entry = entry
+        self.next = [None] * height
+
+
+class MemTable:
+    """An in-memory, sorted, append-only version store."""
+
+    def __init__(self, seed=0):
+        self._head = _Node(None, MAX_HEIGHT)
+        self._rng = random.Random(seed)
+        self._height = 1
+        self.entries = 0
+        self.bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def add(self, entry):
+        """Insert one version.  Duplicate (key, seq) pairs are invalid."""
+        prev = self._find_predecessors(entry)
+        node_after = prev[0].next[0]
+        if node_after is not None and self._cmp(node_after.entry, entry) == 0:
+            raise ValueError(
+                f"duplicate version (key={entry.key!r}, seq={entry.seq})"
+            )
+        height = self._random_height()
+        if height > self._height:
+            self._height = height
+        node = _Node(entry, height)
+        for level in range(height):
+            node.next[level] = prev[level].next[level]
+            prev[level].next[level] = node
+        self.entries += 1
+        self.bytes += entry.size()
+
+    def get(self, key, max_seq=None):
+        """The newest version of `key` visible at `max_seq` (or None)."""
+        node = self._head
+        for level in reversed(range(self._height)):
+            while node.next[level] is not None and self._before(
+                node.next[level].entry, key, max_seq
+            ):
+                node = node.next[level]
+        candidate = node.next[0]
+        if candidate is not None and candidate.entry.key == key:
+            return candidate.entry
+        return None
+
+    def __iter__(self):
+        """All versions: ascending key, newest (highest seq) first."""
+        node = self._head.next[0]
+        while node is not None:
+            yield node.entry
+            node = node.next[0]
+
+    def __len__(self):
+        return self.entries
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _cmp(entry, other):
+        if entry.key != other.key:
+            return -1 if entry.key < other.key else 1
+        # Descending sequence: newer sorts first.
+        if entry.seq != other.seq:
+            return -1 if entry.seq > other.seq else 1
+        return 0
+
+    @staticmethod
+    def _before(entry, key, max_seq):
+        """True if `entry` orders strictly before the search target
+        (key, max_seq)."""
+        if entry.key != key:
+            return entry.key < key
+        if max_seq is None:
+            return False  # any version of `key` is a hit; stop before it
+        return entry.seq > max_seq
+
+    def _find_predecessors(self, entry):
+        prev = [self._head] * MAX_HEIGHT
+        node = self._head
+        for level in reversed(range(self._height)):
+            while node.next[level] is not None and self._cmp(
+                node.next[level].entry, entry
+            ) < 0:
+                node = node.next[level]
+            prev[level] = node
+        return prev
+
+    def _random_height(self):
+        height = 1
+        while height < MAX_HEIGHT and self._rng.randrange(BRANCHING) == 0:
+            height += 1
+        return height

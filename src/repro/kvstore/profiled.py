@@ -1,0 +1,65 @@
+"""Profiling db_bench with TEE-Perf: the Figure-5 driver.
+
+Compiles the whole RocksDB-style stack with the instrumenter, runs
+db_bench's fill phase with tracing *paused* (the paper profiles the
+mixed read/write phase, and dynamic de-/activation via the log's
+ACTIVE flag is exactly the mechanism §II-B provides for this), then
+records the 80 %-reads mixed phase and returns the analysis.
+"""
+
+from repro.core import TEEPerf
+from repro.kvstore.compaction import Compactor
+from repro.kvstore.db import DB
+from repro.kvstore.db_bench import DbBench
+from repro.kvstore.random_gen import RandomGenerator
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.stats import Statistics, Stats
+from repro.tee import SGX_V1
+
+ROCKSDB_CLASSES = (
+    DB,
+    DbBench,
+    Stats,
+    Statistics,
+    RandomGenerator,
+    SSTable,
+    Compactor,
+)
+
+
+def compile_rocksdb_stack(perf):
+    """Instrument every class of the store + benchmark (stage 1)."""
+    for cls in ROCKSDB_CLASSES:
+        perf.compile_class(cls)
+    return perf
+
+
+def profile_db_bench(
+    platform=SGX_V1,
+    cores=8,
+    capacity=1 << 21,
+    profile_fill=False,
+    **bench_params,
+):
+    """Run db_bench under TEE-Perf; returns (perf, bench, analysis).
+
+    Callers must ``perf.uninstrument()`` when done — the class patches
+    are process-global.
+    """
+    perf = TEEPerf.simulated(
+        platform=platform, cores=cores, capacity=capacity, name="db_bench"
+    )
+    compile_rocksdb_stack(perf)
+    db = DB(perf.env)
+    bench = DbBench(perf.machine, perf.env, db, **bench_params)
+
+    def entry():
+        if not profile_fill:
+            perf.pause()
+        bench.fill_random()
+        if not profile_fill:
+            perf.resume()
+        return bench.run()
+
+    perf.record(entry)
+    return perf, bench, perf.analyze()

@@ -1,0 +1,166 @@
+"""Immutable sorted-string tables (block-based, bloom-filtered).
+
+A flushed memtable becomes an SSTable: fixed-target data blocks, a
+sparse index (first key of each block), and a Bloom filter over the
+table's keys.  Lookups consult the filter, binary-search the index and
+scan one block — the RocksDB ``BlockBasedTable`` read path in
+miniature.
+"""
+
+import bisect
+import struct
+
+from repro.core import symbol
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.entry import Entry
+from repro.kvstore.memtable import MemTable
+
+BLOCK_TARGET_BYTES = 4096
+_MAGIC = b"TSST0001"
+_ENTRY_HEADER = struct.Struct("<HIQB")  # key_len, value_len, seq, type
+
+
+class SSTable:
+    """One immutable table, ordered (key asc, seq desc)."""
+
+    def __init__(self, entries, number, bits_per_key=10):
+        entries = list(entries)
+        if not entries:
+            raise ValueError("an SSTable needs at least one entry")
+        for prev, nxt in zip(entries, entries[1:]):
+            if MemTable._cmp(prev, nxt) >= 0:
+                raise ValueError(
+                    f"entries out of order: {prev.key!r} then {nxt.key!r}"
+                )
+        self.number = number
+        self._blocks = []
+        self._index = []  # first key of each block
+        block, block_bytes = [], 0
+        for entry in entries:
+            block.append(entry)
+            block_bytes += entry.size()
+            if block_bytes >= BLOCK_TARGET_BYTES:
+                self._push_block(block)
+                block, block_bytes = [], 0
+        if block:
+            self._push_block(block)
+        self.filter = BloomFilter(len(entries), bits_per_key)
+        for entry in entries:
+            self.filter.add(entry.key)
+        self.entry_count = len(entries)
+        self.smallest = entries[0].key
+        self.largest = entries[-1].key
+        self.bytes = sum(e.size() for e in entries)
+
+    def _push_block(self, block):
+        self._blocks.append(tuple(block))
+        self._index.append(block[0].key)
+
+    # ------------------------------------------------------------------
+
+    @symbol("rocksdb::FilterPolicy::KeyMayMatch()")
+    def may_contain(self, key):
+        return self.filter.may_contain(key)
+
+    @symbol("rocksdb::BlockBasedTable::Get()")
+    def get(self, key, max_seq=None):
+        """Newest version of `key` visible at `max_seq`, or None."""
+        if key < self.smallest or key > self.largest:
+            return None
+        if not self.may_contain(key):
+            return None
+        block_idx = bisect.bisect_right(self._index, key) - 1
+        if block_idx < 0:
+            return None
+        for entry in self._blocks[block_idx]:
+            if entry.key == key and (max_seq is None or entry.seq <= max_seq):
+                return entry
+            if entry.key > key:
+                break
+        return None
+
+    # ------------------------------------------------------------------
+    # On-disk format
+
+    def encode(self):
+        """Serialise the table: magic, metadata, bloom, data blocks."""
+        out = bytearray()
+        out += _MAGIC
+        out += struct.pack("<III", self.number, self.entry_count,
+                           len(self._blocks))
+        bloom = self.filter.to_bytes()
+        out += struct.pack("<I", len(bloom))
+        out += bloom
+        for block in self._blocks:
+            out += struct.pack("<I", len(block))
+            for entry in block:
+                out += _ENTRY_HEADER.pack(
+                    len(entry.key), len(entry.value), entry.seq, entry.type
+                )
+                out += entry.key
+                out += entry.value
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data):
+        """Rebuild a table serialised with :meth:`encode`."""
+        if data[:8] != _MAGIC:
+            raise ValueError("not an SSTable image (bad magic)")
+        number, entry_count, n_blocks = struct.unpack_from("<III", data, 8)
+        offset = 20
+        (bloom_len,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        bloom = BloomFilter.from_bytes(data[offset : offset + bloom_len])
+        offset += bloom_len
+        table = cls.__new__(cls)
+        table.number = number
+        table.entry_count = entry_count
+        table.filter = bloom
+        table._blocks = []
+        table._index = []
+        total_bytes = 0
+        for _ in range(n_blocks):
+            (count,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            block = []
+            for _ in range(count):
+                key_len, value_len, seq, type_ = _ENTRY_HEADER.unpack_from(
+                    data, offset
+                )
+                offset += _ENTRY_HEADER.size
+                key = bytes(data[offset : offset + key_len])
+                offset += key_len
+                value = bytes(data[offset : offset + value_len])
+                offset += value_len
+                entry = Entry(key, seq, type_, value)
+                block.append(entry)
+                total_bytes += entry.size()
+            table._blocks.append(tuple(block))
+            table._index.append(block[0].key)
+        if sum(len(b) for b in table._blocks) != entry_count:
+            raise ValueError("SSTable image truncated")
+        table.smallest = table._blocks[0][0].key
+        table.largest = table._blocks[-1][-1].key
+        table.bytes = total_bytes
+        return table
+
+    def overlaps(self, smallest, largest):
+        """True when the key ranges intersect."""
+        return not (self.largest < smallest or largest < self.smallest)
+
+    def block_count(self):
+        return len(self._blocks)
+
+    def __iter__(self):
+        for block in self._blocks:
+            yield from block
+
+    def __len__(self):
+        return self.entry_count
+
+    def __repr__(self):
+        return (
+            f"SSTable(#{self.number}, {self.entry_count} entries, "
+            f"{self.block_count()} blocks, "
+            f"[{self.smallest!r}..{self.largest!r}])"
+        )

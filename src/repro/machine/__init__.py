@@ -1,0 +1,58 @@
+"""Deterministic virtual-time machine.
+
+This package is the execution substrate for the whole reproduction.  It
+runs *simulated threads* (real Python threads under a fully serialised
+cooperative scheduler) against a virtual clock measured in CPU cycles.
+Exactly one simulated thread executes Python code at any moment; control
+changes hands only at *checkpoints* (locks, barriers, atomics, spawn,
+join), where the scheduler always resumes the runnable thread with the
+smallest local virtual time.  The result is a conservative discrete-event
+simulation: timings, lock-acquisition order and scheduling decisions are
+all deterministic, and shared Python state needs no extra locking.
+
+Typical use::
+
+    from repro.machine import Machine
+
+    machine = Machine(cores=8, freq_hz=3.6e9)
+
+    def worker(n):
+        machine.current().advance(1000 * n)
+        return n * n
+
+    def main():
+        threads = [machine.spawn(worker, i) for i in range(4)]
+        return [t.join() for t in threads]
+
+    result = machine.run(main)
+    print(machine.elapsed_seconds())
+"""
+
+from repro.machine.clock import VirtualClock
+from repro.machine.errors import (
+    DeadlockError,
+    MachineError,
+    SimThreadError,
+    TooManyThreadsError,
+)
+from repro.machine.machine import Machine, SimThread, current_thread
+from repro.machine.sync import SimAtomicU64, SimBarrier, SimEvent, SimLock
+from repro.machine.sync_extra import SimCondition, SimRWLock, SimSemaphore
+
+__all__ = [
+    "DeadlockError",
+    "Machine",
+    "MachineError",
+    "SimAtomicU64",
+    "SimBarrier",
+    "SimCondition",
+    "SimEvent",
+    "SimLock",
+    "SimRWLock",
+    "SimSemaphore",
+    "SimThread",
+    "SimThreadError",
+    "TooManyThreadsError",
+    "VirtualClock",
+    "current_thread",
+]

@@ -1,0 +1,41 @@
+"""Virtual clock arithmetic.
+
+All machine time is measured in CPU *cycles* (floats).  The clock knows
+the simulated core frequency, so callers can convert between cycles,
+seconds, and the quantised ticks of a software counter.
+"""
+
+DEFAULT_FREQ_HZ = 3.6e9  # the paper's Xeon E3-1270 v5 runs at 3.60 GHz
+
+
+class VirtualClock:
+    """Converts between cycles, seconds and counter ticks.
+
+    The clock itself holds no mutable "now"; each simulated thread keeps
+    its own local time and the scheduler orders events by it.  This
+    object is the unit system.
+    """
+
+    def __init__(self, freq_hz=DEFAULT_FREQ_HZ):
+        if freq_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {freq_hz}")
+        self.freq_hz = float(freq_hz)
+
+    def cycles_to_seconds(self, cycles):
+        """Convert a cycle count to seconds at the core frequency."""
+        return cycles / self.freq_hz
+
+    def seconds_to_cycles(self, seconds):
+        """Convert seconds to a cycle count at the core frequency."""
+        return seconds * self.freq_hz
+
+    def cycles_to_ns(self, cycles):
+        """Convert a cycle count to nanoseconds."""
+        return cycles * 1e9 / self.freq_hz
+
+    def ns_to_cycles(self, ns):
+        """Convert nanoseconds to a cycle count."""
+        return ns * self.freq_hz / 1e9
+
+    def __repr__(self):
+        return f"VirtualClock(freq_hz={self.freq_hz:.3e})"

@@ -1,0 +1,34 @@
+"""Errors raised by the virtual-time machine."""
+
+
+class MachineError(Exception):
+    """Base class for all machine-level failures."""
+
+
+class DeadlockError(MachineError):
+    """No runnable thread exists but unfinished threads remain.
+
+    Carries the list of blocked thread descriptions so tests and users
+    can see *what* every thread was waiting on.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = list(blocked)
+        detail = ", ".join(self.blocked) or "<none>"
+        super().__init__(f"deadlock: all live threads are blocked ({detail})")
+
+
+class SimThreadError(MachineError):
+    """A simulated thread raised; wraps the original exception."""
+
+    def __init__(self, thread_name, original):
+        self.thread_name = thread_name
+        self.original = original
+        super().__init__(
+            f"simulated thread {thread_name!r} raised "
+            f"{type(original).__name__}: {original}"
+        )
+
+
+class TooManyThreadsError(MachineError):
+    """The machine's thread budget was exceeded."""

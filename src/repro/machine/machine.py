@@ -1,0 +1,331 @@
+"""The machine: simulated threads under a deterministic scheduler.
+
+Simulated threads are real ``threading.Thread`` objects, but the machine
+serialises them completely: exactly one simulated thread executes Python
+code at a time, and control is handed over only at checkpoints.  The
+scheduler always resumes the runnable thread with the smallest local
+virtual time (ties broken by spawn order), which makes the simulation a
+conservative discrete-event execution — every run of the same program is
+bit-for-bit identical.
+"""
+
+import itertools
+import threading
+
+from repro.machine.clock import VirtualClock
+from repro.machine.errors import (
+    DeadlockError,
+    MachineError,
+    SimThreadError,
+    TooManyThreadsError,
+)
+
+# States of a simulated thread.
+NEW = "new"
+RUNNABLE = "runnable"
+RUNNING = "running"
+BLOCKED = "blocked"
+DONE = "done"
+
+# Default cost, in cycles, charged to a parent for spawning a thread
+# (roughly a pthread_create on the paper's testbed).
+DEFAULT_SPAWN_COST = 15_000.0
+
+_current = threading.local()
+
+
+def current_thread():
+    """Return the :class:`SimThread` executing the caller.
+
+    Raises :class:`MachineError` when called from outside a simulated
+    thread (e.g. from the host test process).
+    """
+    thread = getattr(_current, "thread", None)
+    if thread is None:
+        raise MachineError("not inside a simulated thread")
+    return thread
+
+
+class _KillThread(BaseException):
+    """Internal: unwinds a simulated thread when the machine aborts."""
+
+
+class SimThread:
+    """One simulated thread with its own local virtual time."""
+
+    def __init__(self, machine, tid, func, args, kwargs, name, start_time):
+        self.machine = machine
+        self.tid = tid
+        self.name = name or f"thread-{tid}"
+        self.start_time = float(start_time)
+        self.local_time = float(start_time)
+        self.state = NEW
+        self.result = None
+        self.error = None
+        self.end_time = None
+        self._func = func
+        self._args = args
+        self._kwargs = kwargs
+        self._resume = threading.Event()
+        self._kill = False
+        self._block_reason = None
+        self._joiners = []
+        self._real = threading.Thread(
+            target=self._bootstrap, name=self.name, daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    # Time accounting (fast path — no scheduler interaction)
+
+    def advance(self, cycles):
+        """Charge `cycles` of CPU work to this thread's local time.
+
+        The charge is stretched by the machine's processor-sharing
+        factor when more threads are live than cores are available.
+        """
+        if cycles < 0:
+            raise ValueError(f"cannot advance by negative cycles: {cycles}")
+        self.local_time += cycles * self.machine._slowdown()
+
+    # ------------------------------------------------------------------
+    # Scheduler interaction
+
+    def checkpoint(self):
+        """Hand control to the scheduler; resume when we are min-time."""
+        self.state = RUNNABLE
+        self._yield_to_scheduler()
+
+    def sleep(self, cycles):
+        """Advance local time and let other threads catch up."""
+        self.advance(cycles)
+        self.checkpoint()
+
+    def join(self):
+        """Block the *calling* thread until this thread finishes.
+
+        Returns this thread's result; re-raises its exception wrapped in
+        :class:`SimThreadError`.  The caller's local time advances to at
+        least this thread's end time.
+        """
+        caller = current_thread()
+        if caller is self:
+            raise MachineError(f"{self.name} cannot join itself")
+        if self.state != DONE:
+            caller._block(f"join({self.name})")
+            self._joiners.append(caller)
+            caller._yield_to_scheduler()
+        caller.local_time = max(caller.local_time, self.end_time)
+        if self.error is not None:
+            raise SimThreadError(self.name, self.error)
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _block(self, reason):
+        self.state = BLOCKED
+        self._block_reason = reason
+
+    def _unblock(self, at_time):
+        self.state = RUNNABLE
+        self._block_reason = None
+        self.local_time = max(self.local_time, at_time)
+
+    def _yield_to_scheduler(self):
+        self.machine._yielded.set()
+        self._resume.wait()
+        self._resume.clear()
+        if self._kill:
+            raise _KillThread()
+
+    def _bootstrap(self):
+        _current.thread = self
+        try:
+            self._resume.wait()
+            self._resume.clear()
+            if self._kill:
+                return
+            try:
+                self.result = self._func(*self._args, **self._kwargs)
+            except _KillThread:
+                return
+            except BaseException as exc:  # noqa: BLE001 — reported to run()
+                self.error = exc
+        finally:
+            if not self._kill:
+                self.state = DONE
+                self.end_time = self.local_time
+                for joiner in self._joiners:
+                    joiner._unblock(self.end_time)
+                self.machine._yielded.set()
+
+    def __repr__(self):
+        return (
+            f"SimThread(tid={self.tid}, name={self.name!r}, "
+            f"state={self.state}, t={self.local_time:.0f})"
+        )
+
+
+class Machine:
+    """A simulated multicore machine.
+
+    Parameters
+    ----------
+    cores:
+        Number of hardware threads.  When more simulated threads are
+        live than cores available, CPU charges are stretched by the
+        ratio (processor sharing).
+    freq_hz:
+        Core frequency used to convert cycles to wall time.
+    max_threads:
+        Guard against runaway spawning.
+    spawn_cost:
+        Cycles charged to a parent for each spawn.
+    """
+
+    def __init__(
+        self,
+        cores=8,
+        freq_hz=VirtualClock().freq_hz,
+        max_threads=1024,
+        spawn_cost=DEFAULT_SPAWN_COST,
+    ):
+        if cores < 1:
+            raise ValueError(f"need at least one core, got {cores}")
+        self.clock = VirtualClock(freq_hz)
+        self.cores = cores
+        self.spawn_cost = spawn_cost
+        self._max_threads = max_threads
+        self._reserved_cores = 0
+        self._threads = []
+        self._tids = itertools.count(1)
+        self._yielded = threading.Event()
+        self._running = False
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # Public API
+
+    def current(self):
+        """The simulated thread executing the caller."""
+        return current_thread()
+
+    def spawn(self, func, *args, name=None, **kwargs):
+        """Create a new simulated thread running ``func(*args, **kwargs)``.
+
+        When called from inside a simulated thread, the spawn cost is
+        charged to the parent and the child starts at the parent's local
+        time.  When called before :meth:`run`, the child starts at time
+        zero.
+        """
+        if len(self._threads) >= self._max_threads:
+            raise TooManyThreadsError(
+                f"thread budget of {self._max_threads} exhausted"
+            )
+        parent = getattr(_current, "thread", None)
+        if parent is not None and parent.machine is self:
+            parent.advance(self.spawn_cost)
+            start_time = parent.local_time
+        else:
+            start_time = 0.0
+        thread = SimThread(
+            self, next(self._tids), func, args, kwargs, name, start_time
+        )
+        thread.state = RUNNABLE
+        self._threads.append(thread)
+        thread._real.start()
+        return thread
+
+    def run(self, func=None, *args, name="main", **kwargs):
+        """Drive the simulation to completion and return `func`'s result.
+
+        `func` (if given) is spawned as the root thread.  The scheduler
+        then loops until every simulated thread is done, always resuming
+        the runnable thread with the smallest local time.
+        """
+        if self._running:
+            raise MachineError("machine is already running")
+        root = None
+        if func is not None:
+            root = self.spawn(func, *args, name=name, **kwargs)
+        if not self._threads:
+            raise MachineError("nothing to run: no threads spawned")
+        self._running = True
+        try:
+            self._schedule_until_done()
+        finally:
+            self._running = False
+        failed = next((t for t in self._threads if t.error is not None), None)
+        if failed is not None:
+            raise SimThreadError(failed.name, failed.error) from failed.error
+        self._elapsed = max(t.end_time for t in self._threads)
+        return root.result if root is not None else None
+
+    def elapsed_cycles(self):
+        """Virtual cycles from time zero to the last thread's end."""
+        return self._elapsed
+
+    def elapsed_seconds(self):
+        """Virtual seconds from time zero to the last thread's end."""
+        return self.clock.cycles_to_seconds(self._elapsed)
+
+    def reserve_core(self, n=1):
+        """Dedicate `n` cores (e.g. to the software counter thread)."""
+        if self._reserved_cores + n >= self.cores:
+            raise MachineError(
+                f"cannot reserve {n} of {self.cores} cores "
+                f"({self._reserved_cores} already reserved)"
+            )
+        self._reserved_cores += n
+
+    def release_core(self, n=1):
+        """Return previously reserved cores to the scheduler."""
+        if n > self._reserved_cores:
+            raise MachineError(
+                f"releasing {n} cores but only {self._reserved_cores} reserved"
+            )
+        self._reserved_cores -= n
+
+    def available_cores(self):
+        """Cores usable by application threads."""
+        return self.cores - self._reserved_cores
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _slowdown(self):
+        live = sum(1 for t in self._threads if t.state in (RUNNABLE, RUNNING))
+        avail = max(1, self.cores - self._reserved_cores)
+        return max(1.0, live / avail)
+
+    def _schedule_until_done(self):
+        while True:
+            live = [t for t in self._threads if t.state != DONE]
+            if not live:
+                return
+            runnable = [t for t in live if t.state == RUNNABLE]
+            if not runnable:
+                self._abort()
+                raise DeadlockError(
+                    f"{t.name}: {t._block_reason}" for t in live
+                )
+            thread = min(runnable, key=lambda t: (t.local_time, t.tid))
+            thread.state = RUNNING
+            thread._resume.set()
+            self._yielded.wait()
+            self._yielded.clear()
+            if any(t.error is not None for t in self._threads):
+                self._abort()
+                return
+
+    def _abort(self):
+        for thread in self._threads:
+            if thread.state not in (DONE,) and thread._real.is_alive():
+                thread._kill = True
+                thread._resume.set()
+        for thread in self._threads:
+            if thread._real.is_alive():
+                thread._real.join(timeout=5.0)
+            if thread.end_time is None:
+                thread.end_time = thread.local_time
+                thread.state = DONE

@@ -1,0 +1,180 @@
+"""Synchronisation primitives for simulated threads.
+
+All primitives order their effects by virtual time: an operation is
+performed when the scheduler has decided the calling thread is the
+minimum-time runnable thread, so acquisition order, barrier release
+times and atomic histories are deterministic.
+
+Costs default to rough Skylake figures (uncontended CAS ~20 cycles,
+futex wake ~1k cycles); callers can override per-primitive.
+"""
+
+from repro.machine.errors import MachineError
+from repro.machine.machine import current_thread
+
+DEFAULT_ATOMIC_COST = 20.0
+DEFAULT_LOCK_COST = 25.0
+DEFAULT_WAKE_COST = 1_000.0
+
+
+class SimAtomicU64:
+    """A 64-bit atomic counter with fetch-and-add semantics.
+
+    ``fetch_add`` checkpoints, giving a virtual-time-ordered history.
+    ``fetch_add_relaxed`` skips the checkpoint — the paper's log tail
+    only needs per-thread ordering, and the relaxed form keeps the hot
+    path cheap (the GIL already makes the Python-level update atomic).
+    """
+
+    MASK = (1 << 64) - 1
+
+    def __init__(self, value=0, cost=DEFAULT_ATOMIC_COST):
+        self.value = value & self.MASK
+        self.cost = cost
+
+    def fetch_add(self, delta=1):
+        thread = current_thread()
+        thread.advance(self.cost)
+        thread.checkpoint()
+        return self._add(delta)
+
+    def fetch_add_relaxed(self, delta=1):
+        current_thread().advance(self.cost)
+        return self._add(delta)
+
+    def load(self):
+        current_thread().advance(self.cost / 4)
+        return self.value
+
+    def store(self, value):
+        thread = current_thread()
+        thread.advance(self.cost)
+        thread.checkpoint()
+        self.value = value & self.MASK
+
+    def _add(self, delta):
+        old = self.value
+        self.value = (old + delta) & self.MASK
+        return old
+
+
+class SimLock:
+    """A mutex with deterministic FIFO hand-off.
+
+    The releaser pushes its local time onto the next waiter, so waiting
+    time is modelled correctly.  Non-reentrant, like ``pthread_mutex``.
+    """
+
+    def __init__(self, name="lock", cost=DEFAULT_LOCK_COST):
+        self.name = name
+        self.cost = cost
+        self._owner = None
+        self._waiters = []
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def acquire(self):
+        thread = current_thread()
+        thread.advance(self.cost)
+        thread.checkpoint()
+        if self._owner is None:
+            self._owner = thread
+        else:
+            self.contentions += 1
+            thread._block(f"acquire({self.name})")
+            self._waiters.append(thread)
+            thread._yield_to_scheduler()
+            if self._owner is not thread:
+                raise MachineError(f"{self.name}: woken without ownership")
+        self.acquisitions += 1
+
+    def release(self):
+        thread = current_thread()
+        if self._owner is not thread:
+            raise MachineError(
+                f"{self.name}: released by {thread.name} "
+                f"but owned by {getattr(self._owner, 'name', None)}"
+            )
+        thread.advance(self.cost)
+        thread.checkpoint()
+        if self._waiters:
+            thread.advance(DEFAULT_WAKE_COST)
+            nxt = self._waiters.pop(0)
+            self._owner = nxt
+            nxt._unblock(thread.local_time)
+        else:
+            self._owner = None
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+
+class SimBarrier:
+    """An N-party barrier; all parties leave at the max arrival time."""
+
+    def __init__(self, parties, name="barrier", cost=DEFAULT_LOCK_COST):
+        if parties < 1:
+            raise ValueError(f"barrier needs at least one party: {parties}")
+        self.parties = parties
+        self.name = name
+        self.cost = cost
+        self._arrived = []
+        self.generations = 0
+
+    def wait(self):
+        thread = current_thread()
+        thread.advance(self.cost)
+        thread.checkpoint()
+        self._arrived.append(thread)
+        if len(self._arrived) < self.parties:
+            thread._block(f"barrier({self.name})")
+            thread._yield_to_scheduler()
+            return
+        release_time = max(t.local_time for t in self._arrived)
+        arrived, self._arrived = self._arrived, []
+        self.generations += 1
+        for other in arrived:
+            if other is thread:
+                continue
+            other._unblock(release_time)
+        thread.local_time = max(thread.local_time, release_time)
+
+
+class SimEvent:
+    """A one-shot event: waiters block until some thread sets it."""
+
+    def __init__(self, name="event"):
+        self.name = name
+        self._set = False
+        self._set_time = 0.0
+        self._waiters = []
+
+    def is_set(self):
+        return self._set
+
+    def wait(self):
+        thread = current_thread()
+        thread.checkpoint()
+        if self._set:
+            thread.local_time = max(thread.local_time, self._set_time)
+            return
+        thread._block(f"event({self.name})")
+        self._waiters.append(thread)
+        thread._yield_to_scheduler()
+
+    def set(self):
+        thread = current_thread()
+        thread.checkpoint()
+        if self._set:
+            return
+        self._set = True
+        self._set_time = thread.local_time
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            thread.advance(DEFAULT_WAKE_COST)
+            waiter._unblock(thread.local_time)

@@ -1,0 +1,177 @@
+"""Higher-level synchronisation primitives.
+
+Built on the same conservative virtual-time discipline as
+:mod:`repro.machine.sync`: every operation checkpoints before touching
+shared state, blocked threads resume at the waking thread's time, and
+wake order is deterministic FIFO.
+"""
+
+from repro.machine.errors import MachineError
+from repro.machine.machine import current_thread
+from repro.machine.sync import DEFAULT_LOCK_COST, DEFAULT_WAKE_COST, SimLock
+
+
+class SimSemaphore:
+    """A counting semaphore with FIFO wakeups."""
+
+    def __init__(self, permits=1, name="semaphore", cost=DEFAULT_LOCK_COST):
+        if permits < 0:
+            raise ValueError(f"permits must be >= 0: {permits}")
+        self.name = name
+        self.cost = cost
+        self._permits = permits
+        self._waiters = []
+
+    @property
+    def permits(self):
+        return self._permits
+
+    def acquire(self):
+        thread = current_thread()
+        thread.advance(self.cost)
+        thread.checkpoint()
+        if self._permits > 0:
+            self._permits -= 1
+            return
+        thread._block(f"semaphore({self.name})")
+        self._waiters.append(thread)
+        thread._yield_to_scheduler()
+        # The releaser transferred its permit directly to us.
+
+    def release(self, n=1):
+        if n < 1:
+            raise ValueError(f"release count must be >= 1: {n}")
+        thread = current_thread()
+        thread.advance(self.cost)
+        thread.checkpoint()
+        for _ in range(n):
+            if self._waiters:
+                thread.advance(DEFAULT_WAKE_COST)
+                self._waiters.pop(0)._unblock(thread.local_time)
+            else:
+                self._permits += 1
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+
+class SimRWLock:
+    """A readers-writer lock, writer-preferring.
+
+    Multiple readers share the lock; a writer waits for all readers to
+    drain and blocks new readers while queued (no writer starvation).
+    """
+
+    def __init__(self, name="rwlock", cost=DEFAULT_LOCK_COST):
+        self.name = name
+        self.cost = cost
+        self._readers = 0
+        self._writer = None
+        self._waiting_writers = []
+        self._waiting_readers = []
+
+    def acquire_read(self):
+        thread = current_thread()
+        thread.advance(self.cost)
+        thread.checkpoint()
+        if self._writer is not None or self._waiting_writers:
+            thread._block(f"rwlock-read({self.name})")
+            self._waiting_readers.append(thread)
+            thread._yield_to_scheduler()
+        else:
+            self._readers += 1
+
+    def release_read(self):
+        thread = current_thread()
+        if self._readers < 1:
+            raise MachineError(f"{self.name}: no readers hold the lock")
+        thread.advance(self.cost)
+        thread.checkpoint()
+        self._readers -= 1
+        if self._readers == 0:
+            self._promote(thread)
+
+    def acquire_write(self):
+        thread = current_thread()
+        thread.advance(self.cost)
+        thread.checkpoint()
+        if self._writer is None and self._readers == 0:
+            self._writer = thread
+        else:
+            thread._block(f"rwlock-write({self.name})")
+            self._waiting_writers.append(thread)
+            thread._yield_to_scheduler()
+            if self._writer is not thread:
+                raise MachineError(f"{self.name}: woken without write lock")
+
+    def release_write(self):
+        thread = current_thread()
+        if self._writer is not thread:
+            raise MachineError(
+                f"{self.name}: write-released by non-owner {thread.name}"
+            )
+        thread.advance(self.cost)
+        thread.checkpoint()
+        self._writer = None
+        self._promote(thread)
+
+    def _promote(self, releaser):
+        """Hand the lock over: writers first, else all queued readers."""
+        if self._writer is not None or self._readers:
+            return
+        if self._waiting_writers:
+            releaser.advance(DEFAULT_WAKE_COST)
+            writer = self._waiting_writers.pop(0)
+            self._writer = writer
+            writer._unblock(releaser.local_time)
+            return
+        readers, self._waiting_readers = self._waiting_readers, []
+        for reader in readers:
+            releaser.advance(DEFAULT_WAKE_COST)
+            self._readers += 1
+            reader._unblock(releaser.local_time)
+
+
+class SimCondition:
+    """A condition variable bound to a :class:`SimLock`."""
+
+    def __init__(self, lock=None, name="condition"):
+        self.lock = lock or SimLock(name=f"{name}-lock")
+        self.name = name
+        self._waiters = []
+
+    def wait(self):
+        """Release the lock, sleep until notified, reacquire."""
+        thread = current_thread()
+        if self.lock._owner is not thread:
+            raise MachineError(f"{self.name}: wait() without the lock")
+        self._waiters.append(thread)
+        self.lock.release()
+        if thread in self._waiters:  # not yet notified during release
+            thread._block(f"condition({self.name})")
+            thread._yield_to_scheduler()
+        self.lock.acquire()
+
+    def notify(self, n=1):
+        thread = current_thread()
+        if self.lock._owner is not thread:
+            raise MachineError(f"{self.name}: notify() without the lock")
+        for _ in range(min(n, len(self._waiters))):
+            thread.advance(DEFAULT_WAKE_COST)
+            self._waiters.pop(0)._unblock(thread.local_time)
+
+    def notify_all(self):
+        self.notify(len(self._waiters))
+
+    def __enter__(self):
+        self.lock.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.lock.release()
+        return False

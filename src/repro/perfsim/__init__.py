@@ -1,0 +1,28 @@
+"""The Linux-perf baseline: IP sampling with per-interrupt cost.
+
+The paper's Figure 4 compares TEE-Perf against ``perf`` on the Phoenix
+suite inside SGX; this package models perf faithfully enough for that
+comparison — periodic sampling on a grid, per-sample interrupt cost
+(an AEX inside the enclave), leaf attribution, and the sampling
+frequency bias that §I calls out as the thing TEE-Perf's exhaustive
+tracing avoids.
+"""
+
+from repro.perfsim.ghost import GhostEvent, GhostHooks
+from repro.perfsim.sampler import (
+    DEFAULT_FREQ_HZ,
+    NATIVE_SAMPLE_CYCLES,
+    OTHER,
+    PerfResult,
+    PerfSim,
+)
+
+__all__ = [
+    "DEFAULT_FREQ_HZ",
+    "GhostEvent",
+    "GhostHooks",
+    "NATIVE_SAMPLE_CYCLES",
+    "OTHER",
+    "PerfResult",
+    "PerfSim",
+]

@@ -1,0 +1,45 @@
+"""Ghost tracing: ground-truth execution traces at zero virtual cost.
+
+``perf`` profiles *uninstrumented* binaries — the hardware gives it the
+instruction pointer for free.  The simulation equivalent is the
+:class:`GhostHooks` object: it plugs into the same hook slot the
+instrumenter leaves behind, but records events into a plain Python list
+without charging a single virtual cycle and without touching a log.
+The perf model post-processes this ground truth into samples, and the
+accuracy benchmarks use it as the oracle both profilers are judged
+against.
+"""
+
+from dataclasses import dataclass
+
+from repro.machine import current_thread
+
+
+@dataclass(frozen=True)
+class GhostEvent:
+    time: float  # virtual cycles
+    kind: int  # KIND_CALL / KIND_RET
+    addr: int  # link-time address
+    tid: int
+
+
+class GhostHooks:
+    """Zero-cost hooks implementation capturing the true trace."""
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, kind, addr):
+        thread = current_thread()
+        self.events.append(
+            GhostEvent(thread.local_time, kind, addr, thread.tid)
+        )
+
+    def by_thread(self):
+        """Events grouped per thread, in per-thread time order."""
+        grouped = {}
+        for event in self.events:
+            grouped.setdefault(event.tid, []).append(event)
+        return grouped

@@ -1,0 +1,47 @@
+"""The Phoenix 2.0 multithreaded benchmark suite, reimplemented.
+
+Seven map-reduce workloads (five of which form Figure 4 of the paper,
+plus kmeans and pca for suite completeness), synthetic dataset
+generators, and runners that execute a workload under no profiler,
+under the Linux-perf model, or under TEE-Perf.
+"""
+
+from repro.phoenix.base import PhoenixWorkload
+from repro.phoenix.histogram import Histogram
+from repro.phoenix.kmeans import KMeans
+from repro.phoenix.linear_regression import LinearRegression
+from repro.phoenix.matrix_multiply import MatrixMultiply
+from repro.phoenix.pca import PCA
+from repro.phoenix.runner import (
+    ALL_WORKLOADS,
+    FIGURE4_WORKLOADS,
+    RunResult,
+    overhead_vs_perf,
+    run_baseline,
+    run_perf,
+    run_teeperf,
+    workload_by_name,
+)
+from repro.phoenix.reverse_index import ReverseIndex
+from repro.phoenix.string_match import StringMatch
+from repro.phoenix.word_count import WordCount
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "FIGURE4_WORKLOADS",
+    "Histogram",
+    "KMeans",
+    "LinearRegression",
+    "MatrixMultiply",
+    "PCA",
+    "PhoenixWorkload",
+    "ReverseIndex",
+    "RunResult",
+    "StringMatch",
+    "WordCount",
+    "overhead_vs_perf",
+    "run_baseline",
+    "run_perf",
+    "run_teeperf",
+    "workload_by_name",
+]

@@ -1,0 +1,81 @@
+"""Shared map-reduce scaffolding for the Phoenix workloads.
+
+Phoenix 2.0 (Ranger et al., HPCA'07) structures every benchmark as
+splitter -> parallel map workers -> merge/reduce.  The subclasses here
+keep that shape: ``run`` splits the input, spawns one simulated thread
+per worker, each worker maps its chunk through the workload's kernel
+functions (the instrumented call surface Figure 4's overheads come
+from), and results merge under a lock.
+
+Per-kernel cycle costs are per-workload constants, calibrated in
+``repro/phoenix/calibration.py`` so each benchmark's *call rate*
+matches the regime the paper's Figure 4 implies (string_match calls a
+tiny kernel per key; linear_regression does all its work inside one
+function per chunk).
+"""
+
+from repro.machine import SimLock
+
+
+class PhoenixWorkload:
+    """Base class: owns machine/env, workers, and the merge lock."""
+
+    NAME = "phoenix"
+
+    def __init__(self, machine, env, nworkers=4, seed=0):
+        if nworkers < 1:
+            raise ValueError(f"need at least one worker: {nworkers}")
+        self.machine = machine
+        self.env = env
+        self.nworkers = nworkers
+        self.seed = seed
+        self.merge_lock = SimLock(name=f"{self.NAME}-merge")
+        self.result = None
+
+    # -- pieces subclasses implement -----------------------------------
+
+    def split(self):
+        """Return the list of per-worker input chunks."""
+        raise NotImplementedError
+
+    def map_chunk(self, chunk):
+        """Process one chunk; returns the worker's partial result."""
+        raise NotImplementedError
+
+    def combine(self, partials):
+        """Merge the partial results into the final answer."""
+        raise NotImplementedError
+
+    # -- the fixed orchestration ----------------------------------------
+
+    def execute(self):
+        """Split, spawn workers, gather, combine.  Not instrumented
+        itself (subclasses expose an instrumented ``run`` wrapper)."""
+        chunks = self.split()
+        partials = [None] * len(chunks)
+
+        def worker(index, chunk):
+            partial = self.map_chunk(chunk)
+            with self.merge_lock:
+                partials[index] = partial
+
+        threads = [
+            self.machine.spawn(worker, i, chunk, name=f"{self.NAME}-w{i}")
+            for i, chunk in enumerate(chunks)
+        ]
+        for thread in threads:
+            thread.join()
+        self.result = self.combine(partials)
+        return self.result
+
+    def even_slices(self, n_items):
+        """Split ``range(n_items)`` into nworkers near-even slices."""
+        per = n_items // self.nworkers
+        extra = n_items % self.nworkers
+        slices = []
+        start = 0
+        for i in range(self.nworkers):
+            size = per + (1 if i < extra else 0)
+            slices.append((start, start + size))
+            start += size
+        return [s for s in slices if s[1] > s[0]]

@@ -1,0 +1,101 @@
+"""Synthetic dataset generators for the Phoenix workloads.
+
+The paper uses the input files shipped with Phoenix 2.0 (key files,
+text corpora, bitmaps, point sets).  Offline we generate equivalents
+with seeded numpy, so every run is reproducible and dataset size is a
+free calibration parameter.  Sizes are deliberately small: Figure 4's
+ratios depend on each workload's *call rate* (calls per unit of work),
+which is scale-invariant, so a scaled-down input preserves the figure
+while keeping simulation time in seconds.
+"""
+
+import numpy as np
+
+_WORDS = (
+    "the quick brown fox jumps over lazy dog enclave secure memory "
+    "paging counter profile flame graph trusted execution thread lock "
+    "storage kernel driver queue packet block cache index merge split"
+).split()
+
+
+def rng(seed):
+    """A seeded generator; every dataset flows from one of these."""
+    return np.random.default_rng(seed)
+
+
+def key_file(n_keys, key_len=16, seed=0):
+    """Random fixed-length byte keys (string_match input)."""
+    r = rng(seed)
+    alphabet = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz0123456789", np.uint8)
+    draws = r.integers(0, len(alphabet), size=(n_keys, key_len))
+    return [bytes(alphabet[row]) for row in draws]
+
+
+def text(n_words, seed=0):
+    """A word list drawn from a small vocabulary (word_count input)."""
+    r = rng(seed)
+    picks = r.integers(0, len(_WORDS), size=n_words)
+    return [_WORDS[i] for i in picks]
+
+
+def pixels(n_pixels, seed=0):
+    """RGB pixel array of shape (n, 3), dtype uint8 (histogram input)."""
+    return rng(seed).integers(0, 256, size=(n_pixels, 3), dtype=np.uint8)
+
+
+def points(n_points, seed=0):
+    """(x, y) samples from a noisy line (linear_regression input)."""
+    r = rng(seed)
+    x = r.uniform(0, 100, size=n_points)
+    noise = r.normal(0, 5, size=n_points)
+    y = 3.5 * x + 12.0 + noise
+    return np.stack([x, y], axis=1)
+
+
+def matrices(n, seed=0):
+    """Two dense n x n float matrices (matrix_multiply input)."""
+    r = rng(seed)
+    return (
+        r.uniform(-1, 1, size=(n, n)),
+        r.uniform(-1, 1, size=(n, n)),
+    )
+
+
+def html_corpus(n_docs, links_per_doc=12, n_sites=40, seed=0):
+    """Synthetic "HTML" documents with href links (reverse_index input).
+
+    Each document is a list of link targets drawn from a closed set of
+    site names, mimicking Phoenix's crawl snapshot.
+    """
+    r = rng(seed)
+    sites = [f"site-{i:03d}.example" for i in range(n_sites)]
+    docs = []
+    for doc in range(n_docs):
+        count = int(r.integers(1, links_per_doc + 1))
+        picks = r.integers(0, n_sites, size=count)
+        docs.append(
+            (
+                f"doc-{doc:05d}.html",
+                [f"http://{sites[i]}/page" for i in picks],
+            )
+        )
+    return docs
+
+
+def clustered_points(n_points, k, dims=2, seed=0):
+    """Gaussian blobs around k centres (kmeans input); returns
+    (points, true_centres)."""
+    r = rng(seed)
+    centres = r.uniform(-50, 50, size=(k, dims))
+    assignments = r.integers(0, k, size=n_points)
+    jitter = r.normal(0, 2.0, size=(n_points, dims))
+    return centres[assignments] + jitter, centres
+
+
+def samples_matrix(rows, cols, seed=0):
+    """Correlated sample matrix (pca input)."""
+    r = rng(seed)
+    latent = r.normal(0, 1, size=(rows, 2))
+    mix = r.normal(0, 1, size=(2, cols))
+    noise = r.normal(0, 0.1, size=(rows, cols))
+    return latent @ mix + noise

@@ -1,0 +1,59 @@
+"""Phoenix histogram: per-channel colour histogram of a bitmap.
+
+Workers walk their pixel range in small blocks, calling the block
+kernel once per block to update three 256-bucket histograms.  Moderate
+call rate — a mid-field bar in Figure 4.
+"""
+
+import numpy as np
+
+from repro.core import symbol
+from repro.phoenix import calibration, datasets
+from repro.phoenix.base import PhoenixWorkload
+
+DEFAULT_PIXELS = 1_000_000
+
+
+class Histogram(PhoenixWorkload):
+    NAME = "histogram"
+
+    def __init__(
+        self, machine, env, n_pixels=DEFAULT_PIXELS, nworkers=4, seed=0
+    ):
+        super().__init__(machine, env, nworkers, seed)
+        self.pixels = datasets.pixels(n_pixels, seed=seed)
+        self.env.alloc(self.pixels.nbytes)
+
+    @symbol("histogram")
+    def run(self):
+        return self.execute()
+
+    def split(self):
+        return self.even_slices(len(self.pixels))
+
+    @symbol("hist_map")
+    def map_chunk(self, chunk):
+        start, end = chunk
+        local = np.zeros((3, 256), dtype=np.int64)
+        block = calibration.HIST_BLOCK_PIXELS
+        for offset in range(start, end, block):
+            self.update_block(local, offset, min(offset + block, end))
+        return local
+
+    @symbol("hist_update_block")
+    def update_block(self, local, start, end):
+        """The hot kernel: bucket one block of pixels."""
+        n = end - start
+        self.env.compute(n * calibration.HIST_PIXEL_CYCLES)
+        self.env.mem_read(n * 3)
+        block = self.pixels[start:end]
+        for channel in range(3):
+            local[channel] += np.bincount(block[:, channel], minlength=256)
+
+    @symbol("hist_reduce")
+    def combine(self, partials):
+        self.env.compute(3 * 256 * len(partials) * 2)
+        total = np.zeros((3, 256), dtype=np.int64)
+        for partial in partials:
+            total += partial
+        return total

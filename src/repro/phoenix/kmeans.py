@@ -1,0 +1,115 @@
+"""Phoenix kmeans: iterative k-means clustering.
+
+Workers assign point blocks to the nearest centre, synchronise on a
+barrier, and the main thread recomputes centres each iteration — the
+suite's only barrier-structured benchmark, which exercises the
+machine's synchronisation modelling.  (Not part of Figure 4's five
+bars; included for Phoenix 2.0 completeness.)
+"""
+
+import numpy as np
+
+from repro.core import symbol
+from repro.machine import SimBarrier
+from repro.phoenix import calibration, datasets
+from repro.phoenix.base import PhoenixWorkload
+
+DEFAULT_POINTS = 20_000
+DEFAULT_K = 8
+DEFAULT_ITERS = 5
+BLOCK = 256
+
+
+class KMeans(PhoenixWorkload):
+    NAME = "kmeans"
+
+    def __init__(
+        self,
+        machine,
+        env,
+        n_points=DEFAULT_POINTS,
+        k=DEFAULT_K,
+        iterations=DEFAULT_ITERS,
+        nworkers=4,
+        seed=0,
+    ):
+        super().__init__(machine, env, nworkers, seed)
+        self.points, _ = datasets.clustered_points(n_points, k, seed=seed)
+        self.k = k
+        self.iterations = iterations
+        self.centres = self._init_centres()
+        self.assignments = np.zeros(len(self.points), dtype=np.int64)
+        self.env.alloc(self.points.nbytes)
+        self._barrier = SimBarrier(nworkers, name="kmeans-iter")
+
+    def _init_centres(self):
+        """Deterministic farthest-point seeding (greedy kmeans++):
+        avoids two seeds landing in the same blob."""
+        centres = [self.points[0]]
+        for _ in range(1, self.k):
+            chosen = np.stack(centres)
+            distances = np.min(
+                np.linalg.norm(
+                    self.points[:, None, :] - chosen[None, :, :], axis=2
+                ),
+                axis=1,
+            )
+            centres.append(self.points[int(np.argmax(distances))])
+        return np.stack(centres).copy()
+
+    @symbol("kmeans")
+    def run(self):
+        slices = self.even_slices(len(self.points))
+        self._barrier = SimBarrier(len(slices), name="kmeans-iter")
+        threads = [
+            self.machine.spawn(self.worker_loop, i, s, name=f"km-w{i}")
+            for i, s in enumerate(slices)
+        ]
+        for thread in threads:
+            thread.join()
+        self.result = self.centres
+        return self.centres
+
+    @symbol("km_worker")
+    def worker_loop(self, index, chunk):
+        for _ in range(self.iterations):
+            self.assign_range(chunk)
+            self._barrier.wait()
+            if index == 0:  # one designated updater per iteration
+                self.update_centres()
+            self._barrier.wait()
+
+    @symbol("km_assign_block")
+    def assign_block(self, start, end):
+        """The kernel: nearest-centre assignment for one block."""
+        n = end - start
+        self.env.compute(n * calibration.KM_POINT_CYCLES)
+        self.env.mem_read(n * 16)
+        block = self.points[start:end]
+        distances = np.linalg.norm(
+            block[:, None, :] - self.centres[None, :, :], axis=2
+        )
+        self.assignments[start:end] = np.argmin(distances, axis=1)
+
+    def assign_range(self, chunk):
+        start, end = chunk
+        for offset in range(start, end, BLOCK):
+            self.assign_block(offset, min(offset + BLOCK, end))
+
+    @symbol("km_update_centres")
+    def update_centres(self):
+        self.env.compute(self.k * 300)
+        for centre in range(self.k):
+            members = self.points[self.assignments == centre]
+            if len(members):
+                self.centres[centre] = members.mean(axis=0)
+
+    # The base-class split/map/combine path is unused here.
+    def split(self):
+        return self.even_slices(len(self.points))
+
+    def map_chunk(self, chunk):
+        raise NotImplementedError("kmeans uses its own iteration loop")
+
+    def combine(self, partials):
+        raise NotImplementedError("kmeans uses its own iteration loop")

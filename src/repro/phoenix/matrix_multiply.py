@@ -1,0 +1,57 @@
+"""Phoenix matrix_multiply: dense C = A x B.
+
+Workers own row bands and compute one output *cell* per kernel call
+(an inner product over the shared dimension).  The call rate is low —
+every call amortises n multiply-accumulates — so the Figure 4 bar sits
+near 1x.
+"""
+
+import numpy as np
+
+from repro.core import symbol
+from repro.phoenix import calibration, datasets
+from repro.phoenix.base import PhoenixWorkload
+
+DEFAULT_N = 128
+
+
+class MatrixMultiply(PhoenixWorkload):
+    NAME = "matrix_multiply"
+
+    def __init__(self, machine, env, n=DEFAULT_N, nworkers=4, seed=0):
+        super().__init__(machine, env, nworkers, seed)
+        self.a, self.b = datasets.matrices(n, seed=seed)
+        self.n = n
+        self.env.alloc(2 * self.a.nbytes + self.a.nbytes)
+        self._bt = np.ascontiguousarray(self.b.T)
+
+    @symbol("matrix_mult")
+    def run(self):
+        return self.execute()
+
+    def split(self):
+        return self.even_slices(self.n)
+
+    @symbol("mm_map")
+    def map_chunk(self, chunk):
+        start, end = chunk
+        band = np.zeros((end - start, self.n))
+        for i in range(start, end):
+            for j in range(self.n):
+                band[i - start, j] = self.cell(i, j)
+        return start, band
+
+    @symbol("mm_cell")
+    def cell(self, i, j):
+        """The kernel: one output cell, an n-long inner product."""
+        self.env.compute(self.n * calibration.MM_MAC_CYCLES)
+        self.env.mem_read(2 * self.n * 8)
+        return float(self.a[i] @ self._bt[j])
+
+    @symbol("mm_reduce")
+    def combine(self, partials):
+        self.env.compute(self.n * self.n)
+        out = np.zeros((self.n, self.n))
+        for start, band in partials:
+            out[start : start + band.shape[0]] = band
+        return out

@@ -1,0 +1,76 @@
+"""Phoenix pca: mean and covariance matrix of a sample matrix.
+
+Workers compute per-column means, then covariance entries for their
+share of the (upper-triangular) column pairs, one kernel call per
+pair.  (Not part of Figure 4's five bars; included for Phoenix 2.0
+completeness.)
+"""
+
+import numpy as np
+
+from repro.core import symbol
+from repro.phoenix import calibration, datasets
+from repro.phoenix.base import PhoenixWorkload
+
+DEFAULT_ROWS = 256
+DEFAULT_COLS = 64
+
+
+class PCA(PhoenixWorkload):
+    NAME = "pca"
+
+    def __init__(
+        self,
+        machine,
+        env,
+        rows=DEFAULT_ROWS,
+        cols=DEFAULT_COLS,
+        nworkers=4,
+        seed=0,
+    ):
+        super().__init__(machine, env, nworkers, seed)
+        self.samples = datasets.samples_matrix(rows, cols, seed=seed)
+        self.rows = rows
+        self.cols = cols
+        self.means = None
+        self.env.alloc(self.samples.nbytes)
+
+    @symbol("pca")
+    def run(self):
+        self.means = self.compute_means()
+        return self.execute()
+
+    @symbol("pca_mean")
+    def compute_means(self):
+        self.env.compute(self.rows * self.cols * 2)
+        self.env.mem_read(self.samples.nbytes)
+        return self.samples.mean(axis=0)
+
+    def split(self):
+        pairs = [
+            (i, j) for i in range(self.cols) for j in range(i, self.cols)
+        ]
+        slices = self.even_slices(len(pairs))
+        return [pairs[a:b] for a, b in slices]
+
+    @symbol("pca_map")
+    def map_chunk(self, chunk):
+        return [(i, j, self.cov_entry(i, j)) for i, j in chunk]
+
+    @symbol("pca_cov_entry")
+    def cov_entry(self, i, j):
+        """The kernel: one covariance entry over all rows."""
+        self.env.compute(self.rows * calibration.PCA_ELEMENT_CYCLES)
+        self.env.mem_read(self.rows * 16)
+        a = self.samples[:, i] - self.means[i]
+        b = self.samples[:, j] - self.means[j]
+        return float((a @ b) / (self.rows - 1))
+
+    @symbol("pca_reduce")
+    def combine(self, partials):
+        self.env.compute(self.cols * self.cols)
+        cov = np.zeros((self.cols, self.cols))
+        for partial in partials:
+            for i, j, value in partial:
+                cov[i, j] = cov[j, i] = value
+        return cov

@@ -1,0 +1,61 @@
+"""Phoenix reverse_index: link -> documents over an HTML corpus.
+
+Workers extract the links of each document in their chunk (one kernel
+call per document) and the reducer merges the partial indexes into one
+reverse index.  Completes the Phoenix 2.0 set alongside kmeans and pca
+(not one of Figure 4's five bars).
+"""
+
+from repro.core import symbol
+from repro.phoenix import datasets
+from repro.phoenix.base import PhoenixWorkload
+
+DEFAULT_DOCS = 4_000
+EXTRACT_DOC_CYCLES = 350.0
+EXTRACT_LINK_CYCLES = 90.0
+
+
+class ReverseIndex(PhoenixWorkload):
+    NAME = "reverse_index"
+
+    def __init__(self, machine, env, n_docs=DEFAULT_DOCS, nworkers=4, seed=0):
+        super().__init__(machine, env, nworkers, seed)
+        self.docs = datasets.html_corpus(n_docs, seed=seed)
+        self.env.alloc(sum(64 * len(links) for _, links in self.docs))
+
+    @symbol("reverse_index")
+    def run(self):
+        return self.execute()
+
+    def split(self):
+        return self.even_slices(len(self.docs))
+
+    @symbol("ri_map")
+    def map_chunk(self, chunk):
+        start, end = chunk
+        index = {}
+        for position in range(start, end):
+            self.extract_links(index, self.docs[position])
+        return index
+
+    @symbol("ri_extract_links")
+    def extract_links(self, index, doc):
+        """The kernel: parse one document's hrefs into the local index."""
+        name, links = doc
+        self.env.compute(
+            EXTRACT_DOC_CYCLES + len(links) * EXTRACT_LINK_CYCLES
+        )
+        self.env.mem_read(64 * len(links))
+        for link in links:
+            index.setdefault(link, []).append(name)
+
+    @symbol("ri_reduce")
+    def combine(self, partials):
+        merged = {}
+        for partial in partials:
+            self.env.compute(len(partial) * 50)
+            for link, names in partial.items():
+                merged.setdefault(link, []).extend(names)
+        for names in merged.values():
+            names.sort()
+        return merged

@@ -1,0 +1,123 @@
+"""Drivers that run a Phoenix workload under each profiler.
+
+Figure 4 needs, per benchmark, the runtime of the *same* workload under
+(a) no profiler, (b) Linux perf, (c) TEE-Perf — all inside the TEE.
+Every run builds a fresh machine/environment/workload so nothing leaks
+between configurations; determinism makes run-to-run spread come only
+from the dataset seed.
+"""
+
+from dataclasses import dataclass
+
+from repro.core import Instrumenter, TEEPerf
+from repro.machine import Machine
+from repro.perfsim import PerfSim
+from repro.tee import SGX_V1, make_env
+
+from repro.phoenix.histogram import Histogram
+from repro.phoenix.kmeans import KMeans
+from repro.phoenix.linear_regression import LinearRegression
+from repro.phoenix.matrix_multiply import MatrixMultiply
+from repro.phoenix.pca import PCA
+from repro.phoenix.reverse_index import ReverseIndex
+from repro.phoenix.string_match import StringMatch
+from repro.phoenix.word_count import WordCount
+
+# The five bars of Figure 4, in the paper's x-axis order.
+FIGURE4_WORKLOADS = (
+    MatrixMultiply,
+    StringMatch,
+    WordCount,
+    LinearRegression,
+    Histogram,
+)
+ALL_WORKLOADS = FIGURE4_WORKLOADS + (KMeans, PCA, ReverseIndex)
+DEFAULT_CORES = 8  # the paper's Xeon E3-1270 v5 has 8 hyper-threads
+
+
+def workload_by_name(name):
+    for cls in ALL_WORKLOADS:
+        if cls.NAME == name:
+            return cls
+    known = ", ".join(c.NAME for c in ALL_WORKLOADS)
+    raise KeyError(f"unknown workload {name!r} (known: {known})")
+
+
+@dataclass
+class RunResult:
+    """One workload execution under one configuration."""
+
+    workload: str
+    config: str
+    elapsed_cycles: float
+    result: object = None
+    analysis: object = None  # TEE-Perf runs
+    perf: object = None  # perf runs
+
+
+def _build(workload_cls, machine, env, seed, params):
+    return workload_cls(machine, env, seed=seed, **params)
+
+
+def run_baseline(workload_cls, platform=SGX_V1, seed=0, cores=DEFAULT_CORES,
+                 **params):
+    """The workload alone: no profiler attached."""
+    machine = Machine(cores=cores)
+    env = make_env(machine, platform)
+    workload = _build(workload_cls, machine, env, seed, params)
+    result = machine.run(workload.run)
+    return RunResult(
+        workload_cls.NAME, "baseline", machine.elapsed_cycles(), result
+    )
+
+
+def run_teeperf(workload_cls, platform=SGX_V1, seed=0, cores=DEFAULT_CORES,
+                capacity=1 << 21, **params):
+    """The workload under TEE-Perf (instrumentation + recorder)."""
+    machine = Machine(cores=cores)
+    perf = TEEPerf.simulated(
+        platform=platform,
+        machine=machine,
+        capacity=capacity,
+        name=workload_cls.NAME,
+    )
+    workload = _build(workload_cls, machine, perf.env, seed, params)
+    perf.compile_instance(workload)
+    result = perf.record(workload.run)
+    analysis = perf.analyze()
+    return RunResult(
+        workload_cls.NAME,
+        "teeperf",
+        machine.elapsed_cycles(),
+        result,
+        analysis=analysis,
+    )
+
+
+def run_perf(workload_cls, platform=SGX_V1, seed=0, cores=DEFAULT_CORES,
+             freq_hz=None, **params):
+    """The workload under the Linux-perf model."""
+    machine = Machine(cores=cores)
+    env = make_env(machine, platform)
+    workload = _build(workload_cls, machine, env, seed, params)
+    instrumenter = Instrumenter(workload_cls.NAME)
+    instrumenter.instrument_instance(workload)
+    program = instrumenter.finish()
+    sampler = (
+        PerfSim(env, freq_hz=freq_hz) if freq_hz else PerfSim(env)
+    )
+    perf_result = sampler.profile(program, workload.run)
+    return RunResult(
+        workload_cls.NAME,
+        "perf",
+        perf_result.elapsed_cycles,
+        workload.result,
+        perf=perf_result,
+    )
+
+
+def overhead_vs_perf(workload_cls, platform=SGX_V1, seed=0, **params):
+    """Figure 4's quantity: TEE-Perf runtime / perf runtime."""
+    tee = run_teeperf(workload_cls, platform, seed, **params)
+    perf = run_perf(workload_cls, platform, seed, **params)
+    return tee.elapsed_cycles / perf.elapsed_cycles

@@ -1,0 +1,65 @@
+"""Phoenix string_match: find encrypted keys in a key file.
+
+The original scans a file of candidate keys and checks each against a
+handful of target keys ("bradley", "gaddafi", ... encrypted) by hashing
+and comparing.  The per-key kernel is tiny, so the benchmark's function
+call rate is the highest in the suite — which is exactly why it is the
+paper's worst case for TEE-Perf (5.7x the perf runtime in Figure 4).
+"""
+
+from repro.core import symbol
+from repro.phoenix import calibration, datasets
+from repro.phoenix.base import PhoenixWorkload
+
+DEFAULT_KEYS = 60_000
+N_TARGETS = 4
+
+
+class StringMatch(PhoenixWorkload):
+    NAME = "string_match"
+
+    def __init__(self, machine, env, n_keys=DEFAULT_KEYS, nworkers=4, seed=0):
+        super().__init__(machine, env, nworkers, seed)
+        self.keys = datasets.key_file(n_keys, seed=seed)
+        # Targets drawn from the file so matches actually occur.
+        stride = max(1, n_keys // N_TARGETS)
+        self.targets = frozenset(
+            self._encrypt(self.keys[i * stride])
+            for i in range(min(N_TARGETS, n_keys))
+        )
+        self.env.alloc(n_keys * calibration.SM_KEY_BYTES)
+
+    # The "encryption" of the original is a toy transform too; a
+    # translate table keeps the per-key Python cost at C speed.
+    _ENC_TABLE = bytes(((b * 7 + 3) & 0xFF) for b in range(256))
+
+    @classmethod
+    def _encrypt(cls, key):
+        return key.translate(cls._ENC_TABLE)
+
+    @symbol("string_match")
+    def run(self):
+        return self.execute()
+
+    def split(self):
+        return self.even_slices(len(self.keys))
+
+    @symbol("sm_map")
+    def map_chunk(self, chunk):
+        start, end = chunk
+        found = 0
+        for index in range(start, end):
+            found += self.match_key(self.keys[index])
+        return found
+
+    @symbol("sm_match_key")
+    def match_key(self, key):
+        """The hot kernel: encrypt one key and compare to the targets."""
+        self.env.compute(calibration.SM_HASH_CYCLES)
+        self.env.mem_read(calibration.SM_KEY_BYTES)
+        return 1 if self._encrypt(key) in self.targets else 0
+
+    @symbol("sm_reduce")
+    def combine(self, partials):
+        self.env.compute(200)
+        return sum(partials)

@@ -1,0 +1,55 @@
+"""Phoenix word_count: count word frequencies in a text corpus.
+
+Map workers insert each word of their chunk into a local hash table —
+one kernel call per word — and the reducer merges the tables and ranks
+the top words.  The per-word call rate puts it between string_match and
+the compute-bound benchmarks in Figure 4.
+"""
+
+from repro.core import symbol
+from repro.phoenix import calibration, datasets
+from repro.phoenix.base import PhoenixWorkload
+
+DEFAULT_WORDS = 30_000
+TOP_N = 10
+
+
+class WordCount(PhoenixWorkload):
+    NAME = "word_count"
+
+    def __init__(self, machine, env, n_words=DEFAULT_WORDS, nworkers=4, seed=0):
+        super().__init__(machine, env, nworkers, seed)
+        self.words = datasets.text(n_words, seed=seed)
+        self.env.alloc(n_words * calibration.WC_WORD_BYTES)
+
+    @symbol("word_count")
+    def run(self):
+        return self.execute()
+
+    def split(self):
+        return self.even_slices(len(self.words))
+
+    @symbol("wc_map")
+    def map_chunk(self, chunk):
+        start, end = chunk
+        counts = {}
+        for index in range(start, end):
+            self.insert_word(counts, self.words[index])
+        return counts
+
+    @symbol("wc_insert")
+    def insert_word(self, counts, word):
+        """The hot kernel: one hash-table insert per word."""
+        self.env.compute(calibration.WC_INSERT_CYCLES)
+        self.env.mem_read(calibration.WC_WORD_BYTES)
+        counts[word] = counts.get(word, 0) + 1
+
+    @symbol("wc_reduce")
+    def combine(self, partials):
+        merged = {}
+        for partial in partials:
+            self.env.compute(len(partial) * 40)
+            for word, count in partial.items():
+                merged[word] = merged.get(word, 0) + count
+        ranked = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:TOP_N]

@@ -1,0 +1,51 @@
+"""The SPDK substrate: a user-space NVMe stack and its perf tool.
+
+Rebuilds the §IV-C case study end to end — the simulated NVMe device,
+the driver stack whose frames match Figure 6, the naive getpid/rdtsc
+paths, the pid/tsc caching optimisation, and drivers that reproduce
+both the IOPS collapse inside SGX and the 14.7x recovery.
+"""
+
+from repro.spdk.device import DeviceQueue, NvmeCommand, NvmeDevice
+from repro.spdk.driver import (
+    NvmeController,
+    NvmeNamespace,
+    NvmeQpair,
+    SpdkEnv,
+)
+from repro.spdk.perf_tool import PerfTask, SpdkPerf, SpdkPerfResult
+from repro.spdk.profiled import (
+    compile_spdk_stack,
+    profile_spdk_perf,
+    run_spdk_perf,
+    run_spdk_perf_multi,
+)
+from repro.spdk.sources import (
+    CachedPidSource,
+    CachedTscSource,
+    PidSource,
+    TscSource,
+)
+from repro.spdk.timing import SpdkClock
+
+__all__ = [
+    "CachedPidSource",
+    "CachedTscSource",
+    "DeviceQueue",
+    "NvmeCommand",
+    "NvmeController",
+    "NvmeDevice",
+    "NvmeNamespace",
+    "NvmeQpair",
+    "PerfTask",
+    "PidSource",
+    "SpdkClock",
+    "SpdkEnv",
+    "SpdkPerf",
+    "SpdkPerfResult",
+    "TscSource",
+    "compile_spdk_stack",
+    "profile_spdk_perf",
+    "run_spdk_perf",
+    "run_spdk_perf_multi",
+]

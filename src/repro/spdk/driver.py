@@ -1,0 +1,198 @@
+"""The user-space NVMe driver stack (SPDK in miniature).
+
+Every method symbol matches a frame of the paper's Figure 6 flame
+graphs, so a TEE-Perf profile of the perf tool reads like the
+original: the environment/EAL initialisation stack, the controller
+probe path down to ``mmio_read_4``, and the request submission and
+completion paths through the pcie qpair.
+
+All queues, trackers and data buffers live in *untrusted* hugepage
+memory (SPDK's DMA requirement), so memory charges bypass the MEE —
+only the syscalls (getpid!) and timestamps pay enclave prices.
+"""
+
+from repro.core import symbol
+from repro.spdk import calibration
+from repro.spdk.device import NvmeDevice
+
+
+class SpdkEnv:
+    """env_init / DPDK EAL: hugepages and vfio (Figure 6, left stack)."""
+
+    def __init__(self, env):
+        self.env = env
+        self.initialised = False
+
+    @symbol("env_init")
+    def env_init(self):
+        self.eal_init()
+        self.initialised = True
+
+    @symbol("eal_init")
+    def eal_init(self):
+        self.eal_memory_init()
+        self.eal_vfio_setup()
+
+    @symbol("eal_memory_init")
+    def eal_memory_init(self):
+        self.eal_hugepage_info_init()
+        self.map_all_hugepages()
+
+    @symbol("eal_hugepage_info_init")
+    def eal_hugepage_info_init(self):
+        self.env.syscall("open")
+        self.env.compute(20_000)
+
+    @symbol("map_all_hugepages")
+    def map_all_hugepages(self):
+        self.env.syscall("mmap")
+        self.env.compute(calibration.HUGEPAGE_MAP_CYCLES)
+        self.env.mem_write(2 * 1024 * 1024, untrusted=True)
+
+    @symbol("eal_vfio_setup")
+    def eal_vfio_setup(self):
+        self.vfio_enable()
+
+    @symbol("vfio_enable")
+    def vfio_enable(self):
+        self.env.syscall("ioctl")
+        self.env.compute(calibration.VFIO_SETUP_CYCLES)
+
+
+class NvmeController:
+    """Controller probe/init (Figure 6, the ctrlr_process_init tower)."""
+
+    def __init__(self, env, device=None):
+        self.env = env
+        self.device = device or NvmeDevice()
+        self.ready = False
+
+    @symbol("probe")
+    def probe(self):
+        self.probe_internal()
+        self.ready = True
+        return self
+
+    @symbol("probe_internal")
+    def probe_internal(self):
+        for _ in range(calibration.CTRLR_INIT_STATES):
+            self.ctrlr_process_init()
+
+    @symbol("ctrlr_process_init")
+    def ctrlr_process_init(self):
+        self.env.compute(calibration.CTRLR_STATE_WAIT_CYCLES)
+        self.ctrlr_get_cc()
+
+    @symbol("ctrlr_get_cc")
+    def ctrlr_get_cc(self):
+        return self.transport_ctrlr_get_reg_4(0x14)
+
+    @symbol("transport_ctrlr_get_reg_4")
+    def transport_ctrlr_get_reg_4(self, offset):
+        return self.pcie_ctrlr_get_reg_4(offset)
+
+    @symbol("pcie_ctrlr_get_reg_4")
+    def pcie_ctrlr_get_reg_4(self, offset):
+        return self.mmio_read_4(offset)
+
+    @symbol("mmio_read_4")
+    def mmio_read_4(self, offset):
+        self.env.compute(calibration.MMIO_READ_CYCLES)
+        return 0x00460001 ^ offset  # a plausible CSTS/CC pattern
+
+
+class NvmeQpair:
+    """One I/O queue pair: the submit and complete towers of Figure 6."""
+
+    def __init__(self, env, controller):
+        self.env = env
+        self.controller = controller
+        self.device = controller.device
+        self.queue = controller.device.create_queue()
+
+    # -- submission ------------------------------------------------------
+
+    @symbol("qpair_submit_request")
+    def submit_request(self, is_read, lba):
+        return self.transport_qpair_submit_request(is_read, lba)
+
+    @symbol("transport_qpair_submit_request")
+    def transport_qpair_submit_request(self, is_read, lba):
+        self.env.compute(calibration.TRANSPORT_SUBMIT_CYCLES)
+        return self.pcie_qpair_submit_request(is_read, lba)
+
+    @symbol("pcie_qpair_submit_request")
+    def pcie_qpair_submit_request(self, is_read, lba):
+        self.env.compute(calibration.PCIE_SUBMIT_CYCLES)
+        self.env.mem_write(
+            calibration.DESCRIPTOR_BYTES, random=True, untrusted=True
+        )
+        # The doorbell write serialises against the shared device: a
+        # checkpoint keeps multi-queue submissions in virtual-time
+        # order.
+        self.env.thread().checkpoint()
+        return self.queue.submit(self.env.now_cycles(), is_read, lba)
+
+    # -- completion ------------------------------------------------------
+
+    @symbol("qpair_process_completions")
+    def process_completions(self, limit):
+        self.env.compute(calibration.QPAIR_PROCESS_CYCLES)
+        return self.transport_qpair_process_completions(limit)
+
+    @symbol("transport_qpair_process_completions")
+    def transport_qpair_process_completions(self, limit):
+        self.env.compute(calibration.TRANSPORT_PROCESS_CYCLES)
+        return self.pcie_qpair_process_completions(limit)
+
+    @symbol("pcie_qpair_process_completions")
+    def pcie_qpair_process_completions(self, limit):
+        self.env.compute(calibration.PCIE_PROCESS_CYCLES)
+        self.env.mem_read(
+            calibration.DESCRIPTOR_BYTES, random=True, untrusted=True
+        )
+        self.env.thread().checkpoint()  # CQ read: order by virtual time
+        ready = self.queue.ready(self.env.now_cycles(), limit)
+        for command in ready:
+            self.pcie_qpair_complete_tracker(command)
+        return ready
+
+    @symbol("pcie_qpair_complete_tracker")
+    def pcie_qpair_complete_tracker(self, command):
+        self.env.compute(calibration.PCIE_COMPLETE_TRACKER_CYCLES)
+
+
+class NvmeNamespace:
+    """Namespace command layer: where requests are allocated (and where
+    the naive port's getpid lives)."""
+
+    def __init__(self, env, qpair, pid_source):
+        self.env = env
+        self.qpair = qpair
+        self.pid_source = pid_source
+
+    @symbol("ns_cmd_read_with_md")
+    def read_with_md(self, lba):
+        self.env.compute(calibration.NS_CMD_CYCLES)
+        return self.nvme_ns_cmd_rw(True, lba)
+
+    @symbol("ns_cmd_write_with_md")
+    def write_with_md(self, lba):
+        self.env.compute(calibration.NS_CMD_CYCLES)
+        return self.nvme_ns_cmd_rw(False, lba)
+
+    @symbol("_nvme_ns_cmd_rw")
+    def nvme_ns_cmd_rw(self, is_read, lba):
+        self.env.compute(calibration.NVME_NS_CMD_RW_CYCLES)
+        self.allocate_request()
+        return self.qpair.submit_request(is_read, lba)
+
+    @symbol("allocate_request")
+    def allocate_request(self):
+        self.env.compute(calibration.ALLOCATE_REQUEST_CYCLES)
+        self.getpid()
+
+    @symbol("getpid")
+    def getpid(self):
+        """SPDK's env layer tags requests with the owning pid."""
+        return self.pid_source.getpid()

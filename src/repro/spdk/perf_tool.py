@@ -1,0 +1,293 @@
+"""The SPDK perf benchmark tool (§IV-C's measurement harness).
+
+A single poller core drives one queue pair at a fixed queue depth with
+an 80/20 random read/write mix of 4 KiB blocks: the exact workload of
+the paper's case study.  ``work_fn``/``check_io``/``submit_single_io``/
+``io_complete``/``task_complete`` are the frames Figure 6 shows around
+the driver stack.
+"""
+
+from repro.core import no_instrument, symbol
+from repro.spdk import calibration
+from repro.spdk.device import NvmeDevice
+from repro.spdk.driver import NvmeController, NvmeNamespace, NvmeQpair, SpdkEnv
+from repro.spdk.sources import (
+    CachedPidSource,
+    CachedTscSource,
+    PidSource,
+    TscSource,
+)
+from repro.spdk.timing import SpdkClock
+
+DEFAULT_QUEUE_DEPTH = 128
+DEFAULT_OPS = 2_000
+DEFAULT_READ_PCT = 80
+
+
+class PerfTask:
+    """One outstanding I/O with its DMA buffer."""
+
+    __slots__ = ("buffer", "is_read", "lba", "start_ticks", "command")
+
+    def __init__(self):
+        self.buffer = bytearray(calibration.BLOCK_BYTES)
+        self.is_read = True
+        self.lba = 0
+        self.start_ticks = 0
+        self.command = None
+
+
+class SpdkPerf:
+    """The perf tool: init, then a polling loop at fixed queue depth."""
+
+    def __init__(
+        self,
+        env,
+        queue_depth=DEFAULT_QUEUE_DEPTH,
+        ops=DEFAULT_OPS,
+        read_pct=DEFAULT_READ_PCT,
+        optimized=False,
+        device=None,
+        controller=None,
+        seed=1,
+    ):
+        if queue_depth < 1:
+            raise ValueError(f"queue depth must be >= 1: {queue_depth}")
+        if not 0 <= read_pct <= 100:
+            raise ValueError(f"read_pct must be 0..100: {read_pct}")
+        self.env = env
+        self.queue_depth = queue_depth
+        self.ops = ops
+        self.read_pct = read_pct
+        self.optimized = optimized
+        self.spdk_env = SpdkEnv(env)
+        self.controller = controller or NvmeController(
+            env, device or NvmeDevice()
+        )
+        pid_source = (CachedPidSource if optimized else PidSource)(env)
+        tsc_source = (CachedTscSource if optimized else TscSource)(env)
+        self.pid_source = pid_source
+        self.tsc_source = tsc_source
+        self.clock = SpdkClock(env, tsc_source)
+        self.qpair = NvmeQpair(env, self.controller)
+        self.namespace = NvmeNamespace(env, self.qpair, pid_source)
+        self._tasks = [PerfTask() for _ in range(queue_depth)]
+        self._free = list(self._tasks)
+        self._inflight = {}
+        self._rand_state = seed or 1
+        self.submitted = 0
+        self.completed = 0
+        self.reads = 0
+        self.writes = 0
+        self.latency_ticks = 0.0
+        self.latencies = []
+        self._start_cycles = 0.0
+        self._end_cycles = 0.0
+
+    # ------------------------------------------------------------------
+
+    @symbol("main")
+    def run(self):
+        """Full tool run: init, controllers, measurement loop."""
+        self.spdk_env.env_init()
+        self.register_controllers()
+        return self.run_worker()
+
+    def run_worker(self):
+        """The measurement loop alone (init done elsewhere) — what a
+        secondary poller core executes in a multi-queue run."""
+        self._start_cycles = self.env.now_cycles()
+        self.work_fn()
+        self._end_cycles = self.env.now_cycles()
+        return self.result()
+
+    @symbol("register_controllers")
+    def register_controllers(self):
+        self.controller.probe()
+
+    @symbol("work_fn")
+    def work_fn(self):
+        """The poller: keep the queue full, reap completions."""
+        initial = min(self.queue_depth, self.ops)
+        for _ in range(initial):
+            self.submit_single_io()
+        while self.completed < self.ops:
+            self.env.compute(calibration.WORK_FN_ITER_CYCLES)
+            if not self.check_io():
+                self._wait_for_device()
+
+    @symbol("check_io")
+    def check_io(self):
+        ready = self.qpair.process_completions(limit=64)
+        for command in ready:
+            self.io_complete(command)
+        return len(ready)
+
+    @symbol("submit_single_io")
+    def submit_single_io(self):
+        self.env.compute(calibration.SUBMIT_SINGLE_IO_CYCLES)
+        task = self._free.pop()
+        task.is_read = self._rand_below(100) < self.read_pct
+        task.lba = self._rand_below(self.controller.device.blocks)
+        task.start_ticks = self.clock.get_ticks()
+        if task.is_read:
+            command = self.namespace.read_with_md(task.lba)
+        else:
+            self._fill_buffer(task)
+            command = self.namespace.write_with_md(task.lba)
+        task.command = command
+        self._inflight[command.cid] = task
+        self.submitted += 1
+
+    @symbol("io_complete")
+    def io_complete(self, command):
+        self.env.compute(calibration.IO_COMPLETE_CYCLES)
+        task = self._inflight.pop(command.cid)
+        if task.is_read:
+            self._consume_buffer(task)
+        self.task_complete(task)
+
+    @symbol("task_complete")
+    def task_complete(self, task):
+        self.env.compute(calibration.TASK_COMPLETE_CYCLES)
+        end = self.clock.get_ticks()
+        latency = max(0.0, end - task.start_ticks)
+        self.latency_ticks += latency
+        self.latencies.append(latency)
+        self.completed += 1
+        if task.is_read:
+            self.reads += 1
+        else:
+            self.writes += 1
+        self._free.append(task)
+        if self.submitted < self.ops:
+            self.submit_single_io()
+
+    # ------------------------------------------------------------------
+
+    @no_instrument
+    def _fill_buffer(self, task):
+        touched = int(calibration.BLOCK_BYTES * calibration.BUFFER_TOUCH_FRACTION)
+        self.env.mem_write(touched, untrusted=True)
+        task.buffer[: len(b"spdk")] = b"spdk"
+
+    @no_instrument
+    def _consume_buffer(self, task):
+        touched = int(calibration.BLOCK_BYTES * calibration.BUFFER_TOUCH_FRACTION)
+        self.env.mem_read(touched, untrusted=True)
+        # A checksum touch: real work proportional to nothing much.
+        task.buffer[0] = (task.buffer[0] + 1) & 0xFF
+
+    @no_instrument
+    def _wait_for_device(self):
+        """Busy-poll until the next completion lands (CPU stays busy)."""
+        next_time = self.qpair.queue.next_completion_time()
+        if next_time is None:
+            raise RuntimeError("queue empty but ops remain unfinished")
+        thread = self.env.thread()
+        if next_time > thread.local_time:
+            thread.advance(next_time - thread.local_time)
+
+    @no_instrument
+    def _rand_below(self, n):
+        # xorshift64*: cheap deterministic randomness for the mix/LBAs.
+        x = self._rand_state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self._rand_state = x
+        return (x * 0x2545F4914F6CDD1D & 0xFFFFFFFFFFFFFFFF) % n
+
+    # ------------------------------------------------------------------
+
+    @no_instrument
+    def result(self):
+        return SpdkPerfResult(
+            ops=self.completed,
+            reads=self.reads,
+            writes=self.writes,
+            elapsed_cycles=self._end_cycles - self._start_cycles,
+            freq_hz=self.env.machine.clock.freq_hz,
+            optimized=self.optimized,
+            getpid_calls=self.pid_source.real_calls,
+            rdtsc_calls=self.tsc_source.real_calls,
+            latencies=self.latencies,
+        )
+
+
+class SpdkPerfResult:
+    """IOPS / throughput / latency, §IV-C style."""
+
+    def __init__(self, ops, reads, writes, elapsed_cycles, freq_hz,
+                 optimized, getpid_calls, rdtsc_calls, latencies=None):
+        self.ops = ops
+        self.reads = reads
+        self.writes = writes
+        self.elapsed_cycles = elapsed_cycles
+        self.freq_hz = freq_hz
+        self.optimized = optimized
+        self.getpid_calls = getpid_calls
+        self.rdtsc_calls = rdtsc_calls
+        self.latencies = sorted(latencies or [])
+
+    def latency_percentile_us(self, pct):
+        """The pct-th percentile of per-io latency in microseconds
+        (latencies are recorded in clock ticks ~ ns)."""
+        if not self.latencies:
+            return 0.0
+        if not 0 < pct <= 100:
+            raise ValueError(f"percentile must be in (0, 100]: {pct}")
+        index = min(
+            len(self.latencies) - 1,
+            max(0, int(len(self.latencies) * pct / 100) - 1),
+        )
+        return self.latencies[index] / 1e3
+
+    def mean_latency_us(self):
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies) / 1e3
+
+    @staticmethod
+    def merge(results):
+        """Aggregate the per-worker results of a multi-queue run."""
+        results = list(results)
+        if not results:
+            raise ValueError("nothing to merge")
+        merged = SpdkPerfResult(
+            ops=sum(r.ops for r in results),
+            reads=sum(r.reads for r in results),
+            writes=sum(r.writes for r in results),
+            elapsed_cycles=max(r.elapsed_cycles for r in results),
+            freq_hz=results[0].freq_hz,
+            optimized=results[0].optimized,
+            getpid_calls=sum(r.getpid_calls for r in results),
+            rdtsc_calls=sum(r.rdtsc_calls for r in results),
+            latencies=[l for r in results for l in r.latencies],
+        )
+        return merged
+
+    @property
+    def elapsed_seconds(self):
+        return self.elapsed_cycles / self.freq_hz
+
+    @property
+    def iops(self):
+        return self.ops / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def throughput_mib_s(self):
+        bytes_moved = self.ops * calibration.BLOCK_BYTES
+        if not self.elapsed_seconds:
+            return 0.0
+        return bytes_moved / self.elapsed_seconds / (1024 * 1024)
+
+    def report(self):
+        flavour = "optimized" if self.optimized else "unoptimized"
+        return (
+            f"spdk perf ({flavour}): {self.ops} ios "
+            f"({self.reads} reads / {self.writes} writes), "
+            f"{self.iops:,.0f} IOPS, {self.throughput_mib_s:,.1f} MiB/s "
+            f"[getpid syscalls: {self.getpid_calls}, "
+            f"rdtsc reads: {self.rdtsc_calls}]"
+        )

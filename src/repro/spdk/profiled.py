@@ -1,0 +1,103 @@
+"""Drivers for the §IV-C case study.
+
+``run_spdk_perf`` measures IOPS/throughput with no profiler attached
+(the paper's three headline numbers); ``profile_spdk_perf`` runs the
+same tool under TEE-Perf and returns the analysis behind the Figure 6
+flame graphs.
+"""
+
+from repro.core import TEEPerf
+from repro.machine import Machine
+from repro.spdk.driver import NvmeController, NvmeNamespace, NvmeQpair, SpdkEnv
+from repro.spdk.perf_tool import SpdkPerf
+from repro.spdk.timing import SpdkClock
+from repro.tee import NATIVE, SGX_V1, make_env
+
+SPDK_CLASSES = (
+    SpdkPerf,
+    SpdkEnv,
+    NvmeController,
+    NvmeQpair,
+    NvmeNamespace,
+    SpdkClock,
+)
+
+
+def compile_spdk_stack(perf):
+    """Instrument the whole SPDK stack (stage 1)."""
+    for cls in SPDK_CLASSES:
+        perf.compile_class(cls)
+    return perf
+
+
+def run_spdk_perf(platform=NATIVE, optimized=False, ops=2_000, **params):
+    """Uninstrumented run -> SpdkPerfResult (the IOPS table)."""
+    machine = Machine(cores=8)
+    env = make_env(machine, platform)
+    tool = SpdkPerf(env, ops=ops, optimized=optimized, **params)
+    return machine.run(tool.run)
+
+
+def run_spdk_perf_multi(
+    platform=NATIVE,
+    workers=2,
+    optimized=False,
+    ops_per_worker=1_000,
+    cores=8,
+    **params,
+):
+    """Multi-queue run: one poller thread per qpair, shared device.
+
+    Returns the merged :class:`~repro.spdk.perf_tool.SpdkPerfResult`.
+    Aggregate IOPS scales with pollers until the device's service rate
+    becomes the ceiling.
+    """
+    from repro.spdk.device import NvmeDevice
+    from repro.spdk.driver import NvmeController
+
+    machine = Machine(cores=cores)
+    env = make_env(machine, platform)
+    device = NvmeDevice()
+    controller = NvmeController(env, device)
+    tools = [
+        SpdkPerf(
+            env,
+            ops=ops_per_worker,
+            optimized=optimized,
+            controller=controller,
+            seed=i + 1,
+            **params,
+        )
+        for i in range(workers)
+    ]
+
+    def main():
+        tools[0].spdk_env.env_init()
+        controller.probe()
+        threads = [
+            machine.spawn(tool.run_worker, name=f"poller-{i}")
+            for i, tool in enumerate(tools)
+        ]
+        return [thread.join() for thread in threads]
+
+    results = machine.run(main)
+    from repro.spdk.perf_tool import SpdkPerfResult
+
+    return SpdkPerfResult.merge(results)
+
+
+def profile_spdk_perf(
+    platform=SGX_V1, optimized=False, ops=1_200, capacity=1 << 21, **params
+):
+    """TEE-Perf-instrumented run -> (perf, tool, result, analysis).
+
+    Callers must ``perf.uninstrument()`` afterwards: class patches are
+    process-global.
+    """
+    perf = TEEPerf.simulated(
+        platform=platform, cores=8, capacity=capacity, name="spdk-perf"
+    )
+    compile_spdk_stack(perf)
+    tool = SpdkPerf(perf.env, ops=ops, optimized=optimized, **params)
+    result = perf.record(tool.run)
+    return perf, tool, result, perf.analyze()

@@ -1,0 +1,95 @@
+"""Process-id and timestamp sources — and their cached optimisations.
+
+The §IV-C case study: the naive SGX port calls ``getpid`` (a
+synchronous ocall) on every request allocation and emulated ``rdtsc``
+on every tick read.  The fix the paper implements is caching — return
+the first getpid result forever, and serve timestamps from a cached
+value that is *corrected* by a real read every N calls.  These four
+small classes are exactly that, pluggable into the driver.
+"""
+
+from repro.spdk import calibration
+
+
+class PidSource:
+    """Naive: every call is a real getpid (ocall inside the TEE)."""
+
+    def __init__(self, env):
+        self.env = env
+        self.real_calls = 0
+
+    def getpid(self):
+        self.real_calls += 1
+        return self.env.getpid()
+
+
+class CachedPidSource(PidSource):
+    """Optimised: one real call, then the cached value.
+
+    "While caching of the process ID is unproblematic" — the pid of a
+    process cannot change under it, so this is exact.
+    """
+
+    def __init__(self, env):
+        super().__init__(env)
+        self._pid = None
+
+    def getpid(self):
+        if self._pid is None:
+            self._pid = super().getpid()
+        else:
+            self.env.compute(4.0)  # a cached load
+        return self._pid
+
+
+class TscSource:
+    """Naive: every tick read is a real rdtsc (emulated in SGX v1)."""
+
+    def __init__(self, env):
+        self.env = env
+        self.real_calls = 0
+
+    def rdtsc(self):
+        self.real_calls += 1
+        return self.env.timestamp()
+
+
+class CachedTscSource(TscSource):
+    """Optimised: cached timestamp "with correcting after a specific
+    amount of calls" (§IV-C).
+
+    Between corrections the source returns the cached value advanced by
+    the mean inter-call gap observed so far — monotone, cheap, and
+    re-anchored to truth every `interval` calls.
+    """
+
+    def __init__(
+        self, env, interval=calibration.TSC_CACHE_CORRECTION_INTERVAL
+    ):
+        super().__init__(env)
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1: {interval}")
+        self.interval = interval
+        self._calls_since_real = None
+        self._cached = 0.0
+        self._stride = 0.0
+        self._last_real = 0.0
+
+    def rdtsc(self):
+        if (
+            self._calls_since_real is None
+            or self._calls_since_real >= self.interval
+        ):
+            now = super().rdtsc()
+            if self._calls_since_real:
+                self._stride = (now - self._last_real) / (
+                    self._calls_since_real + 1
+                )
+            self._last_real = now
+            self._cached = now
+            self._calls_since_real = 0
+            return now
+        self.env.compute(6.0)  # cached load + add
+        self._calls_since_real += 1
+        self._cached += self._stride
+        return self._cached

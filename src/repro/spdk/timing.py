@@ -1,0 +1,32 @@
+"""The tick chain of Figure 6: get_ticks -> ... -> rdtsc."""
+
+from repro.core import symbol
+from repro.spdk import calibration
+
+
+class SpdkClock:
+    """DPDK's timer API over a pluggable tsc source."""
+
+    def __init__(self, env, tsc_source):
+        self.env = env
+        self.tsc_source = tsc_source
+
+    @symbol("get_ticks")
+    def get_ticks(self):
+        self.env.compute(calibration.GET_TICKS_CYCLES / 3)
+        return self.get_timer_cycles()
+
+    @symbol("get_timer_cycles")
+    def get_timer_cycles(self):
+        self.env.compute(calibration.GET_TICKS_CYCLES / 3)
+        return self.get_tsc_cycles()
+
+    @symbol("get_tsc_cycles")
+    def get_tsc_cycles(self):
+        self.env.compute(calibration.GET_TICKS_CYCLES / 3)
+        return self.rdtsc()
+
+    @symbol("rdtsc")
+    def rdtsc(self):
+        """Emulated (and expensive) inside an SGX v1 enclave."""
+        return self.tsc_source.rdtsc()

@@ -1,0 +1,28 @@
+"""Simulated binary, symbol and debug-information substrate.
+
+Stands in for the binutils pipeline the paper's analyzer shells out to
+(`readelf`, `addr2line`, `c++filt`): the compiler stage lays functions
+out in a :class:`BinaryImage`, the recorder logs runtime addresses, and
+the analyzer resolves them back through :class:`SymbolTable` after
+recovering the relocation offset from the log header.
+"""
+
+from repro.symbols.image import (
+    BinaryImage,
+    LoadedImage,
+    relocation_offset,
+)
+from repro.symbols.mangle import MangleError, demangle, mangle
+from repro.symbols.symtab import Symbol, SymbolLookupError, SymbolTable
+
+__all__ = [
+    "BinaryImage",
+    "LoadedImage",
+    "MangleError",
+    "Symbol",
+    "SymbolLookupError",
+    "SymbolTable",
+    "demangle",
+    "mangle",
+    "relocation_offset",
+]

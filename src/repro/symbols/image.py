@@ -1,0 +1,155 @@
+"""Simulated binary images.
+
+The "compiler" stage lays out every instrumented function in the text
+section of a :class:`BinaryImage`, assigning each a link-time address.
+At run time the image is *loaded* at an ASLR-style offset; log entries
+record runtime addresses, and the analyzer recovers the relocation
+offset from the well-known profiler address the recorder stores in the
+log header (Figure 2a), exactly as the paper describes for relocatable
+code.
+"""
+
+from repro.symbols.symtab import Symbol, SymbolTable
+
+DEFAULT_LINK_BASE = 0x400000  # traditional ELF executable base
+_ALIGN = 16
+
+
+class BinaryImage:
+    """A text-section layout with a symbol table.
+
+    Functions are added in compilation order; each receives an aligned
+    link-time address and a size (our stand-in for machine code is four
+    bytes per "instruction").
+    """
+
+    # The well-known entry the recorder writes into the log header so
+    # the analyzer can compute the relocation offset.
+    PROFILER_SYMBOL = "__tee_perf_profiler"
+
+    def __init__(self, name, link_base=DEFAULT_LINK_BASE):
+        self.name = name
+        self.link_base = link_base
+        self.symtab = SymbolTable()
+        self._cursor = link_base
+        # The injected profiler itself is always present and, as in the
+        # paper, marked no-instrument.
+        self.profiler_addr = self.add_function(
+            self.PROFILER_SYMBOL, size=389 * 4, file="profiler.h", line=1
+        )
+
+    def add_function(self, symbol_name, size=64, file=None, line=None):
+        """Lay out one function; returns its link-time address."""
+        if size <= 0:
+            raise ValueError(f"function size must be positive: {size}")
+        addr = self._cursor
+        self.symtab.add(Symbol(symbol_name, addr, size, file, line))
+        self._cursor = _align_up(addr + size, _ALIGN)
+        return addr
+
+    def text_size(self):
+        """Bytes of laid-out text."""
+        return self._cursor - self.link_base
+
+    def to_json(self):
+        """Serialise the image (the "binary + debug info" artefact the
+        analyzer needs next to a persisted log)."""
+        import json
+
+        return json.dumps(
+            {
+                "name": self.name,
+                "link_base": self.link_base,
+                "profiler_addr": self.profiler_addr,
+                "symbols": [
+                    {
+                        "name": sym.name,
+                        "addr": sym.addr,
+                        "size": sym.size,
+                        "file": sym.file,
+                        "line": sym.line,
+                    }
+                    for sym in self.symtab
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text):
+        """Rebuild an image from :meth:`to_json` output."""
+        import json
+
+        from repro.symbols.symtab import Symbol
+
+        data = json.loads(text)
+        image = cls.__new__(cls)
+        image.name = data["name"]
+        image.link_base = data["link_base"]
+        image.symtab = SymbolTable()
+        cursor = image.link_base
+        for raw in data["symbols"]:
+            image.symtab.add(
+                Symbol(
+                    raw["name"],
+                    raw["addr"],
+                    raw["size"],
+                    raw.get("file"),
+                    raw.get("line"),
+                )
+            )
+            cursor = max(cursor, _align_up(raw["addr"] + raw["size"], _ALIGN))
+        image._cursor = cursor
+        image.profiler_addr = data["profiler_addr"]
+        return image
+
+    def load(self, aslr_seed=0):
+        """Map the image at a deterministic ASLR-style offset."""
+        offset = 0
+        if aslr_seed:
+            # Page-aligned pseudo-random slide derived from the seed.
+            offset = ((aslr_seed * 2654435761) & 0x7FFFF000) + 0x1000
+        return LoadedImage(self, offset)
+
+    def __repr__(self):
+        return (
+            f"BinaryImage({self.name!r}, {len(self.symtab)} symbols, "
+            f"text={self.text_size()} bytes)"
+        )
+
+
+class LoadedImage:
+    """A binary image mapped at ``link address + offset``."""
+
+    def __init__(self, image, offset):
+        self.image = image
+        self.offset = offset
+
+    @property
+    def profiler_addr(self):
+        """Runtime address of the well-known profiler entry."""
+        return self.image.profiler_addr + self.offset
+
+    def runtime_addr(self, link_addr):
+        """Translate a link-time address to its runtime location."""
+        return link_addr + self.offset
+
+    def link_addr(self, runtime_addr):
+        """Translate a runtime address back to link time."""
+        return runtime_addr - self.offset
+
+    def __repr__(self):
+        return f"LoadedImage({self.image.name!r}, offset={self.offset:#x})"
+
+
+def relocation_offset(image, profiler_runtime_addr):
+    """Recover the load offset from the header's profiler address.
+
+    This is what the analyzer does with the Figure-2a ``address of
+    profiler`` field before resolving any other address.
+    """
+    return profiler_runtime_addr - image.profiler_addr
+
+
+def _align_up(value, align):
+    return (value + align - 1) & ~(align - 1)

@@ -1,0 +1,177 @@
+"""Itanium-flavoured name mangling and a c++filt equivalent.
+
+The paper's analyzer leans on binutils (`addr2line`, `readelf`,
+`c++filt`) to turn raw instruction addresses back into human-readable
+C++ names.  This module provides the name-encoding half of that: a
+mangler the "compiler" stage uses when it lays out the simulated
+binary, and the matching demangler the analyzer uses when reporting.
+
+The scheme follows the Itanium C++ ABI for the constructs we need:
+
+* plain C names are left untouched (``main`` stays ``main``);
+* ``ns::Class::method(...)`` becomes ``_ZN2ns5Class6methodE`` followed
+  by encoded parameter types;
+* a small table covers the common builtin parameter types; anything
+  else is encoded as a length-prefixed source name, which keeps the
+  encoding self-inverse even for types we do not model.
+
+Deviations from the full ABI (no substitutions, no templates) are
+deliberate: the encoding only needs to roundtrip through *our* tools.
+"""
+
+import re
+
+_BUILTIN_TO_CODE = {
+    "void": "v",
+    "bool": "b",
+    "char": "c",
+    "int": "i",
+    "unsigned": "j",
+    "unsigned int": "j",
+    "long": "l",
+    "unsigned long": "m",
+    "double": "d",
+    "float": "f",
+}
+_CODE_TO_BUILTIN = {code: name for name, code in _BUILTIN_TO_CODE.items()}
+# Collapse aliases so decode is deterministic.
+_CODE_TO_BUILTIN["j"] = "unsigned int"
+
+_IDENT = re.compile(r"[A-Za-z_~][A-Za-z0-9_]*")
+
+
+class MangleError(ValueError):
+    """A name could not be mangled or demangled."""
+
+
+def _split_qualified(qualified):
+    """Split ``a::b::c`` into components, respecting nothing fancier."""
+    parts = [p for p in qualified.split("::")]
+    if not parts or any(not p for p in parts):
+        raise MangleError(f"malformed qualified name: {qualified!r}")
+    return parts
+
+
+def _encode_type(type_name):
+    type_name = type_name.strip()
+    pointer = type_name.endswith("*")
+    base = type_name[:-1].strip() if pointer else type_name
+    code = _BUILTIN_TO_CODE.get(base)
+    if code is None:
+        if not base:
+            raise MangleError(f"empty parameter type in {type_name!r}")
+        code = f"{len(base)}{base}"
+    return ("P" + code) if pointer else code
+
+
+def _decode_type(encoded, pos):
+    pointer = False
+    if encoded[pos] == "P":
+        pointer = True
+        pos += 1
+    ch = encoded[pos]
+    if ch.isdigit():
+        digits = ""
+        while pos < len(encoded) and encoded[pos].isdigit():
+            digits += encoded[pos]
+            pos += 1
+        length = int(digits)
+        base = encoded[pos : pos + length]
+        if len(base) != length:
+            raise MangleError(f"truncated source name in {encoded!r}")
+        pos += length
+    else:
+        base = _CODE_TO_BUILTIN.get(ch)
+        if base is None:
+            raise MangleError(f"unknown type code {ch!r} in {encoded!r}")
+        pos += 1
+    return (base + "*" if pointer else base), pos
+
+
+def mangle(pretty):
+    """Encode a pretty name into its linker symbol.
+
+    ``main`` -> ``main``; ``rocksdb::Stats::Now()`` ->
+    ``_ZN7rocksdb5Stats3NowEv``.
+    """
+    pretty = pretty.strip()
+    if not pretty:
+        raise MangleError("empty name")
+    if "(" in pretty:
+        head, _, tail = pretty.partition("(")
+        if not tail.endswith(")"):
+            raise MangleError(f"unbalanced parameter list: {pretty!r}")
+        params = tail[:-1].strip()
+        qualified = head.strip()
+    else:
+        params = None
+        qualified = pretty
+    if "::" not in qualified and params is None:
+        if not _IDENT.fullmatch(qualified):
+            raise MangleError(f"not a valid C identifier: {qualified!r}")
+        return qualified  # plain C symbol
+    parts = _split_qualified(qualified)
+    for part in parts:
+        if not _IDENT.fullmatch(part):
+            raise MangleError(f"invalid name component {part!r} in {pretty!r}")
+    encoded = "_Z"
+    if len(parts) > 1:
+        encoded += "N" + "".join(f"{len(p)}{p}" for p in parts) + "E"
+    else:
+        encoded += f"{len(parts[0])}{parts[0]}"
+    if params is None or params in ("", "void"):
+        encoded += "v"
+    else:
+        for param in params.split(","):
+            encoded += _encode_type(param)
+    return encoded
+
+
+def demangle(symbol):
+    """Decode a linker symbol back to its pretty form (c++filt).
+
+    Unmangled (C) names are returned unchanged, matching c++filt.
+    """
+    if not symbol.startswith("_Z"):
+        return symbol
+    pos = 2
+    parts = []
+    if pos < len(symbol) and symbol[pos] == "N":
+        pos += 1
+        while pos < len(symbol) and symbol[pos] != "E":
+            if not symbol[pos].isdigit():
+                raise MangleError(f"bad nested name in {symbol!r}")
+            digits = ""
+            while symbol[pos].isdigit():
+                digits += symbol[pos]
+                pos += 1
+            length = int(digits)
+            parts.append(symbol[pos : pos + length])
+            if len(parts[-1]) != length:
+                raise MangleError(f"truncated component in {symbol!r}")
+            pos += length
+        if pos >= len(symbol):
+            raise MangleError(f"missing E terminator in {symbol!r}")
+        pos += 1  # consume E
+    else:
+        if not symbol[pos].isdigit():
+            raise MangleError(f"bad symbol {symbol!r}")
+        digits = ""
+        while pos < len(symbol) and symbol[pos].isdigit():
+            digits += symbol[pos]
+            pos += 1
+        length = int(digits)
+        parts.append(symbol[pos : pos + length])
+        if len(parts[-1]) != length:
+            raise MangleError(f"truncated component in {symbol!r}")
+        pos += length
+    params = []
+    while pos < len(symbol):
+        param, pos = _decode_type(symbol, pos)
+        params.append(param)
+    qualified = "::".join(parts)
+    if params == ["void"]:
+        return f"{qualified}()"
+    if not params:
+        return f"{qualified}()"
+    return f"{qualified}({', '.join(params)})"

@@ -1,0 +1,111 @@
+"""Symbol tables and the addr2line equivalent.
+
+A :class:`SymbolTable` maps link-time address ranges to symbols and can
+answer the two queries the analyzer needs: exact lookup by name and
+range lookup by address (binutils' ``addr2line``).  ``dump`` produces a
+``readelf --syms``-style listing used by the CLI and the docs.
+"""
+
+import bisect
+from dataclasses import dataclass
+
+from repro.symbols.mangle import demangle
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One function in the text section."""
+
+    name: str  # mangled (linker) name
+    addr: int
+    size: int
+    file: str = None
+    line: int = None
+
+    @property
+    def pretty(self):
+        """The demangled, human-readable name (c++filt output)."""
+        return demangle(self.name)
+
+    @property
+    def end(self):
+        return self.addr + self.size
+
+    def contains(self, addr):
+        return self.addr <= addr < self.end
+
+
+class SymbolLookupError(KeyError):
+    """An address or name did not resolve to any symbol."""
+
+
+class SymbolTable:
+    """Sorted, non-overlapping function symbols."""
+
+    def __init__(self):
+        self._by_name = {}
+        self._addrs = []
+        self._symbols = []
+
+    def add(self, symbol):
+        """Insert a symbol; rejects duplicates and overlapping ranges."""
+        if symbol.name in self._by_name:
+            raise ValueError(f"duplicate symbol name {symbol.name!r}")
+        idx = bisect.bisect_left(self._addrs, symbol.addr)
+        if idx < len(self._symbols) and symbol.end > self._symbols[idx].addr:
+            raise ValueError(
+                f"{symbol.name!r} overlaps {self._symbols[idx].name!r}"
+            )
+        if idx > 0 and self._symbols[idx - 1].end > symbol.addr:
+            raise ValueError(
+                f"{symbol.name!r} overlaps {self._symbols[idx - 1].name!r}"
+            )
+        self._addrs.insert(idx, symbol.addr)
+        self._symbols.insert(idx, symbol)
+        self._by_name[symbol.name] = symbol
+
+    def by_name(self, name):
+        """Exact lookup by mangled name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SymbolLookupError(f"no symbol named {name!r}") from None
+
+    def addr2line(self, addr):
+        """Resolve an address inside a function to its symbol.
+
+        Raises :class:`SymbolLookupError` for addresses outside every
+        function — the analyzer uses this to dismiss torn records at
+        the end of a full log.
+        """
+        idx = bisect.bisect_right(self._addrs, addr) - 1
+        if idx >= 0 and self._symbols[idx].contains(addr):
+            return self._symbols[idx]
+        raise SymbolLookupError(f"address {addr:#x} is not in any function")
+
+    def resolve(self, addr):
+        """Like :meth:`addr2line` but returns ``None`` on a miss."""
+        try:
+            return self.addr2line(addr)
+        except SymbolLookupError:
+            return None
+
+    def dump(self):
+        """A readelf-style text listing of the table."""
+        lines = [
+            f"{'Num':>4} {'Value':>18} {'Size':>6} Type    Name",
+        ]
+        for i, sym in enumerate(self._symbols):
+            lines.append(
+                f"{i:>4} {sym.addr:#018x} {sym.size:>6} FUNC    {sym.pretty}"
+            )
+        return "\n".join(lines)
+
+    def __iter__(self):
+        return iter(self._symbols)
+
+    def __len__(self):
+        return len(self._symbols)
+
+    def __contains__(self, name):
+        return name in self._by_name

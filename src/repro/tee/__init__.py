@@ -1,0 +1,50 @@
+"""TEE platform models.
+
+Cost models for the trusted execution environments the paper targets
+(Intel SGX v1/v2, ARM TrustZone, AMD SEV, RISC-V Keystone) plus the
+native baseline, an enclave memory model with EPC paging, execution
+environments that price a workload's memory/syscall/timestamp activity,
+and a SCONE-style syscall shim.
+
+The profiler itself never depends on any of this — that is the paper's
+platform-independence claim — but the *evaluation* runs workloads
+through these environments to reproduce in-enclave behaviour.
+"""
+
+from repro.tee.costs import (
+    ALL_PLATFORMS,
+    KEYSTONE,
+    NATIVE,
+    SEV,
+    SGX_V1,
+    SGX_V2,
+    TEE_PLATFORMS,
+    TRUSTZONE,
+    PlatformCosts,
+    platform_by_name,
+)
+from repro.tee.env import EnclaveEnv, EnvStats, ExecutionEnv, NativeEnv, make_env
+from repro.tee.memory import EnclaveMemory
+from repro.tee.scone import ASYNC, SYNC, SconeShim
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "ASYNC",
+    "EnclaveEnv",
+    "EnclaveMemory",
+    "EnvStats",
+    "ExecutionEnv",
+    "KEYSTONE",
+    "NATIVE",
+    "NativeEnv",
+    "PlatformCosts",
+    "SEV",
+    "SGX_V1",
+    "SGX_V2",
+    "SYNC",
+    "SconeShim",
+    "TEE_PLATFORMS",
+    "TRUSTZONE",
+    "make_env",
+    "platform_by_name",
+]

@@ -1,0 +1,164 @@
+"""Cost-model constants for TEE platforms.
+
+Each platform is described by a :class:`PlatformCosts` record.  The
+numbers are cycle counts at the paper's 3.6 GHz testbed frequency and
+come from the literature where available:
+
+* syscall / context-switch baselines: Soares & Stumm (FlexSC, OSDI'10)
+  and common Linux microbenchmarks (~1.8k cycles per trivial syscall).
+* SGX transition costs: Weichbrodt et al. (sgx-perf, Middleware'18)
+  and Orenbach et al. (Eleos, EuroSys'17) report ~8k-17k cycles for a
+  plain ecall/ocall and ~7k for an AEX, *excluding* the indirect cost
+  of the TLB flush and cache refill that follows — which dominates in
+  practice.  The paper itself attributes ~45 us per getpid ocall in the
+  SPDK case study (72 % of a 63 us request), so the SCONE-style
+  synchronous ocall figure used here is calibrated to that observation.
+* EPC paging: SCONE (OSDI'16) and the paper's §I report up to 2000x
+  slowdowns when the working set exceeds the EPC; a securely swapped
+  page costs ~40k cycles.
+* Memory-encryption engine (MEE): ~1.5-3x on cache-missing accesses
+  (Intel SGX Explained, Costan & Devadas).
+
+These constants are deliberately centralised so the calibration used by
+EXPERIMENTS.md is auditable in one place.
+"""
+
+from dataclasses import dataclass, replace
+
+CACHE_LINE = 64
+PAGE_SIZE = 4096
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PlatformCosts:
+    """Cycle costs and sizes describing one TEE platform.
+
+    A ``None`` for :attr:`epc_bytes` means the platform places no hard
+    limit on protected memory (e.g. AMD SEV encrypts all of DRAM).
+    """
+
+    name: str
+    isa: str
+    # Plain syscall on the *host* (no TEE involved).
+    syscall_cycles: float = 1_800.0
+    # Synchronous world switch out of and back into the TEE, including
+    # the indirect TLB/cache refill cost.  Zero for native.
+    ocall_cycles: float = 0.0
+    ecall_cycles: float = 0.0
+    # Asynchronous enclave exit (what a sampling interrupt causes).
+    aex_cycles: float = 0.0
+    # rdtsc / timestamp read inside the TEE.  SGXv1 forbids rdtsc, so
+    # SCONE-style runtimes emulate it via the exception handler.
+    rdtsc_cycles: float = 30.0
+    # getpid on this platform (inside the TEE it becomes an ocall).
+    getpid_cycles: float = 900.0
+    # Memory: cycles per cache line for sequential (prefetched) and
+    # random (DRAM-missing) access, and the MEE multiplier applied to
+    # protected memory.
+    seq_line_cycles: float = 4.0
+    rand_line_cycles: float = 180.0
+    mee_factor: float = 1.0
+    # Protected-memory size; paging beyond it costs page_fault_cycles
+    # per securely swapped page.
+    epc_bytes: int = None
+    page_fault_cycles: float = 40_000.0
+    # Per-event cost of TEE-Perf's injected instrumentation (reserve a
+    # log slot, read the counter, write a 32-byte entry to *untrusted*
+    # shared memory) — see repro.core.instrument.
+    instrument_event_cycles: float = 110.0
+
+    def derived(self, **overrides):
+        """A copy of this platform with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+NATIVE = PlatformCosts(
+    name="native",
+    isa="x86_64",
+)
+
+# Intel SGX v1 driven through a SCONE-style runtime with synchronous
+# system calls.  The 93.5 MiB figure is the usable part of the 128 MiB
+# PRM on the paper's generation of hardware.
+SGX_V1 = PlatformCosts(
+    name="sgx-v1",
+    isa="x86_64",
+    ocall_cycles=165_000.0,
+    ecall_cycles=14_000.0,
+    aex_cycles=72_000.0,
+    rdtsc_cycles=24_000.0,  # emulated: #UD -> AEX -> handler -> eresume
+    getpid_cycles=165_000.0,  # forwarded as a synchronous ocall
+    mee_factor=2.2,
+    epc_bytes=int(93.5 * MIB),
+    instrument_event_cycles=260.0,
+)
+
+# SGX v2 (larger EPC, in-enclave rdtsc permitted, EDMM).
+SGX_V2 = SGX_V1.derived(
+    name="sgx-v2",
+    rdtsc_cycles=100.0,
+    epc_bytes=256 * MIB,
+    ocall_cycles=120_000.0,
+    getpid_cycles=120_000.0,
+)
+
+# ARM TrustZone: a secure-world switch via SMC is far cheaper than an
+# SGX transition and there is no MEE or EPC limit on most parts.
+TRUSTZONE = PlatformCosts(
+    name="trustzone",
+    isa="aarch64",
+    ocall_cycles=14_000.0,
+    ecall_cycles=3_500.0,
+    aex_cycles=6_000.0,
+    rdtsc_cycles=60.0,
+    getpid_cycles=14_000.0,
+    mee_factor=1.0,
+    epc_bytes=None,
+    instrument_event_cycles=150.0,
+)
+
+# AMD SEV: whole-VM encryption; syscalls stay inside the guest kernel,
+# so there is no per-syscall world switch, only the MEE-like overhead.
+SEV = PlatformCosts(
+    name="sev",
+    isa="x86_64",
+    ocall_cycles=2_600.0,  # VMEXIT-bound operations only
+    ecall_cycles=2_600.0,
+    aex_cycles=4_000.0,
+    rdtsc_cycles=40.0,
+    getpid_cycles=1_100.0,
+    mee_factor=1.35,
+    epc_bytes=None,
+    instrument_event_cycles=130.0,
+)
+
+# RISC-V Keystone: machine-mode security monitor; switch cost between
+# SGX and TrustZone, physical-memory-protection regions instead of an
+# encrypted EPC.
+KEYSTONE = PlatformCosts(
+    name="keystone",
+    isa="riscv64",
+    ocall_cycles=22_000.0,
+    ecall_cycles=8_000.0,
+    aex_cycles=9_000.0,
+    rdtsc_cycles=50.0,
+    getpid_cycles=22_000.0,
+    mee_factor=1.0,
+    epc_bytes=512 * MIB,
+    instrument_event_cycles=150.0,
+)
+
+ALL_PLATFORMS = (SGX_V1, SGX_V2, TRUSTZONE, SEV, KEYSTONE)
+TEE_PLATFORMS = ALL_PLATFORMS
+
+
+def platform_by_name(name):
+    """Look up a TEE platform (or ``native``) by its name."""
+    if name == NATIVE.name:
+        return NATIVE
+    for platform in ALL_PLATFORMS:
+        if platform.name == name:
+            return platform
+    known = ", ".join([NATIVE.name] + [p.name for p in ALL_PLATFORMS])
+    raise KeyError(f"unknown platform {name!r} (known: {known})")

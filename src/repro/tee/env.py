@@ -1,0 +1,206 @@
+"""Execution environments: where a simulated thread's work is priced.
+
+Workloads never talk to the machine directly for anything but raw
+compute; every memory access, syscall and timestamp goes through an
+:class:`ExecutionEnv`, so the *same* workload code runs natively or
+inside any TEE platform and automatically pays that platform's costs.
+
+This is the reproduction's stand-in for real SGX hardware: §I of the
+paper lists exactly these effects (memory-encryption engine, EPC
+paging, world-switch cost, forbidden direct I/O) as the reasons TEE
+profiling is hard, and all four are modelled here.
+"""
+
+from repro.machine import current_thread
+from repro.tee.costs import CACHE_LINE, NATIVE, PlatformCosts
+from repro.tee.memory import EnclaveMemory
+
+
+class EnvStats:
+    """Counters an environment accumulates while a workload runs."""
+
+    def __init__(self):
+        self.syscalls = 0
+        self.ocalls = 0
+        self.ecalls = 0
+        self.aex = 0
+        self.timestamps = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.transition_cycles = 0.0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+
+class ExecutionEnv:
+    """Base environment: prices work against the virtual clock.
+
+    Subclasses only override the *costs*; the accounting and the public
+    surface live here.  All charge methods are safe to call from any
+    simulated thread.
+    """
+
+    is_enclave = False
+
+    def __init__(self, machine, costs=NATIVE):
+        if not isinstance(costs, PlatformCosts):
+            raise TypeError(f"costs must be PlatformCosts, got {costs!r}")
+        self.machine = machine
+        self.costs = costs
+        self.stats = EnvStats()
+
+    # -- core charges ---------------------------------------------------
+
+    def thread(self):
+        """The simulated thread executing the caller."""
+        return current_thread()
+
+    def compute(self, cycles):
+        """Charge pure CPU work (no memory or TEE effects)."""
+        current_thread().advance(cycles)
+
+    def mem_read(self, nbytes, random=False, untrusted=False):
+        """Charge a read of `nbytes`; `random` means cache-hostile.
+
+        `untrusted` marks memory outside the protected region (shared
+        DMA buffers, host-mapped pages): it skips the encryption engine
+        and EPC paging even inside a TEE.
+        """
+        self.stats.bytes_read += nbytes
+        current_thread().advance(
+            self._memory_cycles(nbytes, random, untrusted)
+        )
+
+    def mem_write(self, nbytes, random=False, untrusted=False):
+        """Charge a write of `nbytes`; see :meth:`mem_read`."""
+        self.stats.bytes_written += nbytes
+        current_thread().advance(
+            self._memory_cycles(nbytes, random, untrusted)
+        )
+
+    def syscall(self, name, extra_cycles=0.0):
+        """Charge one system call (an ocall inside a TEE)."""
+        self.stats.syscalls += 1
+        current_thread().advance(self._syscall_cycles(name) + extra_cycles)
+
+    def getpid(self):
+        """Charge a getpid; returns the simulated process id."""
+        self.stats.syscalls += 1
+        current_thread().advance(self._getpid_cycles())
+        return 4242
+
+    def timestamp(self):
+        """Charge a timestamp read; returns virtual nanoseconds."""
+        self.stats.timestamps += 1
+        thread = current_thread()
+        thread.advance(self._rdtsc_cycles())
+        return self.machine.clock.cycles_to_ns(thread.local_time)
+
+    def now_cycles(self):
+        """Current thread's local virtual time — free of charge."""
+        return current_thread().local_time
+
+    def alloc(self, nbytes):
+        """Record a memory allocation (drives EPC paging in TEEs)."""
+
+    def free(self, nbytes):
+        """Record a memory release."""
+
+    # -- per-platform prices --------------------------------------------
+
+    def _memory_cycles(self, nbytes, random, untrusted=False):
+        lines = max(1.0, nbytes / CACHE_LINE)
+        per_line = (
+            self.costs.rand_line_cycles if random else self.costs.seq_line_cycles
+        )
+        return lines * per_line
+
+    def _syscall_cycles(self, name):
+        return self.costs.syscall_cycles
+
+    def _getpid_cycles(self):
+        return self.costs.getpid_cycles
+
+    def _rdtsc_cycles(self):
+        return self.costs.rdtsc_cycles
+
+    def __repr__(self):
+        return f"{type(self).__name__}(platform={self.costs.name!r})"
+
+
+class NativeEnv(ExecutionEnv):
+    """Execution on the untrusted host: the paper's baseline."""
+
+    def __init__(self, machine, costs=NATIVE):
+        super().__init__(machine, costs)
+
+
+class EnclaveEnv(ExecutionEnv):
+    """Execution inside a TEE with the platform's cost model.
+
+    Memory accesses pay the memory-encryption factor and, past the EPC
+    limit, secure paging; syscalls become synchronous ocalls; rdtsc is
+    priced per platform (emulated on SGX v1).
+    """
+
+    is_enclave = True
+
+    def __init__(self, machine, platform):
+        super().__init__(machine, platform)
+        self.memory = EnclaveMemory(
+            platform.epc_bytes, platform.page_fault_cycles
+        )
+
+    def alloc(self, nbytes):
+        self.memory.alloc(nbytes)
+
+    def free(self, nbytes):
+        self.memory.free(nbytes)
+
+    def ecall(self, extra_cycles=0.0):
+        """Charge one world switch into the enclave."""
+        self.stats.ecalls += 1
+        cycles = self.costs.ecall_cycles + extra_cycles
+        self.stats.transition_cycles += cycles
+        current_thread().advance(cycles)
+
+    def ocall(self, name, extra_cycles=0.0):
+        """Charge one synchronous exit-and-reenter (an ocall)."""
+        self.stats.ocalls += 1
+        cycles = self.costs.ocall_cycles + extra_cycles
+        self.stats.transition_cycles += cycles
+        current_thread().advance(cycles)
+
+    def aex(self):
+        """Charge one asynchronous enclave exit (e.g. a perf sample)."""
+        self.stats.aex += 1
+        self.stats.transition_cycles += self.costs.aex_cycles
+        current_thread().advance(self.costs.aex_cycles)
+
+    def _memory_cycles(self, nbytes, random, untrusted=False):
+        plain = super()._memory_cycles(nbytes, random)
+        if untrusted:
+            return plain  # outside the protected region: no MEE, no EPC
+        return plain * self.costs.mee_factor + self.memory.paging_cycles(
+            nbytes, random
+        )
+
+    def _syscall_cycles(self, name):
+        # Direct I/O and syscalls are forbidden inside the TEE; every
+        # one becomes an ocall through the runtime.
+        self.stats.ocalls += 1
+        self.stats.transition_cycles += self.costs.ocall_cycles
+        return self.costs.ocall_cycles
+
+    def _getpid_cycles(self):
+        self.stats.ocalls += 1
+        self.stats.transition_cycles += self.costs.getpid_cycles
+        return self.costs.getpid_cycles
+
+
+def make_env(machine, platform):
+    """Build the right environment for `platform` (native or TEE)."""
+    if platform.name == NATIVE.name:
+        return NativeEnv(machine, platform)
+    return EnclaveEnv(machine, platform)

@@ -1,0 +1,76 @@
+"""Enclave memory model: allocation tracking and EPC paging.
+
+The model is intentionally analytic rather than page-exact: it tracks
+how many bytes the enclave has allocated and derives a miss probability
+for random accesses once the allocation exceeds the EPC.  That is all
+the evaluation needs — the paper's §I claim is that crossing the EPC
+boundary degrades performance by orders of magnitude, and the shape of
+that cliff is what `benchmarks/bench_ablation_epc_paging.py` checks.
+"""
+
+from repro.tee.costs import PAGE_SIZE
+
+
+class EnclaveMemory:
+    """Tracks enclave allocations and prices page faults.
+
+    Parameters
+    ----------
+    epc_bytes:
+        Usable protected memory; ``None`` disables paging entirely
+        (platforms like SEV encrypt all of DRAM).
+    page_fault_cycles:
+        Cost of one secure page swap (EWB + ELD round trip).
+    """
+
+    def __init__(self, epc_bytes, page_fault_cycles):
+        self.epc_bytes = epc_bytes
+        self.page_fault_cycles = page_fault_cycles
+        self.allocated = 0
+        self.peak_allocated = 0
+        self.page_faults = 0.0
+
+    def alloc(self, nbytes):
+        """Record an allocation of `nbytes` of enclave memory."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        self.allocated += nbytes
+        self.peak_allocated = max(self.peak_allocated, self.allocated)
+
+    def free(self, nbytes):
+        """Record a release of `nbytes` of enclave memory."""
+        if nbytes < 0:
+            raise ValueError(f"negative free: {nbytes}")
+        if nbytes > self.allocated:
+            raise ValueError(
+                f"freeing {nbytes} bytes but only {self.allocated} allocated"
+            )
+        self.allocated -= nbytes
+
+    def miss_probability(self):
+        """Probability that a random page access faults.
+
+        Zero while the allocation fits in the EPC; otherwise the
+        fraction of the allocation that cannot be resident.
+        """
+        if self.epc_bytes is None or self.allocated <= self.epc_bytes:
+            return 0.0
+        return 1.0 - self.epc_bytes / self.allocated
+
+    def paging_cycles(self, nbytes, random):
+        """Expected paging cost for touching `nbytes`.
+
+        Sequential scans touch each page once; random accesses touch
+        (at most) one page per cache line, which is what makes them so
+        much more expensive past the EPC boundary.
+        """
+        prob = self.miss_probability()
+        if prob == 0.0 or nbytes <= 0:
+            return 0.0
+        if random:
+            touches = max(1.0, nbytes / 64)
+        else:
+            touches = max(1.0, nbytes / PAGE_SIZE)
+        expected_faults = touches * prob
+        self.page_faults += expected_faults
+        return expected_faults * self.page_fault_cycles

@@ -1,0 +1,80 @@
+"""A SCONE-style runtime shim.
+
+The paper runs the Phoenix suite inside SGX *via SCONE* (Arnautov et
+al., OSDI'16).  SCONE's distinguishing feature is how system calls leave
+the enclave: either synchronously (one ocall per syscall, very
+expensive) or asynchronously through lock-free request queues served by
+host threads (much cheaper per call, but it burns host cores).
+
+The shim wraps an :class:`~repro.tee.env.EnclaveEnv` and reprices its
+syscalls according to the chosen mode.  The SPDK case study's "naive"
+port uses synchronous mode, which is what makes getpid devour 72 % of
+the request path.
+"""
+
+from repro.machine import MachineError
+
+SYNC = "sync"
+ASYNC = "async"
+
+# Asynchronous syscalls cost roughly an order of magnitude less than a
+# synchronous world switch (SCONE reports ~5-10x improvements on
+# syscall-heavy workloads).
+ASYNC_COST_FRACTION = 0.12
+# Each async-syscall host worker occupies one core.
+DEFAULT_SYSCALL_THREADS = 1
+
+
+class SconeShim:
+    """Repriced syscall layer between a workload and its enclave env."""
+
+    def __init__(self, env, mode=SYNC, syscall_threads=DEFAULT_SYSCALL_THREADS):
+        if mode not in (SYNC, ASYNC):
+            raise ValueError(f"mode must be {SYNC!r} or {ASYNC!r}: {mode!r}")
+        if not env.is_enclave:
+            raise MachineError("SconeShim wraps an enclave environment")
+        self.env = env
+        self.mode = mode
+        self.syscall_threads = syscall_threads
+        self._cores_reserved = 0
+        self.forwarded = 0
+
+    def start(self):
+        """Reserve host cores for the async syscall workers."""
+        if self.mode == ASYNC and self._cores_reserved == 0:
+            self.env.machine.reserve_core(self.syscall_threads)
+            self._cores_reserved = self.syscall_threads
+
+    def stop(self):
+        """Release the async workers' cores."""
+        if self._cores_reserved:
+            self.env.machine.release_core(self._cores_reserved)
+            self._cores_reserved = 0
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+    def syscall(self, name, extra_cycles=0.0):
+        """Forward one syscall out of the enclave in the current mode."""
+        self.forwarded += 1
+        if self.mode == SYNC:
+            self.env.syscall(name, extra_cycles)
+        else:
+            cost = self.env.costs.ocall_cycles * ASYNC_COST_FRACTION
+            self.env.stats.syscalls += 1
+            self.env.stats.ocalls += 1
+            self.env.stats.transition_cycles += cost
+            self.env.thread().advance(cost + extra_cycles)
+
+    def getpid(self):
+        """getpid through the shim (cached by SCONE only in later
+        versions; the paper's SPDK port had to add its own cache)."""
+        if self.mode == SYNC:
+            return self.env.getpid()
+        self.syscall("getpid")
+        return 4242

@@ -1,0 +1,130 @@
+"""Tests for auto-tracing (unmodified Python code, sys.setprofile)."""
+
+import sys
+import threading
+import types
+
+import pytest
+
+from repro.core import TEEPerf
+from repro.core.errors import TEEPerfError
+
+
+def make_app():
+    module = types.ModuleType("auto_app")
+    source = """
+def crunch(n):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+def helper():
+    return crunch(40_000)
+
+def main():
+    out = 0
+    for _ in range(4):
+        out += helper()
+    return out
+"""
+    exec(compile(source, "auto_app.py", "exec"), module.__dict__)
+    sys.modules["auto_app"] = module
+    return module
+
+
+@pytest.fixture
+def app():
+    module = make_app()
+    yield module
+    sys.modules.pop("auto_app", None)
+
+
+def test_auto_profile_without_any_compile_step(app):
+    perf = TEEPerf.auto(scope="auto_app")
+    result = perf.record(app.main)
+    assert result == app.crunch(40_000) * 4
+    analysis = perf.analyze()
+    assert analysis.method("auto_app::main()").calls == 1
+    assert analysis.method("auto_app::helper()").calls == 4
+    assert analysis.method("auto_app::crunch()").calls == 4
+    # crunch holds the loop; it dominates.
+    assert analysis.methods()[0].method == "auto_app::crunch()"
+
+
+def test_auto_scope_excludes_other_modules(app):
+    perf = TEEPerf.auto(scope="auto_app")
+
+    def driver():  # defined in the test module: out of scope
+        return app.main()
+
+    perf.record(driver)
+    analysis = perf.analyze()
+    names = {s.method for s in analysis.methods()}
+    assert "auto_app::main()" in names
+    assert not any("driver" in name for name in names)
+
+
+def test_auto_scope_predicate(app):
+    perf = TEEPerf.auto(scope=lambda module: module == "auto_app")
+    perf.record(app.main)
+    assert perf.analyze().method("auto_app::crunch()").calls == 4
+
+
+def test_auto_traces_spawned_threads(app):
+    perf = TEEPerf.auto(scope="auto_app")
+    # A barrier keeps all three threads alive simultaneously, so their
+    # idents are guaranteed distinct (Python reuses idents of joined
+    # threads otherwise).
+    barrier = threading.Barrier(3)
+    exec(
+        "def synced_helper(barrier):\n"
+        "    barrier.wait()\n"
+        "    return helper()\n",
+        app.__dict__,
+    )
+
+    def fan_out():
+        threads = [
+            threading.Thread(target=app.synced_helper, args=(barrier,))
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    perf.record(fan_out)
+    analysis = perf.analyze()
+    helper = analysis.method("auto_app::helper()")
+    assert helper.calls == 3
+    assert len(helper.threads) == 3
+
+
+def test_auto_flamegraph_nests(app):
+    perf = TEEPerf.auto(scope="auto_app")
+    perf.record(app.main)
+    perf.analyze()
+    folded = perf.flamegraph().to_folded()
+    assert "auto_app::main();auto_app::helper();auto_app::crunch()" in folded
+
+
+def test_auto_rejects_compile_calls(app):
+    perf = TEEPerf.auto(scope="auto_app")
+    with pytest.raises(TEEPerfError):
+        perf.compile_module(app)
+
+
+def test_hook_is_uninstalled_after_record(app):
+    perf = TEEPerf.auto(scope="auto_app")
+    perf.record(app.main)
+    assert sys.getprofile() is None
+
+
+def test_auto_handles_lambdas_and_weird_names(app):
+    module = sys.modules["auto_app"]
+    module.weird = eval("lambda: sum(i for i in range(10_000))", module.__dict__)
+    perf = TEEPerf.auto(scope="auto_app")
+    perf.record(module.weird)
+    analysis = perf.analyze()
+    assert any("lambda" in s.method for s in analysis.methods())

@@ -1,0 +1,85 @@
+"""Unit tests for the software counters."""
+
+import pytest
+
+from repro.core import PerfCounterClock, ThreadCounter, VirtualCounter
+from repro.core.errors import RecorderError
+from repro.machine import Machine
+
+
+def test_virtual_counter_quantises_thread_time():
+    machine = Machine(cores=4)
+    counter = VirtualCounter(machine, resolution_cycles=10)
+
+    def main():
+        machine.current().advance(105)
+        return counter.read()
+
+    assert machine.run(main) == 10
+
+
+def test_virtual_counter_reserves_a_core():
+    machine = Machine(cores=4)
+    counter = VirtualCounter(machine)
+    counter.start()
+    assert machine.available_cores() == 3
+    counter.stop()
+    assert machine.available_cores() == 4
+
+
+def test_virtual_counter_lifecycle_errors():
+    counter = VirtualCounter(Machine())
+    with pytest.raises(RecorderError):
+        counter.stop()
+    counter.start()
+    with pytest.raises(RecorderError):
+        counter.start()
+    counter.stop()
+
+
+def test_virtual_counter_resolution_positive():
+    with pytest.raises(ValueError):
+        VirtualCounter(Machine(), resolution_cycles=0)
+
+
+def test_virtual_counter_tick_conversion():
+    machine = Machine(freq_hz=1e9)
+    counter = VirtualCounter(machine, resolution_cycles=2)
+    assert counter.ticks_to_ns(5) == pytest.approx(10.0)
+    assert counter.resolution_ns() == pytest.approx(2.0)
+
+
+def test_thread_counter_advances_in_real_time():
+    counter = ThreadCounter()
+    counter.start()
+    try:
+        import time
+
+        first = counter.read()
+        time.sleep(0.05)
+        second = counter.read()
+    finally:
+        counter.stop()
+    assert second > first
+    assert counter.resolution_ns() > 0
+
+
+def test_thread_counter_lifecycle_errors():
+    counter = ThreadCounter()
+    with pytest.raises(RecorderError):
+        counter.stop()
+    counter.start()
+    with pytest.raises(RecorderError):
+        counter.start()
+    counter.stop()
+    assert not counter.running
+
+
+def test_perf_counter_clock_is_monotonic_ns():
+    clock = PerfCounterClock()
+    clock.start()
+    a = clock.read()
+    b = clock.read()
+    clock.stop()
+    assert b >= a
+    assert clock.ticks_to_ns(100) == 100.0

@@ -1,0 +1,102 @@
+"""Tests for the export formats (gprof, callgrind, speedscope, JSON)."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Analyzer,
+    KIND_CALL,
+    KIND_RET,
+    SharedLog,
+    to_callgrind,
+    to_gprof,
+    to_json,
+    to_speedscope,
+)
+from repro.symbols import BinaryImage
+
+
+@pytest.fixture
+def analysis():
+    image = BinaryImage("app")
+    for name in ("main", "work", "leaf"):
+        image.add_function(name, size=64, file=f"{name}.c", line=10)
+
+    def addr(name):
+        return image.symtab.by_name(name).addr
+
+    log = SharedLog.create(64, profiler_addr=image.profiler_addr)
+    events = [
+        (0, KIND_CALL, "main"),
+        (10, KIND_CALL, "work"),
+        (20, KIND_CALL, "leaf"),
+        (30, KIND_RET, "leaf"),
+        (50, KIND_CALL, "leaf"),
+        (55, KIND_RET, "leaf"),
+        (90, KIND_RET, "work"),
+        (100, KIND_RET, "main"),
+    ]
+    for t, kind, name in events:
+        log.append(kind, t, addr(name), 1)
+    return Analyzer(image).analyze(log)
+
+
+def test_gprof_flat_profile_and_call_graph(analysis):
+    text = to_gprof(analysis)
+    assert "Flat profile:" in text
+    assert "Call graph:" in text
+    assert "leaf" in text
+    # work's callees include leaf with 2 calls.
+    assert "-> leaf  (2 calls)" in text
+
+
+def test_callgrind_structure(analysis):
+    text = to_callgrind(analysis)
+    assert text.startswith("# callgrind format")
+    assert "events: Ticks" in text
+    assert "fn=work" in text
+    assert "cfn=leaf" in text
+    assert "calls=2" in text
+    assert "fl=work.c" in text
+    # Self cost lines parse as "<line> <ticks>".
+    for line in text.splitlines():
+        if line and line[0].isdigit():
+            parts = line.split()
+            assert len(parts) == 2
+            int(parts[0]), int(parts[1])
+
+
+def test_speedscope_schema_and_nesting(analysis):
+    doc = json.loads(to_speedscope(analysis))
+    assert doc["$schema"].startswith("https://www.speedscope.app")
+    names = [f["name"] for f in doc["shared"]["frames"]]
+    assert set(names) == {"main", "work", "leaf"}
+    profile = doc["profiles"][0]
+    assert profile["type"] == "evented"
+    # Events must nest: track a stack through them.
+    stack = []
+    for event in profile["events"]:
+        if event["type"] == "O":
+            stack.append(event["frame"])
+        else:
+            assert stack and stack.pop() == event["frame"]
+    assert not stack
+
+
+def test_speedscope_event_times_monotone(analysis):
+    doc = json.loads(to_speedscope(analysis))
+    for profile in doc["profiles"]:
+        times = [e["at"] for e in profile["events"]]
+        assert times == sorted(times)
+        assert profile["startValue"] <= times[0]
+        assert profile["endValue"] >= times[-1]
+
+
+def test_json_dump_roundtrips(analysis):
+    doc = json.loads(to_json(analysis))
+    by_name = {m["method"]: m for m in doc["methods"]}
+    assert by_name["leaf"]["calls"] == 2
+    assert by_name["leaf"]["exclusive"] == 15
+    assert doc["folded"]["main;work;leaf"] == 15
+    assert doc["meta"]["events"] == 8

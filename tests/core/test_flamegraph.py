@@ -1,0 +1,88 @@
+"""Unit tests for the Flame Graph writer (stage 4)."""
+
+import pytest
+
+from repro.core import FlameGraph
+
+
+@pytest.fixture
+def folded():
+    return {
+        ("main",): 10,
+        ("main", "io"): 30,
+        ("main", "io", "read"): 50,
+        ("main", "compute"): 110,
+    }
+
+
+def test_totals_nest(folded):
+    graph = FlameGraph(folded)
+    assert graph.total_ticks() == 200
+    frames = {node.name: node for _, _, node in graph.frames()}
+    assert frames["main"].total == 200
+    assert frames["io"].total == 80
+    assert frames["read"].total == 50
+    assert frames["main"].self_ticks == 10
+
+
+def test_share(folded):
+    graph = FlameGraph(folded)
+    assert graph.share("compute") == pytest.approx(110 / 200)
+    assert graph.share("io") == pytest.approx(80 / 200)
+    assert graph.share("main") == pytest.approx(1.0)
+
+
+def test_share_sums_same_named_frames():
+    graph = FlameGraph({("a", "x"): 10, ("b", "x"): 30})
+    assert graph.share("x") == pytest.approx(1.0)
+
+
+def test_folded_output_roundtrips(folded):
+    text = FlameGraph(folded).to_folded()
+    lines = dict(
+        (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+        for line in text.strip().splitlines()
+    )
+    assert lines["main;io;read"] == 50
+    assert lines["main;compute"] == 110
+    assert lines["main"] == 10
+
+
+def test_svg_contains_frames_and_tooltips(folded):
+    svg = FlameGraph(folded, title="My & Graph").to_svg()
+    assert svg.startswith("<svg")
+    assert svg.endswith("</svg>")
+    assert "My &amp; Graph" in svg
+    assert "compute" in svg
+    assert "<title>" in svg
+
+
+def test_write_files(folded, tmp_path):
+    graph = FlameGraph(folded)
+    svg_path = tmp_path / "graph.svg"
+    folded_path = tmp_path / "graph.folded"
+    graph.write_svg(str(svg_path))
+    graph.write_folded(str(folded_path))
+    assert svg_path.read_text().startswith("<svg")
+    assert "main;compute 110" in folded_path.read_text()
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(ValueError):
+        FlameGraph({})
+
+
+def test_zero_tick_paths_ignored():
+    graph = FlameGraph({("a",): 0, ("b",): 5})
+    assert graph.total_ticks() == 5
+
+
+def test_depth_layout_offsets_are_disjoint(folded):
+    graph = FlameGraph(folded)
+    by_level = {}
+    for level, start, node in graph.frames():
+        by_level.setdefault(level, []).append((start, start + node.total))
+    for level, spans in by_level.items():
+        spans.sort()
+        for (a_start, a_end), (b_start, _) in zip(spans, spans[1:]):
+            assert a_end <= b_start, f"overlap at level {level}"

@@ -1,0 +1,186 @@
+"""Unit tests for the compiler pass (stage 1)."""
+
+import types
+
+import pytest
+
+from repro.core import Instrumenter, no_instrument, symbol
+from repro.core.errors import TEEPerfError
+from repro.core.instrument import symbol_name_for
+from repro.core.log import KIND_CALL, KIND_RET
+
+
+class _RecordingHooks:
+    """Test double capturing events instead of writing a log."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, kind, addr):
+        self.events.append((kind, addr))
+
+
+def make_module():
+    module = types.ModuleType("workload")
+
+    def leaf():
+        return 1
+
+    def parent():
+        return module.leaf() + 1
+
+    @no_instrument
+    def helper():
+        return "hidden"
+
+    for fn in (leaf, parent, helper):
+        fn.__module__ = module.__name__
+        setattr(module, fn.__name__, fn)
+    return module
+
+
+def test_module_instrumentation_wraps_functions():
+    module = make_module()
+    ins = Instrumenter("test")
+    count = ins.instrument_module(module)
+    assert count == 2  # helper is no_instrument
+    program = ins.finish()
+    hooks = _RecordingHooks()
+    program.hooks.arm(hooks)
+    assert module.parent() == 2
+    program.hooks.disarm()
+    kinds = [kind for kind, _ in hooks.events]
+    assert kinds == [KIND_CALL, KIND_CALL, KIND_RET, KIND_RET]
+    # enter(parent), enter(leaf), exit(leaf), exit(parent)
+    addrs = [addr for _, addr in hooks.events]
+    assert addrs[0] == addrs[3] == program.link_addr("parent")
+    assert addrs[1] == addrs[2] == program.link_addr("leaf")
+
+
+def test_unarmed_hooks_are_pass_through():
+    module = make_module()
+    ins = Instrumenter("test")
+    ins.instrument_module(module)
+    assert module.parent() == 2  # no hooks, no explosion
+
+
+def test_restore_all_unpatches():
+    module = make_module()
+    original = module.leaf
+    ins = Instrumenter("test")
+    ins.instrument_module(module)
+    program = ins.finish()
+    assert module.leaf is not original
+    program.restore_all()
+    assert module.leaf is original
+
+
+def test_relocation_offset_applied():
+    module = make_module()
+    ins = Instrumenter("test")
+    ins.instrument_module(module)
+    program = ins.finish()
+    hooks = _RecordingHooks()
+    program.hooks.arm(hooks, offset=0x1000)
+    module.leaf()
+    program.hooks.disarm()
+    assert hooks.events[0][1] == program.link_addr("leaf") + 0x1000
+
+
+def test_selective_profiling_skips_unselected():
+    module = make_module()
+    ins = Instrumenter("test", select=lambda name: name == "leaf")
+    assert ins.instrument_module(module) == 1
+    program = ins.finish()
+    hooks = _RecordingHooks()
+    program.hooks.arm(hooks)
+    module.parent()
+    assert len(hooks.events) == 2  # only leaf traced
+
+
+def test_instance_instrumentation_binds_self():
+    class Store:
+        def __init__(self):
+            self.puts = 0
+
+        @symbol("store::Put(int)")
+        def put(self, value):
+            self.puts += 1
+            return self.bump(value)
+
+        @symbol("store::Bump(int)")
+        def bump(self, value):
+            return value + 1
+
+    store = Store()
+    ins = Instrumenter("store")
+    assert ins.instrument_instance(store) == 2
+    program = ins.finish()
+    hooks = _RecordingHooks()
+    program.hooks.arm(hooks)
+    assert store.put(41) == 42
+    assert store.puts == 1
+    # Recursive self-call goes through the wrapper: 4 events.
+    assert len(hooks.events) == 4
+    assert program.link_addr("store::Put(int)") in {
+        a for _, a in hooks.events
+    }
+
+
+def test_duplicate_symbol_rejected():
+    module = make_module()
+    other = make_module()
+    ins = Instrumenter("test")
+    ins.instrument_module(module)
+    with pytest.raises(TEEPerfError):
+        ins.instrument_module(other)
+
+
+def test_finish_without_functions_rejected():
+    with pytest.raises(TEEPerfError):
+        Instrumenter("empty").finish()
+
+
+def test_symbol_name_derivation():
+    def plain():
+        pass
+
+    assert symbol_name_for(plain) == "plain"
+    assert symbol_name_for(plain, prefix="unit") == "unit::plain"
+
+    @symbol("ns::Explicit()")
+    def tagged():
+        pass
+
+    assert symbol_name_for(tagged) == "ns::Explicit()"
+
+
+def test_wrapper_reports_exceptions_and_still_logs_exit():
+    module = make_module()
+
+    def broken():
+        raise RuntimeError("kaboom")
+
+    broken.__module__ = module.__name__
+    module.broken = broken
+    ins = Instrumenter("test")
+    ins.instrument_module(module)
+    program = ins.finish()
+    hooks = _RecordingHooks()
+    program.hooks.arm(hooks)
+    with pytest.raises(RuntimeError):
+        module.broken()
+    kinds = [kind for kind, _ in hooks.events]
+    assert kinds == [KIND_CALL, KIND_RET]
+
+
+def test_image_contains_mangled_symbols():
+    class App:
+        @symbol("app::Run()")
+        def run(self):
+            return 0
+
+    ins = Instrumenter("app")
+    ins.instrument_instance(App())
+    program = ins.finish()
+    assert "_ZN3app3RunEv" in program.image.symtab

@@ -1,0 +1,120 @@
+"""Integration tests for live mode: profiling real Python code."""
+
+import threading
+import types
+
+import pytest
+
+from repro.core import TEEPerf
+from repro.core.counter import PerfCounterClock
+from repro.core.recorder import LiveRecorder
+
+
+def make_module():
+    module = types.ModuleType("live_workload")
+
+    def busy(n):
+        total = 0
+        for i in range(n):
+            total += i * i
+        return total
+
+    def inner():
+        # Call through the module attribute so the instrumenter's patch
+        # is visible (module-level code resolves names via globals).
+        return module.busy(60_000)
+
+    def outer():
+        result = 0
+        for _ in range(5):
+            result += module.inner()
+        return result
+
+    for fn in (busy, inner, outer):
+        fn.__module__ = module.__name__
+        setattr(module, fn.__name__, fn)
+    return module
+
+
+def test_live_profile_single_thread():
+    module = make_module()
+    perf = TEEPerf.live(name="live")
+    perf.compile_module(module)
+    try:
+        result = perf.record(module.outer)
+        assert result == module.busy(60_000) * 5
+        analysis = perf.analyze()
+        assert analysis.method("outer").calls == 1
+        assert analysis.method("inner").calls == 5
+        assert analysis.method("busy").calls == 5
+        # busy dominates: it is where the loop lives.
+        assert analysis.methods()[0].method == "busy"
+        assert analysis.method("outer").inclusive >= analysis.method(
+            "inner"
+        ).inclusive
+    finally:
+        perf.uninstrument()
+
+
+def test_live_profile_multithreaded():
+    module = make_module()
+    perf = TEEPerf.live(name="live-mt")
+    perf.compile_module(module)
+    try:
+        def run_threads():
+            threads = [
+                threading.Thread(target=module.outer) for _ in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        perf.record(run_threads)
+        analysis = perf.analyze()
+        assert analysis.method("outer").calls == 3
+        assert len(analysis.method("outer").threads) == 3
+    finally:
+        perf.uninstrument()
+
+
+def test_live_with_hardware_counter():
+    module = make_module()
+    program_counter = PerfCounterClock()
+    perf = TEEPerf.live(name="live-hw")
+    perf._recorder_factory = lambda program: LiveRecorder(
+        program, counter=program_counter
+    )
+    perf.compile_module(module)
+    try:
+        perf.record(module.inner)
+        analysis = perf.analyze()
+        assert analysis.method("busy").inclusive > 0
+    finally:
+        perf.uninstrument()
+
+
+def test_live_persist_roundtrip(tmp_path):
+    module = make_module()
+    perf = TEEPerf.live(name="live-persist")
+    perf.compile_module(module)
+    try:
+        perf.record(module.inner)
+        path = tmp_path / "live.teeperf"
+        perf.persist(str(path))
+        offline = perf.analyze(str(path))
+        assert offline.method("busy").calls == 1
+    finally:
+        perf.uninstrument()
+
+
+def test_live_flamegraph():
+    module = make_module()
+    perf = TEEPerf.live(name="live-fg")
+    perf.compile_module(module)
+    try:
+        perf.record(module.outer)
+        graph = perf.flamegraph(title="live run")
+        assert graph.share("busy") > 0.3
+    finally:
+        perf.uninstrument()

@@ -1,0 +1,126 @@
+"""End-to-end property test: random call trees, exact accounting.
+
+Hypothesis generates arbitrary call trees (random shapes, costs and
+method names); each tree is executed as *real nested Python calls* on
+the simulated machine under the full TEE-Perf pipeline.  The analysis
+must then match the analytically known truth:
+
+* per-method call counts are exact;
+* per-method exclusive time equals the sum of that method's own costs,
+  within the instrumentation events' own (bounded) footprint;
+* the folded stacks reproduce the tree's path structure.
+"""
+
+from dataclasses import dataclass, field
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TEEPerf, symbol
+from repro.tee import NATIVE
+
+N_METHODS = 6
+EVENT_COST = 110.0  # native instrument_event_cycles
+TICK = 8.0  # default counter resolution
+
+
+@dataclass(eq=False)  # identity equality: nodes with equal fields differ
+class Node:
+    method: int
+    cost: int
+    children: list = field(default_factory=list)
+
+
+@st.composite
+def call_trees(draw):
+    size = draw(st.integers(min_value=1, max_value=30))
+    nodes = [
+        Node(
+            draw(st.integers(0, N_METHODS - 1)),
+            draw(st.integers(500, 50_000)),
+        )
+        for _ in range(size)
+    ]
+    root = nodes[0]
+    for index, node in enumerate(nodes[1:], start=1):
+        # Parents strictly precede children: guaranteed acyclic.
+        parent_index = draw(st.integers(0, index - 1))
+        nodes[parent_index].children.append(node)
+    return root
+
+
+def make_app_class():
+    """A class with one dispatchable method per symbol name."""
+
+    def make_method(index):
+        def method(self, node):
+            self.env.compute(node.cost)
+            for child in node.children:
+                getattr(self, f"f_{child.method}")(child)
+
+        method.__name__ = f"f_{index}"
+        method.__qualname__ = f"ScriptApp.f_{index}"
+        return symbol(f"script::F{index}()")(method)
+
+    namespace = {"__init__": lambda self, env: setattr(self, "env", env)}
+    for index in range(N_METHODS):
+        namespace[f"f_{index}"] = make_method(index)
+    return type("ScriptApp", (), namespace)
+
+
+def truth(root):
+    counts = {}
+    costs = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        counts[node.method] = counts.get(node.method, 0) + 1
+        costs[node.method] = costs.get(node.method, 0) + node.cost
+        stack.extend(node.children)
+    return counts, costs
+
+
+@settings(max_examples=25, deadline=None)
+@given(root=call_trees())
+def test_full_pipeline_matches_tree_truth(root):
+    app_cls = make_app_class()
+    perf = TEEPerf.simulated(platform=NATIVE, name="script")
+    app = app_cls(perf.env)
+    perf.compile_instance(app)
+    entry = getattr(app, f"f_{root.method}")
+    perf.record(entry, root)
+    analysis = perf.analyze()
+    counts, costs = truth(root)
+
+    for method, count in counts.items():
+        stats = analysis.method(f"script::F{method}()")
+        # Exact call counts.
+        assert stats.calls == count
+        # Exclusive time: own cost plus at most the bounded footprint
+        # of the instrumentation events this method (and its direct
+        # children's enter events) contribute, plus tick quantisation.
+        measured = stats.exclusive * TICK
+        lower = costs[method] - TICK * (count + 1)
+        upper = costs[method] + 4 * EVENT_COST * (count + counts_below(
+            root, method
+        )) + TICK * (count + 1)
+        assert lower <= measured <= upper, (
+            f"method {method}: measured {measured}, "
+            f"truth {costs[method]}"
+        )
+
+    # Folded stacks reproduce the tree's root.
+    folded = analysis.folded()
+    assert all(path[0] == f"script::F{root.method}()" for path in folded)
+
+
+def counts_below(root, method):
+    """Number of direct children hanging under calls of `method`."""
+    total = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.method == method:
+            total += len(node.children)
+        stack.extend(node.children)
+    return total

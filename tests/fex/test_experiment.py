@@ -1,0 +1,77 @@
+"""Unit tests for the Fex-style harness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fex import Experiment, Measurement, ResultTable, geomean, repeat
+
+
+def test_geomean_basics():
+    assert geomean([2, 8]) == pytest.approx(4.0)
+    assert geomean([5]) == pytest.approx(5.0)
+
+
+def test_geomean_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1, 0])
+    with pytest.raises(ValueError):
+        geomean([-1, 2])
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1))
+def test_geomean_between_min_and_max(values):
+    g = geomean(values)
+    assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+
+def test_measurement_stats():
+    m = Measurement([1.0, 2.0, 4.0])
+    assert m.mean == pytest.approx(7 / 3)
+    assert m.min == 1.0
+    assert m.max == 4.0
+    assert m.geomean == pytest.approx(2.0)
+    assert m.spread == pytest.approx(1.5)
+
+
+def test_empty_measurement_rejected():
+    with pytest.raises(ValueError):
+        Measurement([])
+
+
+def test_repeat_passes_run_index():
+    m = repeat(lambda i: i + 1, runs=5)
+    assert m.values == [1, 2, 3, 4, 5]
+    with pytest.raises(ValueError):
+        repeat(lambda i: i, runs=0)
+
+
+def test_experiment_ratio():
+    exp = Experiment("overhead", runs=3)
+    exp.measure("teeperf", lambda i: 20.0)
+    exp.measure("perf", lambda i: 10.0)
+    assert exp.ratio("teeperf", "perf") == pytest.approx(2.0)
+    means = exp.geomeans()
+    assert means["teeperf"] == pytest.approx(20.0)
+    assert means["perf"] == pytest.approx(10.0)
+
+
+def test_result_table_render_and_frame():
+    table = ResultTable("Figure 4", ["benchmark", "overhead"])
+    table.add_row("string_match", 5.7)
+    table.add_row(benchmark="mean", overhead=1.9)
+    text = table.render()
+    assert "Figure 4" in text
+    assert "string_match" in text
+    frame = table.to_frame()
+    assert frame.column("overhead") == [5.7, 1.9]
+
+
+def test_result_table_arity_checked():
+    table = ResultTable("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+    with pytest.raises(ValueError):
+        table.add_row(1, 2, b=3)

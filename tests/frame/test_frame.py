@@ -1,0 +1,181 @@
+"""Unit tests for the mini dataframe."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frame import Frame, FrameError
+
+
+@pytest.fixture
+def sample():
+    return Frame(
+        {
+            "method": ["get", "put", "get", "scan", "get"],
+            "thread": [1, 1, 2, 2, 1],
+            "ticks": [10, 40, 12, 100, 8],
+        }
+    )
+
+
+def test_len_and_columns(sample):
+    assert len(sample) == 5
+    assert sample.columns == ["method", "thread", "ticks"]
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(FrameError):
+        Frame({"a": [1, 2], "b": [1]})
+
+
+def test_non_dict_rejected():
+    with pytest.raises(FrameError):
+        Frame([("a", [1])])
+
+
+def test_row_and_rows(sample):
+    assert sample.row(0) == {"method": "get", "thread": 1, "ticks": 10}
+    assert sample.row(-1)["ticks"] == 8
+    assert len(list(sample.rows())) == 5
+    with pytest.raises(IndexError):
+        sample.row(5)
+
+
+def test_column_returns_copy(sample):
+    col = sample.column("ticks")
+    col[0] = 999
+    assert sample.column("ticks")[0] == 10
+
+
+def test_missing_column_mentions_available(sample):
+    with pytest.raises(FrameError) as err:
+        sample.column("nope")
+    assert "method" in str(err.value)
+
+
+def test_select(sample):
+    narrow = sample.select("method", "ticks")
+    assert narrow.columns == ["method", "ticks"]
+    assert len(narrow) == 5
+
+
+def test_filter_by_equality(sample):
+    gets = sample.filter(method="get")
+    assert len(gets) == 3
+    assert set(gets.column("thread")) == {1, 2}
+
+
+def test_filter_by_predicate(sample):
+    heavy = sample.filter(lambda r: r["ticks"] > 20)
+    assert sorted(heavy.column("method")) == ["put", "scan"]
+
+
+def test_filter_combined(sample):
+    result = sample.filter(lambda r: r["ticks"] < 20, method="get")
+    assert len(result) == 3
+
+
+def test_sort(sample):
+    by_ticks = sample.sort("ticks")
+    assert by_ticks.column("ticks") == [8, 10, 12, 40, 100]
+    desc = sample.sort("ticks", reverse=True)
+    assert desc.column("ticks")[0] == 100
+
+
+def test_sort_is_stable(sample):
+    by_thread = sample.sort("thread")
+    assert by_thread.column("method")[:3] == ["get", "put", "get"]
+
+
+def test_head(sample):
+    assert len(sample.head(2)) == 2
+    assert len(sample.head(100)) == 5
+
+
+def test_with_column_from_fn(sample):
+    doubled = sample.with_column("double", lambda r: r["ticks"] * 2)
+    assert doubled.column("double") == [20, 80, 24, 200, 16]
+    assert "double" not in sample  # original untouched
+
+
+def test_with_column_from_list_length_checked(sample):
+    with pytest.raises(FrameError):
+        sample.with_column("x", [1, 2])
+
+
+def test_groupby_count(sample):
+    counts = sample.groupby("method").count()
+    as_map = {r["method"]: r["count"] for r in counts.rows()}
+    assert as_map == {"get": 3, "put": 1, "scan": 1}
+
+
+def test_groupby_agg(sample):
+    agg = sample.groupby("thread").agg(
+        total=("ticks", sum), worst=("ticks", max)
+    )
+    by_thread = {r["thread"]: r for r in agg.rows()}
+    assert by_thread[1]["total"] == 58
+    assert by_thread[2]["worst"] == 100
+
+
+def test_groupby_multiple_keys(sample):
+    agg = sample.groupby("thread", "method").count("n")
+    lookup = {(r["thread"], r["method"]): r["n"] for r in agg.rows()}
+    assert lookup[(1, "get")] == 2
+    assert lookup[(2, "scan")] == 1
+
+
+def test_reductions(sample):
+    assert sample.sum("ticks") == 170
+    assert sample.mean("ticks") == pytest.approx(34.0)
+    assert sample.min("ticks") == 8
+    assert sample.max("ticks") == 100
+
+
+def test_mean_of_empty_rejected():
+    with pytest.raises(FrameError):
+        Frame({"a": []}).mean("a")
+
+
+def test_unique(sample):
+    assert sample.unique("method") == ["get", "put", "scan"]
+
+
+def test_from_records_infers_columns():
+    frame = Frame.from_records([{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+    assert frame.columns == ["a", "b", "c"]
+    assert frame.row(1) == {"a": None, "b": 3, "c": 4}
+
+
+def test_to_csv_quotes_specials():
+    frame = Frame({"name": ['he said "hi"', "a,b"], "v": [1, 2]})
+    csv = frame.to_csv()
+    assert '"he said ""hi"""' in csv
+    assert '"a,b"' in csv
+
+
+def test_str_renders_table(sample):
+    text = str(sample)
+    assert "method" in text
+    assert "scan" in text
+
+
+def test_empty_frame_str():
+    assert str(Frame({})) == "<empty frame>"
+
+
+@given(
+    values=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1)
+)
+def test_sort_matches_sorted(values):
+    frame = Frame({"v": values})
+    assert frame.sort("v").column("v") == sorted(values)
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=5), min_size=1)
+)
+def test_groupby_counts_partition_rows(values):
+    frame = Frame({"v": values})
+    counts = frame.groupby("v").count()
+    assert counts.sum("count") == len(values)

@@ -1,0 +1,61 @@
+"""Unit tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import BloomFilter, fnv1a
+
+
+def test_no_false_negatives_small():
+    filt = BloomFilter(100)
+    keys = [f"key-{i}".encode() for i in range(100)]
+    for key in keys:
+        filt.add(key)
+    assert all(filt.may_contain(key) for key in keys)
+
+
+def test_definitely_absent_for_most_others():
+    filt = BloomFilter(1_000, bits_per_key=10)
+    for i in range(1_000):
+        filt.add(f"present-{i}".encode())
+    false_positives = sum(
+        filt.may_contain(f"absent-{i}".encode()) for i in range(2_000)
+    )
+    # ~1% expected at 10 bits/key; allow generous slack.
+    assert false_positives < 100
+
+
+def test_empty_filter_rejects_everything():
+    filt = BloomFilter(10)
+    assert not filt.may_contain(b"anything")
+    assert len(filt) == 0
+
+
+def test_fill_ratio_grows():
+    filt = BloomFilter(100)
+    before = filt.fill_ratio()
+    for i in range(100):
+        filt.add(f"k{i}".encode())
+    assert filt.fill_ratio() > before
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        BloomFilter(-1)
+
+
+def test_fnv1a_deterministic_and_seeded():
+    assert fnv1a(b"abc") == fnv1a(b"abc")
+    assert fnv1a(b"abc") != fnv1a(b"abd")
+    assert fnv1a(b"abc", seed=1) != fnv1a(b"abc", seed=2)
+
+
+@settings(max_examples=50)
+@given(keys=st.lists(st.binary(min_size=1, max_size=32), min_size=1,
+                     max_size=200, unique=True))
+def test_no_false_negatives_property(keys):
+    filt = BloomFilter(len(keys))
+    for key in keys:
+        filt.add(key)
+    assert all(filt.may_contain(key) for key in keys)

@@ -1,0 +1,240 @@
+"""Integration tests for the LSM DB: flush, compaction, recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import DB
+from repro.kvstore.compaction import L0_COMPACTION_TRIGGER
+from repro.machine import Machine
+from repro.tee import NATIVE, SGX_V1, make_env
+
+
+def fresh_db(machine=None, platform=NATIVE, **options):
+    machine = machine or Machine(cores=8)
+    env = make_env(machine, platform)
+    return machine, DB(env, **options)
+
+
+def run(machine, fn):
+    return machine.run(fn)
+
+
+def test_put_get_roundtrip():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"alpha", b"1")
+        db.put(b"beta", b"2")
+        return db.get(b"alpha"), db.get(b"beta"), db.get(b"gamma")
+
+    assert run(machine, main) == (b"1", b"2", None)
+
+
+def test_overwrite_returns_newest():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"k", b"v1")
+        db.put(b"k", b"v2")
+        return db.get(b"k")
+
+    assert run(machine, main) == b"v2"
+
+
+def test_delete_hides_key():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"k", b"v")
+        db.delete(b"k")
+        return db.get(b"k")
+
+    assert run(machine, main) is None
+
+
+def test_flush_to_l0_and_reads_hit_tables():
+    machine, db = fresh_db(memtable_bytes=2_000)
+
+    def main():
+        for i in range(200):
+            db.put(b"%06d" % i, b"x" * 40)
+        assert db.table_count() > 0
+        return all(db.get(b"%06d" % i) == b"x" * 40 for i in range(200))
+
+    assert run(machine, main)
+
+
+def test_compaction_keeps_l0_bounded_and_data_intact():
+    machine, db = fresh_db(memtable_bytes=1_500)
+
+    def main():
+        for i in range(600):
+            db.put(b"%06d" % (i % 150), b"v%04d" % i)
+        shape = db.level_shape()
+        assert shape[0] < L0_COMPACTION_TRIGGER
+        assert db.compactor.compactions > 0
+        # Newest value per key wins after all the rewriting.
+        for key_idx in range(150):
+            newest = max(i for i in range(600) if i % 150 == key_idx)
+            assert db.get(b"%06d" % key_idx) == b"v%04d" % newest
+        return True
+
+    assert run(machine, main)
+
+
+def test_deeper_levels_do_not_overlap():
+    machine, db = fresh_db(memtable_bytes=1_200)
+
+    def main():
+        for i in range(800):
+            db.put(b"%06d" % i, b"x" * 30)
+        for level in db.levels[1:]:
+            for left, right in zip(level, level[1:]):
+                assert left.largest < right.smallest
+        return True
+
+    assert run(machine, main)
+
+
+def test_scan_ordered_and_filtered():
+    machine, db = fresh_db(memtable_bytes=1_000)
+
+    def main():
+        for i in range(120):
+            db.put(b"%04d" % i, b"v%d" % i)
+        db.delete(b"0005")
+        rows = db.scan(start=b"0003", end=b"0010")
+        return [k for k, _ in rows]
+
+    keys = run(machine, main)
+    assert keys == [b"0003", b"0004", b"0006", b"0007", b"0008", b"0009"]
+
+
+def test_crash_recovery_replays_wal():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"durable", b"yes")
+        db.put(b"also", b"this")
+        crashed = db.crash()
+        assert crashed.get(b"durable") is None  # memtable lost
+        replayed = crashed.recover()
+        assert replayed == 2
+        return crashed.get(b"durable"), crashed.get(b"also")
+
+    assert run(machine, main) == (b"yes", b"this")
+
+
+def test_recovery_after_flush_only_replays_tail():
+    machine, db = fresh_db(memtable_bytes=600)
+
+    def main():
+        for i in range(40):
+            db.put(b"%04d" % i, b"x" * 30)  # several flushes happen
+        db.put(b"tail", b"unflushed")
+        crashed = db.crash()
+        crashed.recover()
+        return crashed.get(b"tail"), crashed.get(b"0000")
+
+    tail, flushed = run(machine, main)
+    assert tail == b"unflushed"
+    assert flushed == b"x" * 30
+
+
+def test_statistics_tickers():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"a", b"1")
+        db.get(b"a")
+        db.get(b"missing")
+        return dict(db.stats.tickers)
+
+    tickers = run(machine, main)
+    assert tickers["keys.written"] == 1
+    assert tickers["keys.read"] == 2
+    assert tickers["get.hit"] == 1
+    assert tickers["get.miss"] == 1
+
+
+def test_bloom_filters_save_probes():
+    machine, db = fresh_db(memtable_bytes=1_000)
+
+    def main():
+        for i in range(100):
+            db.put(b"present-%04d" % i, b"v")
+        for i in range(100):
+            db.get(b"absent-%04d" % i)
+        return db.stats.ticker("bloom.useful")
+
+    assert run(machine, main) > 50
+
+
+def test_concurrent_writers_serialise_on_mutex():
+    machine, db = fresh_db()
+
+    def writer(base):
+        for i in range(50):
+            db.put(b"%d-%04d" % (base, i), b"v")
+
+    def main():
+        threads = [machine.spawn(writer, t) for t in range(4)]
+        for thread in threads:
+            thread.join()
+        return db.seq
+
+    assert run(machine, main) == 200
+    assert db.mutex.acquisitions == 200
+
+
+def test_sgx_reads_cost_more_than_native():
+    native_machine, native_db = fresh_db(platform=NATIVE)
+    sgx_machine, sgx_db = fresh_db(platform=SGX_V1)
+
+    def workload(db):
+        def main():
+            for i in range(100):
+                db.put(b"%04d" % i, b"v" * 20)
+            for i in range(100):
+                db.get(b"%04d" % i)
+
+        return main
+
+    run(native_machine, workload(native_db))
+    run(sgx_machine, workload(sgx_db))
+    assert sgx_machine.elapsed_cycles() > native_machine.elapsed_cycles()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.integers(min_value=0, max_value=30),
+            st.binary(min_size=1, max_size=20),
+        ),
+        min_size=1,
+        max_size=150,
+    )
+)
+def test_db_matches_dict_model(ops):
+    machine, db = fresh_db(memtable_bytes=800)
+    model = {}
+
+    def main():
+        for op, key_idx, value in ops:
+            key = b"%04d" % key_idx
+            if op == "put":
+                db.put(key, value)
+                model[key] = value
+            else:
+                db.delete(key)
+                model.pop(key, None)
+        for key_idx in range(31):
+            key = b"%04d" % key_idx
+            assert db.get(key) == model.get(key)
+        assert db.scan() == sorted(model.items())
+        return True
+
+    assert machine.run(main)

@@ -1,0 +1,185 @@
+"""Tests for db_bench and the profiled Figure-5 run."""
+
+import pytest
+
+from repro.core import FlameGraph
+from repro.kvstore import DB, DbBench, Random, RandomGenerator
+from repro.kvstore.profiled import profile_db_bench
+from repro.machine import Machine
+from repro.tee import NATIVE, SGX_V1, make_env
+
+SMALL = dict(
+    num_keys=300,
+    ops_per_thread=150,
+    threads=2,
+    generator_bytes=16 * 1024,
+)
+
+
+def test_rocksdb_lcg_reference_values():
+    rand = Random(301)
+    first = [rand.next() for _ in range(4)]
+    # Park-Miller with seed 301: deterministic reference sequence.
+    assert first[0] == 301 * 16807
+    assert all(0 < v < 2**31 - 1 for v in first)
+
+
+def test_random_generator_serves_slices():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+
+    def main():
+        gen = RandomGenerator(env, data_bytes=4_096, value_size=100)
+        first = gen.generate()
+        second = gen.generate()
+        assert len(first) == len(second) == 100
+        assert first != second  # different slices
+        # Compressible: the data repeats within a piece.
+        assert gen.generate(100)[:50] == gen.generate.__self__.data[200:250]
+        return len(gen.data)
+
+    assert machine.run(main) >= 4_096
+
+
+def test_random_generator_size_guard():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+
+    def main():
+        gen = RandomGenerator(env, data_bytes=1_024, value_size=100)
+        with pytest.raises(ValueError):
+            gen.generate(2_048)
+        return True
+
+    assert machine.run(main)
+
+
+def test_db_bench_runs_and_counts_ops():
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    db = DB(env)
+    bench = DbBench(machine, env, db, **SMALL)
+
+    def main():
+        bench.fill_random()
+        return bench.run()
+
+    merged = machine.run(main)
+    assert merged.done == 2 * 150
+    stats = db.stats
+    assert stats.ticker("keys.read") > 0
+    assert stats.ticker("keys.written") > 0
+    # ~80/20 split within binomial slack.
+    reads = stats.ticker("keys.read")
+    assert reads / merged.done == pytest.approx(0.8, abs=0.12)
+
+
+def test_db_bench_report_mentions_ops():
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    db = DB(env)
+    bench = DbBench(machine, env, db, **SMALL)
+
+    def main():
+        bench.fill_random()
+        return bench.run()
+
+    machine.run(main)
+    assert "ops/s" in bench.report()
+    assert "80% reads" in bench.report()
+
+
+def test_fill_seq_then_read_workloads():
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    db = DB(env)
+    bench = DbBench(machine, env, db, num_keys=200, ops_per_thread=100,
+                    generator_bytes=8 * 1024)
+
+    def main():
+        bench.fill_seq()
+        hits = bench.read_random()
+        scanned = bench.read_seq()
+        return hits, scanned
+
+    hits, scanned = machine.run(main)
+    assert hits == 100  # fillseq loaded every key: all reads hit
+    assert scanned == 200
+
+
+def test_overwrite_replaces_values():
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    db = DB(env)
+    bench = DbBench(machine, env, db, num_keys=50, ops_per_thread=300,
+                    generator_bytes=8 * 1024)
+
+    def main():
+        bench.fill_seq()
+        before = dict(db.scan())
+        bench.overwrite()
+        after = dict(db.scan())
+        return before, after
+
+    before, after = machine.run(main)
+    assert set(before) == set(after)  # same keys
+    assert any(before[k] != after[k] for k in before)  # new values
+
+
+def test_invalid_read_pct_rejected():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+    with pytest.raises(ValueError):
+        DbBench(machine, env, DB(env), read_pct=150)
+
+
+def test_figure5_profile_shape():
+    """The paper's finding: Stats::Now and RandomGenerator dominate."""
+    perf, bench, analysis = profile_db_bench(
+        platform=SGX_V1,
+        num_keys=400,
+        ops_per_thread=250,
+        threads=2,
+        generator_bytes=160 * 1024,
+    )
+    try:
+        methods = analysis.methods()
+        assert methods[0].method == "rocksdb::Stats::Now()"
+        graph = FlameGraph.from_analysis(analysis)
+        now_share = graph.share("rocksdb::Stats::Now()")
+        gen_share = graph.share(
+            "rocksdb::RandomGenerator::RandomGenerator()"
+        )
+        assert now_share > 0.3
+        assert gen_share > 0.1
+        # The benchmark loop contains (almost) all worker time; the
+        # remainder is the main thread waiting inside Benchmark::Run().
+        assert (
+            graph.share(
+                "rocksdb::Benchmark::ReadRandomWriteRandom(ThreadState*)"
+            )
+            > 0.6
+        )
+        # The fill phase was paused out of the log.
+        frame = analysis.records_frame()
+        assert not len(
+            frame.filter(method="rocksdb::Benchmark::FillRandom(ThreadState*)")
+        )
+    finally:
+        perf.uninstrument()
+
+
+def test_figure5_native_profile_differs():
+    """Natively, timestamps are cheap: Stats::Now cannot dominate."""
+    perf, _, analysis = profile_db_bench(
+        platform=NATIVE,
+        num_keys=300,
+        ops_per_thread=200,
+        threads=2,
+        generator_bytes=32 * 1024,
+    )
+    try:
+        graph = FlameGraph.from_analysis(analysis)
+        assert graph.share("rocksdb::Stats::Now()") < 0.15
+    finally:
+        perf.uninstrument()

@@ -1,0 +1,113 @@
+"""Unit tests for the skip-list memtable."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import Entry, MemTable
+
+
+def put(table, key, seq, value=b"v"):
+    table.add(Entry.put(key, seq, value))
+
+
+def test_get_returns_newest_version():
+    table = MemTable()
+    put(table, b"a", 1, b"old")
+    put(table, b"a", 5, b"new")
+    put(table, b"a", 3, b"mid")
+    assert table.get(b"a").value == b"new"
+
+
+def test_snapshot_reads_respect_max_seq():
+    table = MemTable()
+    put(table, b"a", 1, b"v1")
+    put(table, b"a", 5, b"v5")
+    assert table.get(b"a", max_seq=3).value == b"v1"
+    assert table.get(b"a", max_seq=5).value == b"v5"
+    assert table.get(b"a", max_seq=0) is None
+
+
+def test_get_missing_key():
+    table = MemTable()
+    put(table, b"b", 1)
+    assert table.get(b"a") is None
+    assert table.get(b"c") is None
+
+
+def test_tombstones_are_versions_too():
+    table = MemTable()
+    put(table, b"a", 1, b"v")
+    table.add(Entry.delete(b"a", 2))
+    assert table.get(b"a").is_tombstone
+
+
+def test_iteration_order_key_asc_seq_desc():
+    table = MemTable()
+    put(table, b"b", 2)
+    put(table, b"a", 1)
+    put(table, b"a", 9)
+    put(table, b"c", 4)
+    put(table, b"b", 7)
+    order = [(e.key, e.seq) for e in table]
+    assert order == [(b"a", 9), (b"a", 1), (b"b", 7), (b"b", 2), (b"c", 4)]
+
+
+def test_duplicate_version_rejected():
+    table = MemTable()
+    put(table, b"a", 1)
+    with pytest.raises(ValueError):
+        put(table, b"a", 1)
+
+
+def test_size_accounting():
+    table = MemTable()
+    assert table.bytes == 0
+    entry = Entry.put(b"key", 1, b"value")
+    table.add(entry)
+    assert table.bytes == entry.size()
+    assert len(table) == 1
+
+
+def test_deterministic_given_seed():
+    def build(seed):
+        table = MemTable(seed)
+        for i in range(200):
+            put(table, f"k{i:04d}".encode(), i + 1)
+        return [(e.key, e.seq) for e in table]
+
+    assert build(7) == build(7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    items=st.lists(
+        st.tuples(
+            st.binary(min_size=1, max_size=8),
+            st.integers(min_value=1, max_value=10_000),
+        ),
+        min_size=1,
+        max_size=300,
+        unique=True,
+    )
+)
+def test_iteration_sorted_property(items):
+    table = MemTable()
+    for key, seq in items:
+        table.add(Entry.put(key, seq, b""))
+    out = [(e.key, -e.seq) for e in table]
+    assert out == sorted(out)
+    assert len(list(table)) == len(items)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.binary(min_size=1, max_size=6), min_size=1,
+                  max_size=100, unique=True)
+)
+def test_get_finds_every_inserted_key(keys):
+    table = MemTable()
+    for seq, key in enumerate(keys, start=1):
+        table.add(Entry.put(key, seq, key))
+    for key in keys:
+        assert table.get(key).value == key

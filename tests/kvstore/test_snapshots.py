@@ -1,0 +1,238 @@
+"""Tests for snapshots, snapshot-aware compaction and the table format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import DB, Entry, MemTable, SSTable, visible_versions
+from repro.machine import Machine
+from repro.tee import NATIVE, make_env
+
+
+def fresh_db(**options):
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    return machine, DB(env, **options)
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+
+def test_snapshot_sees_point_in_time():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"k", b"v1")
+        snap = db.snapshot()
+        db.put(b"k", b"v2")
+        db.put(b"new", b"x")
+        return (
+            db.get(b"k", snapshot=snap),
+            db.get(b"k"),
+            db.get(b"new", snapshot=snap),
+        )
+
+    old, new, unseen = machine.run(main)
+    assert old == b"v1"
+    assert new == b"v2"
+    assert unseen is None
+
+
+def test_snapshot_sees_deleted_keys():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"k", b"v")
+        snap = db.snapshot()
+        db.delete(b"k")
+        return db.get(b"k", snapshot=snap), db.get(b"k")
+
+    before, after = machine.run(main)
+    assert before == b"v"
+    assert after is None
+
+
+def test_snapshot_survives_flush_and_compaction():
+    machine, db = fresh_db(memtable_bytes=800)
+
+    def main():
+        db.put(b"target", b"old-value")
+        snap = db.snapshot()
+        # Rewrite the key many times, forcing flushes + compactions.
+        for i in range(400):
+            db.put(b"target", b"v%04d" % i)
+            db.put(b"%04d" % i, b"x" * 30)
+        assert db.compactor.compactions > 0
+        return db.get(b"target", snapshot=snap), db.get(b"target")
+
+    old, new = machine.run(main)
+    assert old == b"old-value"
+    assert new == b"v0399"
+
+
+def test_released_snapshot_versions_are_reclaimed():
+    machine, db = fresh_db(memtable_bytes=800)
+
+    def main():
+        db.put(b"target", b"old-value")
+        snap = db.snapshot()
+        for i in range(200):
+            db.put(b"target", b"v%04d" % i)
+            db.put(b"%04d" % i, b"x" * 30)
+        snap.release()
+        db.compact_range()
+        # After release + full compaction only the newest version
+        # remains anywhere in the tree.
+        versions = [
+            entry
+            for level in db.levels
+            for table in level
+            for entry in table
+            if entry.key == b"target"
+        ]
+        return versions
+
+    versions = machine.run(main)
+    assert len(versions) == 1
+    assert versions[0].value == b"v0199"
+
+
+def test_snapshot_scan():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"a", b"1")
+        db.put(b"b", b"2")
+        snap = db.snapshot()
+        db.put(b"c", b"3")
+        db.delete(b"a")
+        return db.scan(snapshot=snap), db.scan()
+
+    snap_view, live_view = machine.run(main)
+    assert snap_view == [(b"a", b"1"), (b"b", b"2")]
+    assert live_view == [(b"b", b"2"), (b"c", b"3")]
+
+
+def test_snapshot_context_manager_releases():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"k", b"v")
+        with db.snapshot() as snap:
+            assert db.get(b"k", snapshot=snap) == b"v"
+            assert db._snapshots
+        return len(db._snapshots)
+
+    assert machine.run(main) == 0
+
+
+def test_compact_range_collapses_levels():
+    machine, db = fresh_db(memtable_bytes=800)
+
+    def main():
+        for i in range(300):
+            db.put(b"%04d" % (i % 60), b"x" * 25)
+        db.compact_range()
+        shape = db.level_shape()
+        # Everything lives in exactly one non-empty level now.
+        assert sum(1 for n in shape if n) == 1
+        return all(db.get(b"%04d" % i) is not None for i in range(60))
+
+    assert machine.run(main)
+
+
+# ----------------------------------------------------------------------
+# visible_versions (the GC filter itself)
+
+def _versions(*seqs, key=b"k", tomb=()):
+    return [
+        Entry.delete(key, s) if s in tomb else Entry.put(key, s, b"v%d" % s)
+        for s in sorted(seqs, reverse=True)
+    ]
+
+
+def test_visible_versions_keeps_newest_only_without_snapshots():
+    kept = list(visible_versions(_versions(1, 5, 9)))
+    assert [e.seq for e in kept] == [9]
+
+
+def test_visible_versions_pins_snapshot_views():
+    kept = list(visible_versions(_versions(1, 5, 9), protected_seqs=(6, 2)))
+    # newest (9), snapshot@6 sees 5, snapshot@2 sees 1.
+    assert [e.seq for e in kept] == [9, 5, 1]
+
+
+def test_visible_versions_shares_one_version_between_snapshots():
+    kept = list(visible_versions(_versions(1, 9), protected_seqs=(7, 3)))
+    # Both snapshots see version 1.
+    assert [e.seq for e in kept] == [9, 1]
+
+
+def test_visible_versions_drops_lone_bottom_tombstone():
+    kept = list(
+        visible_versions(_versions(9, tomb={9}), drop_tombstones=True)
+    )
+    assert kept == []
+
+
+def test_visible_versions_keeps_tombstone_shadowing_snapshot():
+    kept = list(
+        visible_versions(
+            _versions(3, 9, tomb={9}),
+            protected_seqs=(5,),
+            drop_tombstones=True,
+        )
+    )
+    # The tombstone must stay or the snapshot-visible put at 3 would
+    # resurrect for live readers.
+    assert [e.seq for e in kept] == [9, 3]
+    assert kept[0].is_tombstone
+
+
+@settings(max_examples=60)
+@given(
+    seqs=st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                  max_size=12, unique=True),
+    snaps=st.lists(st.integers(min_value=0, max_value=110), max_size=4),
+)
+def test_visible_versions_preserves_every_snapshot_view(seqs, snaps):
+    versions = _versions(*seqs)
+    kept = list(visible_versions(versions, protected_seqs=snaps))
+
+    def view(entries, at):
+        for entry in entries:  # newest first
+            if entry.seq <= at:
+                return entry.seq
+        return None
+
+    # Live view preserved.
+    assert view(kept, max(seqs)) == view(versions, max(seqs))
+    # Every snapshot's view preserved.
+    for snap in snaps:
+        assert view(kept, snap) == view(versions, snap)
+
+
+# ----------------------------------------------------------------------
+# SSTable on-disk format
+
+def test_sstable_encode_decode_roundtrip():
+    mem = MemTable()
+    for i in range(300):
+        mem.add(Entry.put(b"%05d" % i, i + 1, b"value-%d" % i))
+    mem.add(Entry.delete(b"gone", 1000))
+    table = SSTable(list(mem), number=7)
+    restored = SSTable.decode(table.encode())
+    assert restored.number == 7
+    assert len(restored) == len(table)
+    assert restored.smallest == table.smallest
+    assert restored.largest == table.largest
+    for i in range(300):
+        assert restored.get(b"%05d" % i).value == b"value-%d" % i
+    assert restored.get(b"gone").is_tombstone
+    # The bloom filter came across bit-for-bit.
+    assert restored.filter.to_bytes() == table.filter.to_bytes()
+
+
+def test_sstable_decode_rejects_garbage():
+    with pytest.raises(ValueError):
+        SSTable.decode(b"not a table" * 10)

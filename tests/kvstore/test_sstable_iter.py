@@ -1,0 +1,137 @@
+"""Unit tests for SSTables and the merging iterators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import (
+    Entry,
+    MemTable,
+    SSTable,
+    latest_visible,
+    merge_entries,
+    newest_versions,
+)
+
+
+def build_table(pairs, number=1):
+    """pairs: [(key, seq, value)] in any order."""
+    table = MemTable()
+    for key, seq, value in pairs:
+        table.add(Entry.put(key, seq, value))
+    return SSTable(list(table), number)
+
+
+def test_get_present_and_absent():
+    table = build_table([(b"a", 1, b"va"), (b"c", 2, b"vc")])
+    assert table.get(b"a").value == b"va"
+    assert table.get(b"c").value == b"vc"
+    assert table.get(b"b") is None
+    assert table.get(b"zz") is None
+
+
+def test_get_respects_snapshots():
+    table = build_table([(b"a", 5, b"new"), (b"a", 2, b"old")])
+    assert table.get(b"a").value == b"new"
+    assert table.get(b"a", max_seq=3).value == b"old"
+    assert table.get(b"a", max_seq=1) is None
+
+
+def test_blocks_split_near_target():
+    pairs = [(b"%06d" % i, i + 1, b"x" * 200) for i in range(200)]
+    table = build_table(pairs)
+    assert table.block_count() > 5
+    # Every key still resolves across block boundaries.
+    for key, seq, value in pairs:
+        assert table.get(key).value == value
+
+
+def test_out_of_order_entries_rejected():
+    entries = [Entry.put(b"b", 1, b""), Entry.put(b"a", 2, b"")]
+    with pytest.raises(ValueError):
+        SSTable(entries, 1)
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ValueError):
+        SSTable([], 1)
+
+
+def test_overlaps():
+    table = build_table([(b"d", 1, b""), (b"m", 2, b"")])
+    assert table.overlaps(b"a", b"e")
+    assert table.overlaps(b"f", b"z")
+    assert not table.overlaps(b"a", b"c")
+    assert not table.overlaps(b"n", b"z")
+
+
+def test_merge_orders_across_sources():
+    newer = build_table([(b"a", 9, b"new-a"), (b"c", 8, b"c")], 2)
+    older = build_table([(b"a", 1, b"old-a"), (b"b", 2, b"b")], 1)
+    merged = list(merge_entries([newer, older]))
+    assert [(e.key, e.seq) for e in merged] == [
+        (b"a", 9),
+        (b"a", 1),
+        (b"b", 2),
+        (b"c", 8),
+    ]
+
+
+def test_latest_visible_filters_shadowed_and_tombstones():
+    mem = MemTable()
+    mem.add(Entry.put(b"a", 5, b"new"))
+    mem.add(Entry.put(b"a", 1, b"old"))
+    mem.add(Entry.delete(b"b", 4))
+    mem.add(Entry.put(b"b", 2, b"dead"))
+    mem.add(Entry.put(b"c", 3, b"live"))
+    visible = list(latest_visible(merge_entries([mem])))
+    assert visible == [(b"a", b"new"), (b"c", b"live")]
+
+
+def test_latest_visible_snapshot():
+    mem = MemTable()
+    mem.add(Entry.put(b"a", 5, b"new"))
+    mem.add(Entry.put(b"a", 1, b"old"))
+    visible = dict(latest_visible(merge_entries([mem]), max_seq=3))
+    assert visible == {b"a": b"old"}
+
+
+def test_newest_versions_compaction_filter():
+    mem = MemTable()
+    mem.add(Entry.put(b"a", 5, b"new"))
+    mem.add(Entry.put(b"a", 1, b"old"))
+    mem.add(Entry.delete(b"b", 2))
+    survivors = list(newest_versions(merge_entries([mem])))
+    assert [(e.key, e.seq) for e in survivors] == [(b"a", 5), (b"b", 2)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.binary(min_size=1, max_size=6), min_size=1,
+                  max_size=150, unique=True)
+)
+def test_every_key_resolvable_property(keys):
+    pairs = [(key, i + 1, key) for i, key in enumerate(keys)]
+    table = build_table(pairs)
+    for key in keys:
+        assert table.get(key).value == key
+    assert len(table) == len(keys)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.lists(st.binary(min_size=1, max_size=4), min_size=1, max_size=40,
+               unique=True),
+    b=st.lists(st.binary(min_size=1, max_size=4), min_size=1, max_size=40,
+               unique=True),
+)
+def test_merge_is_sorted_and_complete_property(a, b):
+    mem_a, mem_b = MemTable(), MemTable()
+    for i, key in enumerate(a):
+        mem_a.add(Entry.put(key, 1000 + i, b"a"))
+    for i, key in enumerate(b):
+        mem_b.add(Entry.put(key, 1 + i, b"b"))
+    merged = list(merge_entries([mem_a, mem_b]))
+    assert len(merged) == len(a) + len(b)
+    ordered = [(e.key, -e.seq) for e in merged]
+    assert ordered == sorted(ordered)

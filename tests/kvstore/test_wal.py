@@ -1,0 +1,121 @@
+"""Unit tests for the write-ahead log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import Entry, WalCorruption, WriteAheadLog
+from repro.kvstore.wal import decode_records, encode_record
+from repro.machine import Machine
+from repro.tee import NATIVE, make_env
+
+
+def make_wal():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+    return machine, WriteAheadLog(env)
+
+
+def test_append_and_replay_roundtrip():
+    machine, wal = make_wal()
+
+    def main():
+        wal.add_record(Entry.put(b"k1", 1, b"v1"))
+        wal.add_record(Entry.delete(b"k2", 2))
+        return wal.replay()
+
+    replayed = machine.run(main)
+    assert len(replayed) == 2
+    assert replayed[0] == Entry.put(b"k1", 1, b"v1")
+    assert replayed[1].is_tombstone
+
+
+def test_truncate_clears_log():
+    machine, wal = make_wal()
+
+    def main():
+        wal.add_record(Entry.put(b"k", 1, b"v"))
+        wal.truncate()
+        return wal.replay(), wal.size_bytes()
+
+    replayed, size = machine.run(main)
+    assert replayed == []
+    assert size == 0
+
+
+def test_torn_tail_is_silently_dropped():
+    machine, wal = make_wal()
+
+    def main():
+        wal.add_record(Entry.put(b"k1", 1, b"v1"))
+        wal.add_record(Entry.put(b"k2", 2, b"v2"))
+        wal.corrupt_tail(3)  # crash mid-append of the second record
+        return wal.replay()
+
+    replayed = machine.run(main)
+    assert [e.key for e in replayed] == [b"k1"]
+
+
+def test_mid_log_corruption_raises():
+    first = encode_record(Entry.put(b"k1", 1, b"v1"))
+    second = encode_record(Entry.put(b"k2", 2, b"v2"))
+    corrupted = bytearray(first + second)
+    corrupted[21] ^= 0xFF  # flip a key byte inside the first record
+    with pytest.raises(WalCorruption):
+        list(decode_records(corrupted))
+
+
+def test_corrupt_more_than_log_rejected():
+    _, wal = make_wal()
+    with pytest.raises(ValueError):
+        wal.corrupt_tail(1)
+
+
+def test_appends_are_buffered():
+    machine, wal = make_wal()
+
+    def main():
+        for i in range(10):
+            wal.add_record(Entry.put(b"%04d" % i, i + 1, b"x" * 10))
+        buffered = wal.env.stats.syscalls
+        wal.flush()
+        return buffered, wal.env.stats.syscalls, wal.flushes
+
+    buffered, after_flush, flushes = machine.run(main)
+    assert buffered == 0  # ten small records fit the writer buffer
+    assert after_flush == 1
+    assert flushes == 1
+
+
+def test_buffer_overflow_triggers_syscall():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+    wal = WriteAheadLog(env, buffer_bytes=64)
+
+    def main():
+        wal.add_record(Entry.put(b"key", 1, b"x" * 100))
+        return env.stats.syscalls
+
+    assert machine.run(main) == 1
+
+
+@settings(max_examples=40)
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.binary(min_size=1, max_size=16),
+            st.integers(min_value=1, max_value=1 << 40),
+            st.binary(max_size=64),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_encode_decode_roundtrip_property(entries):
+    blob = bytearray()
+    expected = []
+    for seq, (key, seqno, value) in enumerate(entries):
+        entry = Entry.put(key, seqno, value)
+        blob += encode_record(entry)
+        expected.append(entry)
+    assert list(decode_records(blob)) == expected

@@ -1,0 +1,119 @@
+"""Tests for the atomic WriteBatch."""
+
+from repro.kvstore import DB, WriteBatch
+from repro.machine import Machine
+from repro.tee import NATIVE, make_env
+
+
+def fresh_db(**options):
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    return machine, DB(env, **options)
+
+
+def test_batch_applies_all_operations():
+    machine, db = fresh_db()
+
+    def main():
+        batch = WriteBatch()
+        batch.put(b"a", b"1").put(b"b", b"2").delete(b"c")
+        db.put(b"c", b"doomed")
+        db.write(batch)
+        return db.get(b"a"), db.get(b"b"), db.get(b"c")
+
+    assert machine.run(main) == (b"1", b"2", None)
+
+
+def test_batch_sequences_are_consecutive():
+    machine, db = fresh_db()
+
+    def main():
+        batch = WriteBatch()
+        for i in range(5):
+            batch.put(b"%d" % i, b"v")
+        before = db.seq
+        db.write(batch)
+        return before, db.seq
+
+    before, after = machine.run(main)
+    assert after == before + 5
+
+
+def test_batch_atomic_under_concurrency():
+    machine, db = fresh_db()
+
+    def writer(tag):
+        batch = WriteBatch()
+        for i in range(20):
+            batch.put(b"key-%02d" % i, tag)
+        db.write(batch)
+
+    def main():
+        threads = [
+            machine.spawn(writer, b"A"),
+            machine.spawn(writer, b"B"),
+        ]
+        for t in threads:
+            t.join()
+        # One batch fully shadows the other: all keys carry one tag.
+        values = {db.get(b"key-%02d" % i) for i in range(20)}
+        return values
+
+    values = machine.run(main)
+    assert values == {b"A"} or values == {b"B"}
+
+
+def test_batch_snapshot_isolation():
+    machine, db = fresh_db()
+
+    def main():
+        db.put(b"x", b"old")
+        snap = db.snapshot()
+        batch = WriteBatch()
+        batch.put(b"x", b"new").put(b"y", b"created")
+        db.write(batch)
+        return (
+            db.get(b"x", snapshot=snap),
+            db.get(b"y", snapshot=snap),
+            db.get(b"x"),
+        )
+
+    assert machine.run(main) == (b"old", None, b"new")
+
+
+def test_batch_survives_crash_via_wal():
+    machine, db = fresh_db()
+
+    def main():
+        batch = WriteBatch()
+        batch.put(b"p", b"1").delete(b"q").put(b"r", b"2")
+        db.write(batch)
+        crashed = db.crash()
+        crashed.recover()
+        return crashed.get(b"p"), crashed.get(b"q"), crashed.get(b"r")
+
+    assert machine.run(main) == (b"1", None, b"2")
+
+
+def test_batch_clear_and_len():
+    batch = WriteBatch()
+    assert len(batch) == 0
+    batch.put(b"a", b"1").delete(b"b")
+    assert len(batch) == 2
+    batch.clear()
+    assert len(batch) == 0
+
+
+def test_large_batch_triggers_flush():
+    machine, db = fresh_db(memtable_bytes=1_000)
+
+    def main():
+        batch = WriteBatch()
+        for i in range(100):
+            batch.put(b"%04d" % i, b"x" * 30)
+        db.write(batch)
+        return db.table_count(), db.get(b"0000")
+
+    tables, value = machine.run(main)
+    assert tables > 0
+    assert value == b"x" * 30

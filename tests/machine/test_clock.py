@@ -1,0 +1,59 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import VirtualClock
+
+
+def test_default_frequency_matches_paper_testbed():
+    clock = VirtualClock()
+    assert clock.freq_hz == pytest.approx(3.6e9)
+
+
+def test_cycles_to_seconds():
+    clock = VirtualClock(freq_hz=2e9)
+    assert clock.cycles_to_seconds(2e9) == pytest.approx(1.0)
+    assert clock.cycles_to_seconds(1e6) == pytest.approx(0.0005)
+
+
+def test_seconds_to_cycles():
+    clock = VirtualClock(freq_hz=2e9)
+    assert clock.seconds_to_cycles(0.5) == pytest.approx(1e9)
+
+
+def test_ns_conversions():
+    clock = VirtualClock(freq_hz=1e9)
+    assert clock.cycles_to_ns(10) == pytest.approx(10.0)
+    assert clock.ns_to_cycles(7.0) == pytest.approx(7.0)
+
+
+def test_nonpositive_frequency_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(freq_hz=0)
+    with pytest.raises(ValueError):
+        VirtualClock(freq_hz=-1)
+
+
+def test_repr_mentions_frequency():
+    assert "3.600e+09" in repr(VirtualClock())
+
+
+@given(st.floats(min_value=1.0, max_value=1e12, allow_nan=False))
+def test_roundtrip_cycles_seconds(cycles):
+    clock = VirtualClock(freq_hz=3.6e9)
+    assert clock.seconds_to_cycles(
+        clock.cycles_to_seconds(cycles)
+    ) == pytest.approx(cycles, rel=1e-9)
+
+
+@given(
+    st.floats(min_value=1e3, max_value=1e10, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+)
+def test_conversion_is_linear(freq, cycles):
+    clock = VirtualClock(freq_hz=freq)
+    assert clock.cycles_to_seconds(2 * cycles) == pytest.approx(
+        2 * clock.cycles_to_seconds(cycles)
+    )

@@ -1,0 +1,85 @@
+"""Stress property: arbitrary thread/lock/barrier programs replay
+bit-for-bit.  Determinism is the foundation every figure stands on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine, SimAtomicU64, SimBarrier, SimLock
+
+
+@st.composite
+def programs(draw):
+    """A random program: per-thread scripts of work/lock/atomic ops."""
+    n_threads = draw(st.integers(min_value=1, max_value=5))
+    scripts = []
+    for _ in range(n_threads):
+        scripts.append(
+            draw(
+                st.lists(
+                    st.tuples(
+                        st.sampled_from(
+                            ["work", "locked_work", "atomic", "yield"]
+                        ),
+                        st.integers(min_value=1, max_value=20_000),
+                    ),
+                    min_size=1,
+                    max_size=8,
+                )
+            )
+        )
+    use_barrier = draw(st.booleans())
+    return scripts, use_barrier
+
+
+def execute(scripts, use_barrier, cores):
+    machine = Machine(cores=cores)
+    lock = SimLock()
+    atom = SimAtomicU64()
+    barrier = SimBarrier(len(scripts)) if use_barrier else None
+    trace = []
+
+    def runner(tid, script):
+        thread = machine.current()
+        for op, arg in script:
+            if op == "work":
+                thread.advance(arg)
+            elif op == "locked_work":
+                with lock:
+                    thread.advance(arg)
+                    trace.append((tid, round(thread.local_time, 6)))
+            elif op == "atomic":
+                trace.append((tid, atom.fetch_add(arg)))
+            elif op == "yield":
+                thread.sleep(arg)
+        if barrier is not None:
+            barrier.wait()
+        trace.append((tid, "end", round(thread.local_time, 6)))
+
+    def main():
+        threads = [
+            machine.spawn(runner, i, script, name=f"t{i}")
+            for i, script in enumerate(scripts)
+        ]
+        for thread in threads:
+            thread.join()
+
+    machine.run(main)
+    return trace, machine.elapsed_cycles(), atom.value
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs(), cores=st.integers(min_value=1, max_value=8))
+def test_replays_identically(program, cores):
+    scripts, use_barrier = program
+    first = execute(scripts, use_barrier, cores)
+    second = execute(scripts, use_barrier, cores)
+    assert first == second
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=programs())
+def test_fewer_cores_never_faster(program):
+    scripts, use_barrier = program
+    _, one_core, _ = execute(scripts, use_barrier, cores=1)
+    _, many_cores, _ = execute(scripts, use_barrier, cores=8)
+    assert one_core >= many_cores * 0.999

@@ -1,0 +1,282 @@
+"""Unit tests for the deterministic machine and scheduler."""
+
+import pytest
+
+from repro.machine import (
+    DeadlockError,
+    Machine,
+    SimLock,
+    SimThreadError,
+    TooManyThreadsError,
+    current_thread,
+)
+from repro.machine.errors import MachineError
+
+
+def test_run_returns_root_result():
+    machine = Machine()
+    assert machine.run(lambda: 42) == 42
+
+
+def test_advance_accumulates_local_time():
+    machine = Machine()
+
+    def main():
+        thread = machine.current()
+        thread.advance(1000)
+        thread.advance(500)
+        return thread.local_time
+
+    assert machine.run(main) == pytest.approx(1500.0)
+
+
+def test_elapsed_covers_all_threads():
+    machine = Machine(cores=16)
+
+    def worker(cycles):
+        machine.current().advance(cycles)
+
+    def main():
+        slow = machine.spawn(worker, 1_000_000)
+        slow.join()
+
+    machine.run(main)
+    assert machine.elapsed_cycles() >= 1_000_000
+
+
+def test_join_returns_child_result_and_advances_time():
+    machine = Machine(cores=16)
+
+    def child():
+        machine.current().advance(5_000)
+        return "payload"
+
+    def main():
+        t = machine.spawn(child)
+        result = t.join()
+        return result, machine.current().local_time
+
+    result, end_time = machine.run(main)
+    assert result == "payload"
+    assert end_time >= 5_000
+
+
+def test_join_self_rejected():
+    machine = Machine()
+
+    def main():
+        current_thread().join()
+
+    with pytest.raises(SimThreadError) as err:
+        machine.run(main)
+    assert isinstance(err.value.original, MachineError)
+
+
+def test_child_exception_propagates_as_sim_thread_error():
+    machine = Machine()
+
+    def child():
+        raise ValueError("boom")
+
+    def main():
+        machine.spawn(child, name="bad").join()
+
+    with pytest.raises(SimThreadError) as err:
+        machine.run(main)
+    assert isinstance(err.value.original, ValueError)
+
+
+def test_root_exception_propagates():
+    machine = Machine()
+
+    def main():
+        raise RuntimeError("root failure")
+
+    with pytest.raises(SimThreadError):
+        machine.run(main)
+
+
+def test_scheduler_prefers_min_time_thread():
+    # spawn_cost=0 so both children start at the same virtual time and
+    # only their own charges decide scheduling order.
+    machine = Machine(cores=16, spawn_cost=0)
+    order = []
+
+    def worker(label, cycles):
+        thread = machine.current()
+        thread.advance(cycles)
+        thread.checkpoint()
+        order.append(label)
+
+    def main():
+        threads = [
+            machine.spawn(worker, "slow", 10_000),
+            machine.spawn(worker, "fast", 10),
+        ]
+        for t in threads:
+            t.join()
+
+    machine.run(main)
+    assert order == ["fast", "slow"]
+
+
+def test_determinism_across_runs():
+    def build_and_run():
+        machine = Machine(cores=4)
+        trace = []
+
+        def worker(i):
+            thread = machine.current()
+            for _ in range(5):
+                thread.advance(100 * (i + 1))
+                thread.checkpoint()
+                trace.append((i, round(thread.local_time, 6)))
+
+        def main():
+            for t in [machine.spawn(worker, i) for i in range(4)]:
+                t.join()
+
+        machine.run(main)
+        return trace, machine.elapsed_cycles()
+
+    first = build_and_run()
+    second = build_and_run()
+    assert first == second
+
+
+def test_processor_sharing_slows_oversubscribed_charges():
+    serial = Machine(cores=1)
+    parallel = Machine(cores=8)
+
+    def worker():
+        pass
+
+    def main_on(machine):
+        def main():
+            threads = [
+                machine.spawn(_burn, machine) for _ in range(4)
+            ]
+            for t in threads:
+                t.join()
+
+        return main
+
+    def _burn(machine):
+        machine.current().advance(100_000)
+
+    serial.run(main_on(serial))
+    parallel.run(main_on(parallel))
+    assert serial.elapsed_cycles() > parallel.elapsed_cycles()
+
+
+def test_reserved_core_reduces_throughput():
+    plain = Machine(cores=2)
+    reserved = Machine(cores=2)
+    reserved.reserve_core()
+
+    def make_main(machine):
+        def main():
+            threads = [machine.spawn(_burn4, machine) for _ in range(2)]
+            for t in threads:
+                t.join()
+
+        return main
+
+    def _burn4(machine):
+        machine.current().advance(1_000_000)
+
+    plain.run(make_main(plain))
+    reserved.run(make_main(reserved))
+    assert reserved.elapsed_cycles() > plain.elapsed_cycles()
+
+
+def test_reserve_all_cores_rejected():
+    machine = Machine(cores=2)
+    machine.reserve_core()
+    with pytest.raises(MachineError):
+        machine.reserve_core()
+
+
+def test_release_more_than_reserved_rejected():
+    machine = Machine(cores=4)
+    machine.reserve_core()
+    with pytest.raises(MachineError):
+        machine.release_core(2)
+
+
+def test_deadlock_detected():
+    machine = Machine()
+    lock_a = SimLock(name="a")
+    lock_b = SimLock(name="b")
+
+    def one():
+        with lock_a:
+            machine.current().sleep(50_000)
+            with lock_b:
+                pass
+
+    def two():
+        with lock_b:
+            machine.current().sleep(50_000)
+            with lock_a:
+                pass
+
+    def main():
+        for t in [machine.spawn(one), machine.spawn(two)]:
+            t.join()
+
+    with pytest.raises(DeadlockError) as err:
+        machine.run(main)
+    assert len(err.value.blocked) >= 2
+
+
+def test_thread_budget_enforced():
+    machine = Machine(max_threads=2)
+
+    def main():
+        machine.spawn(lambda: None)
+        machine.spawn(lambda: None)
+
+    with pytest.raises(SimThreadError) as err:
+        machine.run(main)
+    assert isinstance(err.value.original, TooManyThreadsError)
+
+
+def test_current_thread_outside_simulation_rejected():
+    with pytest.raises(MachineError):
+        current_thread()
+
+
+def test_negative_advance_rejected():
+    machine = Machine()
+
+    def main():
+        machine.current().advance(-1)
+
+    with pytest.raises(SimThreadError) as err:
+        machine.run(main)
+    assert isinstance(err.value.original, ValueError)
+
+
+def test_spawn_cost_charged_to_parent():
+    machine = Machine(spawn_cost=5_000)
+
+    def main():
+        before = machine.current().local_time
+        machine.spawn(lambda: None).join()
+        return machine.current().local_time - before
+
+    assert machine.run(main) >= 5_000
+
+
+def test_run_twice_on_same_machine():
+    machine = Machine()
+    assert machine.run(lambda: 1) == 1
+    # A second run reuses the machine; old (finished) threads remain in
+    # the roster but do not prevent new work.
+    assert machine.run(lambda: 2) == 2
+
+
+def test_run_without_threads_rejected():
+    with pytest.raises(MachineError):
+        Machine().run()

@@ -1,0 +1,223 @@
+"""Unit tests for simulated synchronisation primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    Machine,
+    SimAtomicU64,
+    SimBarrier,
+    SimEvent,
+    SimLock,
+    SimThreadError,
+)
+
+
+def run_in_machine(body, cores=8):
+    machine = Machine(cores=cores)
+    return machine.run(body, machine)
+
+
+def test_atomic_fetch_add_returns_old_value():
+    def main(machine):
+        atom = SimAtomicU64(10)
+        assert atom.fetch_add(5) == 10
+        assert atom.fetch_add(1) == 15
+        return atom.value
+
+    assert run_in_machine(main) == 16
+
+
+def test_atomic_wraps_at_64_bits():
+    def main(machine):
+        atom = SimAtomicU64((1 << 64) - 1)
+        old = atom.fetch_add_relaxed(2)
+        return old, atom.value
+
+    old, value = run_in_machine(main)
+    assert old == (1 << 64) - 1
+    assert value == 1
+
+
+def test_atomic_reservations_are_unique_across_threads():
+    machine = Machine(cores=8)
+    atom = SimAtomicU64()
+    seen = []
+
+    def worker():
+        for _ in range(50):
+            seen.append(atom.fetch_add_relaxed(1))
+            machine.current().advance(10)
+
+    def main():
+        for t in [machine.spawn(worker) for _ in range(4)]:
+            t.join()
+
+    machine.run(main)
+    assert sorted(seen) == list(range(200))
+
+
+def test_atomic_store_and_load():
+    def main(machine):
+        atom = SimAtomicU64()
+        atom.store(123)
+        return atom.load()
+
+    assert run_in_machine(main) == 123
+
+
+def test_lock_mutual_exclusion_and_stats():
+    machine = Machine(cores=8)
+    lock = SimLock(name="shared")
+    log = []
+
+    def worker(i):
+        for _ in range(3):
+            with lock:
+                log.append(("enter", i))
+                machine.current().advance(1_000)
+                log.append(("exit", i))
+
+    def main():
+        for t in [machine.spawn(worker, i) for i in range(3)]:
+            t.join()
+
+    machine.run(main)
+    # Critical sections never interleave.
+    for enter, leave in zip(log[::2], log[1::2]):
+        assert enter == ("enter", leave[1])
+        assert leave[0] == "exit"
+    assert lock.acquisitions == 9
+
+
+def test_lock_contention_counted_and_waiter_time_advances():
+    machine = Machine(cores=8)
+    lock = SimLock()
+    times = {}
+
+    def holder():
+        with lock:
+            machine.current().advance(50_000)
+
+    def waiter():
+        machine.current().advance(10)  # lose the race deterministically
+        with lock:
+            times["acquired_at"] = machine.current().local_time
+
+    def main():
+        threads = [machine.spawn(holder), machine.spawn(waiter)]
+        for t in threads:
+            t.join()
+
+    machine.run(main)
+    assert lock.contentions >= 1
+    assert times["acquired_at"] >= 50_000
+
+
+def test_unowned_release_rejected():
+    def main(machine):
+        SimLock().release()
+
+    with pytest.raises(SimThreadError):
+        run_in_machine(main)
+
+
+def test_barrier_aligns_times():
+    machine = Machine(cores=8)
+    barrier = SimBarrier(3)
+    after = []
+
+    def worker(cycles):
+        machine.current().advance(cycles)
+        barrier.wait()
+        after.append(machine.current().local_time)
+
+    def main():
+        threads = [machine.spawn(worker, c) for c in (100, 5_000, 90_000)]
+        for t in threads:
+            t.join()
+
+    machine.run(main)
+    assert barrier.generations == 1
+    slowest = max(after)
+    assert all(t >= 90_000 for t in after)
+    assert slowest >= 90_000
+
+
+def test_barrier_reusable_across_generations():
+    machine = Machine(cores=8)
+    barrier = SimBarrier(2)
+
+    def worker():
+        for _ in range(4):
+            machine.current().advance(100)
+            barrier.wait()
+
+    def main():
+        for t in [machine.spawn(worker), machine.spawn(worker)]:
+            t.join()
+
+    machine.run(main)
+    assert barrier.generations == 4
+
+
+def test_barrier_needs_positive_parties():
+    with pytest.raises(ValueError):
+        SimBarrier(0)
+
+
+def test_event_wakes_waiters_at_set_time():
+    machine = Machine(cores=8)
+    event = SimEvent()
+    woke_at = []
+
+    def waiter():
+        event.wait()
+        woke_at.append(machine.current().local_time)
+
+    def setter():
+        machine.current().advance(70_000)
+        event.set()
+
+    def main():
+        threads = [machine.spawn(waiter), machine.spawn(setter)]
+        for t in threads:
+            t.join()
+
+    machine.run(main)
+    assert woke_at and woke_at[0] >= 70_000
+    assert event.is_set()
+
+
+def test_event_wait_after_set_does_not_block():
+    machine = Machine()
+
+    def main():
+        event = SimEvent()
+        event.set()
+        event.wait()
+        return True
+
+    assert machine.run(main)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=2, max_size=6))
+def test_barrier_release_time_is_max_arrival(costs):
+    machine = Machine(cores=16)
+    barrier = SimBarrier(len(costs))
+    exit_times = []
+
+    def worker(cycles):
+        machine.current().advance(cycles)
+        barrier.wait()
+        exit_times.append(machine.current().local_time)
+
+    def main():
+        for t in [machine.spawn(worker, c) for c in costs]:
+            t.join()
+
+    machine.run(main)
+    # Everyone leaves at (or after) the slowest arrival.
+    assert min(exit_times) >= max(costs)

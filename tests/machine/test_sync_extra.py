@@ -1,0 +1,256 @@
+"""Unit tests for semaphore, rwlock and condition variable."""
+
+import pytest
+
+from repro.machine import (
+    Machine,
+    SimCondition,
+    SimRWLock,
+    SimSemaphore,
+    SimThreadError,
+)
+from repro.machine.errors import MachineError
+
+
+def test_semaphore_bounds_concurrency():
+    machine = Machine(cores=8)
+    sem = SimSemaphore(2)
+    active = []
+    peak = []
+
+    def worker(i):
+        with sem:
+            active.append(i)
+            peak.append(len(active))
+            machine.current().sleep(10_000)
+            active.remove(i)
+
+    def main():
+        for t in [machine.spawn(worker, i) for i in range(6)]:
+            t.join()
+
+    machine.run(main)
+    assert max(peak) <= 2
+    assert len(peak) == 6
+
+
+def test_semaphore_release_multiple():
+    machine = Machine(cores=8)
+    sem = SimSemaphore(0)
+    done = []
+
+    def waiter(i):
+        sem.acquire()
+        done.append(i)
+
+    def releaser():
+        machine.current().advance(5_000)
+        sem.release(3)
+
+    def main():
+        waiters = [machine.spawn(waiter, i) for i in range(3)]
+        machine.spawn(releaser).join()
+        for w in waiters:
+            w.join()
+
+    machine.run(main)
+    assert sorted(done) == [0, 1, 2]
+
+
+def test_semaphore_validation():
+    with pytest.raises(ValueError):
+        SimSemaphore(-1)
+    machine = Machine()
+
+    def main():
+        SimSemaphore(1).release(0)
+
+    with pytest.raises(SimThreadError):
+        machine.run(main)
+
+
+def test_rwlock_readers_share():
+    machine = Machine(cores=8)
+    lock = SimRWLock()
+    concurrent = []
+    active = [0]
+
+    def reader():
+        lock.acquire_read()
+        active[0] += 1
+        concurrent.append(active[0])
+        machine.current().sleep(200_000)  # outlive the spawn stagger
+        active[0] -= 1
+        lock.release_read()
+
+    def main():
+        for t in [machine.spawn(reader) for _ in range(4)]:
+            t.join()
+
+    machine.run(main)
+    assert max(concurrent) > 1  # genuinely overlapping readers
+
+
+def test_rwlock_writer_exclusive():
+    machine = Machine(cores=8)
+    lock = SimRWLock()
+    trace = []
+
+    def writer(i):
+        lock.acquire_write()
+        trace.append(("w-in", i))
+        machine.current().sleep(2_000)
+        trace.append(("w-out", i))
+        lock.release_write()
+
+    def reader(i):
+        lock.acquire_read()
+        trace.append(("r-in", i))
+        machine.current().sleep(1_000)
+        trace.append(("r-out", i))
+        lock.release_read()
+
+    def main():
+        threads = [
+            machine.spawn(reader, 0),
+            machine.spawn(writer, 1),
+            machine.spawn(reader, 2),
+        ]
+        for t in threads:
+            t.join()
+
+    machine.run(main)
+    # Writers never overlap anything.
+    depth = 0
+    for kind, _ in trace:
+        if kind == "w-in":
+            assert depth == 0
+            depth += 1
+        elif kind == "w-out":
+            depth -= 1
+        elif kind == "r-in":
+            assert depth == 0 or depth < 0  # no writer active
+    assert ("w-in", 1) in trace
+
+
+def test_rwlock_writer_preference_blocks_new_readers():
+    machine = Machine(cores=8)
+    lock = SimRWLock()
+    order = []
+
+    def long_reader():
+        lock.acquire_read()
+        machine.current().sleep(50_000)
+        lock.release_read()
+        order.append("first-reader")
+
+    def writer():
+        machine.current().sleep(1_000)  # arrive second
+        lock.acquire_write()
+        order.append("writer")
+        lock.release_write()
+
+    def late_reader():
+        machine.current().sleep(2_000)  # arrive third
+        lock.acquire_read()
+        order.append("late-reader")
+        lock.release_read()
+
+    def main():
+        threads = [
+            machine.spawn(long_reader),
+            machine.spawn(writer),
+            machine.spawn(late_reader),
+        ]
+        for t in threads:
+            t.join()
+
+    machine.run(main)
+    # The queued writer goes before the late reader.
+    assert order.index("writer") < order.index("late-reader")
+
+
+def test_rwlock_misuse_rejected():
+    machine = Machine()
+
+    def release_unheld_read():
+        SimRWLock().release_read()
+
+    with pytest.raises(SimThreadError):
+        machine.run(release_unheld_read)
+
+    machine2 = Machine()
+
+    def release_unheld_write():
+        SimRWLock().release_write()
+
+    with pytest.raises(SimThreadError):
+        machine2.run(release_unheld_write)
+
+
+def test_condition_producer_consumer():
+    machine = Machine(cores=8)
+    cond = SimCondition(name="queue")
+    queue = []
+    consumed = []
+
+    def producer():
+        for i in range(5):
+            machine.current().advance(2_000)
+            with cond:
+                queue.append(i)
+                cond.notify()
+
+    def consumer():
+        for _ in range(5):
+            with cond:
+                while not queue:
+                    cond.wait()
+                consumed.append(queue.pop(0))
+
+    def main():
+        threads = [machine.spawn(consumer), machine.spawn(producer)]
+        for t in threads:
+            t.join()
+
+    machine.run(main)
+    assert consumed == [0, 1, 2, 3, 4]
+
+
+def test_condition_notify_all():
+    machine = Machine(cores=8)
+    cond = SimCondition()
+    woken = []
+    ready = [False]
+
+    def waiter(i):
+        with cond:
+            while not ready[0]:
+                cond.wait()
+            woken.append(i)
+
+    def broadcaster():
+        machine.current().advance(10_000)
+        with cond:
+            ready[0] = True
+            cond.notify_all()
+
+    def main():
+        waiters = [machine.spawn(waiter, i) for i in range(3)]
+        machine.spawn(broadcaster).join()
+        for w in waiters:
+            w.join()
+
+    machine.run(main)
+    assert sorted(woken) == [0, 1, 2]
+
+
+def test_condition_requires_lock():
+    machine = Machine()
+
+    def main():
+        SimCondition().wait()
+
+    with pytest.raises(SimThreadError) as err:
+        machine.run(main)
+    assert isinstance(err.value.original, MachineError)

@@ -1,0 +1,222 @@
+"""Unit and integration tests for the perf sampling model."""
+
+import pytest
+
+from repro.core import Instrumenter, symbol
+from repro.machine import Machine
+from repro.perfsim import OTHER, PerfSim
+from repro.tee import NATIVE, SGX_V1, make_env
+
+
+class TwoPhase:
+    """Alternates a hot and a cold phase with controllable durations."""
+
+    def __init__(self, env, hot_cycles, cold_cycles, rounds):
+        self.env = env
+        self.hot_cycles = hot_cycles
+        self.cold_cycles = cold_cycles
+        self.rounds = rounds
+
+    @symbol("app::Main()")
+    def main(self):
+        for _ in range(self.rounds):
+            self.hot()
+            self.cold()
+
+    @symbol("app::Hot()")
+    def hot(self):
+        self.env.compute(self.hot_cycles)
+
+    @symbol("app::Cold()")
+    def cold(self):
+        self.env.compute(self.cold_cycles)
+
+
+def run_perf(platform=NATIVE, hot=900_000, cold=100_000, rounds=400,
+             freq_hz=3997.0, jitter=0.0):
+    machine = Machine(cores=8)
+    env = make_env(machine, platform)
+    app = TwoPhase(env, hot, cold, rounds)
+    ins = Instrumenter("twophase")
+    ins.instrument_instance(app)
+    program = ins.finish()
+    perf = PerfSim(env, freq_hz=freq_hz, jitter=jitter)
+    return perf.profile(program, app.main), machine
+
+
+def test_attribution_matches_time_split():
+    result, _ = run_perf(hot=900_000, cold=100_000)
+    assert result.total_samples > 100
+    assert result.fraction("app::Hot()") == pytest.approx(0.9, abs=0.05)
+    assert result.fraction("app::Cold()") == pytest.approx(0.1, abs=0.05)
+
+
+def test_leaf_attribution_not_caller():
+    result, _ = run_perf()
+    # main never executes own cycles at sample instants (its body is
+    # all calls), so it gets (almost) no leaf samples.
+    assert result.fraction("app::Main()") < 0.02
+
+
+def test_overhead_grows_with_frequency():
+    slow, _ = run_perf(freq_hz=997.0)
+    fast, _ = run_perf(freq_hz=9973.0)
+    assert fast.overhead_cycles() > slow.overhead_cycles()
+
+
+def test_enclave_sampling_costs_aex():
+    native, _ = run_perf(NATIVE)
+    sgx, _ = run_perf(SGX_V1)
+    native_frac = native.overhead_cycles() / native.base_cycles
+    sgx_frac = sgx.overhead_cycles() / sgx.base_cycles
+    assert sgx_frac > 3 * native_frac
+
+
+def test_sampling_frequency_bias():
+    """Phases locked to the sampling grid are attributed wrongly."""
+    machine_freq = 3.6e9
+    freq = 1000.0
+    period_cycles = machine_freq / freq
+    # hot+cold exactly one period: every sample hits the same phase, so
+    # one of the two equally long phases receives (almost) all samples.
+    hot = int(period_cycles * 0.5)
+    cold = int(period_cycles * 0.5)
+    biased, _ = run_perf(hot=hot, cold=cold, rounds=200, freq_hz=freq)
+    top = max(
+        biased.fraction("app::Hot()"), biased.fraction("app::Cold()")
+    )
+    assert top > 0.95  # ground truth is 0.5 / 0.5
+
+    # Jitter (perf's mitigation) washes the bias out substantially.
+    jittered, _ = run_perf(
+        hot=hot, cold=cold, rounds=200, freq_hz=freq, jitter=0.9
+    )
+    jtop = max(
+        jittered.fraction("app::Hot()"), jittered.fraction("app::Cold()")
+    )
+    assert jtop < top
+
+
+def test_report_text():
+    result, _ = run_perf()
+    text = result.report()
+    assert "Samples" in text
+    assert "app::Hot()" in text
+    assert "%" in text
+
+
+def test_idle_gaps_attributed_to_other():
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+
+    class App:
+        @symbol("app::Tiny()")
+        def tiny(self):
+            env.compute(1_000)
+
+        def untraced(self):  # instrumented? no __tee_symbol__, still is
+            pass
+
+    app = App()
+    ins = Instrumenter("idle")
+    ins.instrument_instance(app)
+    program = ins.finish()
+
+    def main():
+        env.compute(50_000_000)  # long stretch outside any function
+        app.tiny()
+
+    perf = PerfSim(env, freq_hz=3997.0)
+    result = perf.profile(program, main)
+    assert result.fraction(OTHER) > 0.9
+
+
+def test_callgraph_mode_produces_folded_stacks():
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    app = TwoPhase(env, 900_000, 100_000, 400)
+    ins = Instrumenter("cg")
+    ins.instrument_instance(app)
+    program = ins.finish()
+    result = PerfSim(env, callgraph=True).profile(program, app.main)
+    folded = result.folded()
+    assert ("app::Main()", "app::Hot()") in folded
+    assert sum(folded.values()) == result.total_samples
+    # The flame-graph writer accepts perf's folded stacks directly.
+    from repro.core import FlameGraph
+
+    graph = FlameGraph(folded, title="perf -g")
+    assert graph.share("app::Hot()") == pytest.approx(0.9, abs=0.06)
+
+
+def test_callgraph_mode_costs_more():
+    plain, _ = run_perf()
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    app = TwoPhase(env, 900_000, 100_000, 400)
+    ins = Instrumenter("cg2")
+    ins.instrument_instance(app)
+    program = ins.finish()
+    heavy = PerfSim(env, callgraph=True).profile(program, app.main)
+    assert heavy.overhead_cycles() > plain.overhead_cycles()
+
+
+def test_folded_requires_callgraph_mode():
+    result, _ = run_perf()
+    with pytest.raises(ValueError):
+        result.folded()
+
+
+def test_invalid_parameters_rejected():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+    with pytest.raises(ValueError):
+        PerfSim(env, freq_hz=0)
+    with pytest.raises(ValueError):
+        PerfSim(env, jitter=1.5)
+
+
+def test_frequency_too_high_for_cost_rejected():
+    machine = Machine()
+    env = make_env(machine, SGX_V1)
+
+    class App:
+        @symbol("x::Y()")
+        def y(self):
+            env.compute(10)
+
+    app = App()
+    ins = Instrumenter("x")
+    ins.instrument_instance(app)
+    program = ins.finish()
+    perf = PerfSim(env, freq_hz=1e6)  # period 3600 cycles < AEX cost
+    with pytest.raises(ValueError):
+        perf.profile(program, app.y)
+
+
+def test_multithreaded_sampling_counts_all_threads():
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+
+    class App:
+        @symbol("mt::Spin()")
+        def spin(self):
+            env.compute(20_000_000)
+
+        @symbol("mt::Main()")
+        def main(self):
+            workers = [machine.spawn(self.spin) for _ in range(3)]
+            for worker in workers:
+                worker.join()
+
+    app = App()
+    ins = Instrumenter("mt")
+    ins.instrument_instance(app)
+    program = ins.finish()
+    result = PerfSim(env).profile(program, app.main)
+    assert result.threads >= 4
+    # Three spinning workers plus the main thread blocked in Main();
+    # perf attributes the waiting time to Main just like real perf
+    # attributes it to the futex path.
+    assert result.fraction("mt::Spin()") > 0.6
+    assert result.fraction("mt::Main()") > 0.1

@@ -1,0 +1,81 @@
+"""Tests for the profiler-under-test runners (Figure 4 machinery)."""
+
+import pytest
+
+from repro.phoenix import (
+    FIGURE4_WORKLOADS,
+    LinearRegression,
+    StringMatch,
+    WordCount,
+    overhead_vs_perf,
+    run_baseline,
+    run_perf,
+    run_teeperf,
+    workload_by_name,
+)
+from repro.tee import NATIVE, SGX_V1
+
+SMALL = {"n_keys": 6_000}
+SMALL_WC = {"n_words": 4_000}
+
+
+def test_workload_by_name():
+    assert workload_by_name("string_match") is StringMatch
+    assert workload_by_name("reverse_index").NAME == "reverse_index"
+    with pytest.raises(KeyError):
+        workload_by_name("not_a_phoenix_benchmark")
+
+
+def test_figure4_set_matches_paper_axis():
+    names = [cls.NAME for cls in FIGURE4_WORKLOADS]
+    assert names == [
+        "matrix_multiply",
+        "string_match",
+        "word_count",
+        "linear_regression",
+        "histogram",
+    ]
+
+
+def test_all_three_configs_agree_on_result():
+    base = run_baseline(StringMatch, seed=3, **SMALL)
+    tee = run_teeperf(StringMatch, seed=3, **SMALL)
+    perf = run_perf(StringMatch, seed=3, **SMALL)
+    assert base.result == tee.result == perf.result
+
+
+def test_teeperf_run_produces_analysis_with_kernel():
+    tee = run_teeperf(WordCount, seed=1, **SMALL_WC)
+    stats = tee.analysis.method("wc_insert")
+    assert stats.calls == 4_000
+    assert len(stats.threads) == 4
+
+
+def test_perf_run_produces_sampled_profile():
+    perf = run_perf(WordCount, seed=1, n_words=40_000)
+    assert perf.perf.total_samples > 0
+    assert perf.perf.fraction("wc_insert") > 0.5
+
+
+def test_profiled_runs_cost_more_than_baseline():
+    base = run_baseline(StringMatch, seed=2, **SMALL)
+    tee = run_teeperf(StringMatch, seed=2, **SMALL)
+    perf = run_perf(StringMatch, seed=2, **SMALL)
+    assert tee.elapsed_cycles > base.elapsed_cycles
+    assert perf.elapsed_cycles > base.elapsed_cycles
+
+
+def test_overhead_ratio_string_match_is_large():
+    ratio = overhead_vs_perf(StringMatch, seed=1, **SMALL)
+    assert ratio > 3.0
+
+
+def test_overhead_ratio_linear_regression_below_one():
+    ratio = overhead_vs_perf(LinearRegression, seed=1, n_points=100_000)
+    assert ratio < 1.0
+
+
+def test_enclave_baseline_slower_than_native():
+    native = run_baseline(WordCount, platform=NATIVE, seed=1, **SMALL_WC)
+    sgx = run_baseline(WordCount, platform=SGX_V1, seed=1, **SMALL_WC)
+    assert sgx.elapsed_cycles > native.elapsed_cycles

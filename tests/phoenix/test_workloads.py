@@ -1,0 +1,131 @@
+"""Correctness tests: the Phoenix workloads compute real answers."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.phoenix import (
+    Histogram,
+    KMeans,
+    LinearRegression,
+    MatrixMultiply,
+    PCA,
+    ReverseIndex,
+    StringMatch,
+    WordCount,
+)
+from repro.phoenix import datasets
+from repro.tee import NATIVE, make_env
+
+
+def run_workload(cls, **params):
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    workload = cls(machine, env, **params)
+    result = machine.run(workload.run)
+    return workload, result, machine
+
+
+def test_string_match_finds_planted_targets():
+    _, found, _ = run_workload(StringMatch, n_keys=4_000, seed=3)
+    assert found == 4  # one per planted target
+
+
+def test_string_match_no_duplicates_when_keys_tiny():
+    _, found, _ = run_workload(StringMatch, n_keys=7, nworkers=3, seed=5)
+    assert found >= 1
+
+
+def test_word_count_matches_python_counter():
+    from collections import Counter
+
+    workload, top, _ = run_workload(WordCount, n_words=5_000, seed=2)
+    truth = Counter(workload.words)
+    expected = sorted(truth.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+    assert top == expected
+
+
+def test_histogram_matches_numpy():
+    workload, hist, _ = run_workload(Histogram, n_pixels=20_000, seed=4)
+    for channel in range(3):
+        expected = np.bincount(workload.pixels[:, channel], minlength=256)
+        np.testing.assert_array_equal(hist[channel], expected)
+    assert hist.sum() == 3 * 20_000
+
+
+def test_linear_regression_recovers_line():
+    _, (slope, intercept), _ = run_workload(
+        LinearRegression, n_points=50_000, seed=6
+    )
+    # datasets.points uses y = 3.5x + 12 + noise.
+    assert slope == pytest.approx(3.5, abs=0.05)
+    assert intercept == pytest.approx(12.0, abs=1.5)
+
+
+def test_matrix_multiply_matches_numpy():
+    workload, product, _ = run_workload(MatrixMultiply, n=24, seed=7)
+    np.testing.assert_allclose(product, workload.a @ workload.b, rtol=1e-9)
+
+
+def test_kmeans_recovers_cluster_centres():
+    workload, centres, _ = run_workload(
+        KMeans, n_points=4_000, k=4, iterations=6, seed=8
+    )
+    _, truth = datasets.clustered_points(4_000, 4, seed=8)
+    # Each recovered centre sits close to some true centre.
+    for centre in centres:
+        nearest = np.min(np.linalg.norm(truth - centre, axis=1))
+        assert nearest < 3.0
+
+
+def test_pca_matches_numpy_cov():
+    workload, cov, _ = run_workload(PCA, rows=64, cols=12, seed=9)
+    expected = np.cov(workload.samples, rowvar=False)
+    np.testing.assert_allclose(cov, expected, rtol=1e-8, atol=1e-10)
+
+
+def test_reverse_index_matches_naive_build():
+    workload, index, _ = run_workload(ReverseIndex, n_docs=500, seed=10)
+    naive = {}
+    for name, links in workload.docs:
+        for link in links:
+            naive.setdefault(link, []).append(name)
+    for names in naive.values():
+        names.sort()
+    assert index == naive
+    # Every document contributed at least one link.
+    assert sum(len(v) for v in index.values()) == sum(
+        len(links) for _, links in workload.docs
+    )
+
+
+def test_reverse_index_worker_count_invariant():
+    _, one, _ = run_workload(ReverseIndex, n_docs=300, nworkers=1, seed=2)
+    _, four, _ = run_workload(ReverseIndex, n_docs=300, nworkers=4, seed=2)
+    assert one == four
+
+
+def test_results_identical_across_worker_counts():
+    _, one, _ = run_workload(WordCount, n_words=3_000, nworkers=1, seed=1)
+    _, four, _ = run_workload(WordCount, n_words=3_000, nworkers=4, seed=1)
+    assert one == four
+
+
+def test_parallel_speedup():
+    _, _, serial = run_workload(StringMatch, n_keys=8_000, nworkers=1)
+    _, _, parallel = run_workload(StringMatch, n_keys=8_000, nworkers=4)
+    speedup = serial.elapsed_cycles() / parallel.elapsed_cycles()
+    assert speedup > 2.0
+
+
+def test_run_is_deterministic():
+    _, _, first = run_workload(Histogram, n_pixels=30_000, seed=11)
+    _, _, second = run_workload(Histogram, n_pixels=30_000, seed=11)
+    assert first.elapsed_cycles() == second.elapsed_cycles()
+
+
+def test_invalid_worker_count_rejected():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+    with pytest.raises(ValueError):
+        WordCount(machine, env, nworkers=0)

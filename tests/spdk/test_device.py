@@ -1,0 +1,77 @@
+"""Unit tests for the simulated NVMe device."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spdk import NvmeDevice
+
+
+def test_completion_respects_latency():
+    device = NvmeDevice(latency_cycles=1000, service_cycles=10)
+    command = device.submit(now=0, is_read=True, lba=0)
+    assert command.completion_time == 1000
+    assert device.ready(now=999, limit=10) == []
+    assert device.ready(now=1000, limit=10) == [command]
+
+
+def test_service_rate_limits_throughput():
+    device = NvmeDevice(latency_cycles=100, service_cycles=50)
+    commands = [device.submit(0, True, i) for i in range(10)]
+    # First completes at latency; the rest are service-spaced.
+    times = [c.completion_time for c in commands]
+    assert times[0] == 100
+    for earlier, later in zip(times, times[1:]):
+        assert later - earlier == 50
+
+
+def test_ready_respects_limit_and_order():
+    device = NvmeDevice(latency_cycles=10, service_cycles=1)
+    for i in range(5):
+        device.submit(0, True, i)
+    first = device.ready(now=1_000, limit=3)
+    rest = device.ready(now=1_000, limit=10)
+    assert [c.lba for c in first] == [0, 1, 2]
+    assert [c.lba for c in rest] == [3, 4]
+    assert device.completed == 5
+
+
+def test_lba_bounds_checked():
+    device = NvmeDevice(blocks=100)
+    with pytest.raises(ValueError):
+        device.submit(0, True, 100)
+    with pytest.raises(ValueError):
+        device.submit(0, True, -1)
+
+
+def test_next_completion_time():
+    device = NvmeDevice(latency_cycles=500, service_cycles=10)
+    assert device.next_completion_time() is None
+    device.submit(0, False, 1)
+    assert device.next_completion_time() == 500
+
+
+def test_cids_wrap_16_bits():
+    device = NvmeDevice(latency_cycles=1, service_cycles=1)
+    device._next_cid = 0xFFFF
+    a = device.submit(0, True, 0)
+    b = device.submit(0, True, 1)
+    assert a.cid == 0xFFFF
+    assert b.cid == 0
+
+
+@settings(max_examples=30)
+@given(
+    submits=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                     max_size=50)
+)
+def test_completions_monotone_property(submits):
+    device = NvmeDevice(latency_cycles=100, service_cycles=7)
+    times = [
+        device.submit(now, True, 0).completion_time
+        for now in sorted(submits)
+    ]
+    assert times == sorted(times)
+    assert all(
+        done >= now + 100 for done, now in zip(times, sorted(submits))
+    )

@@ -1,0 +1,79 @@
+"""Tests for multi-queue runs and latency reporting."""
+
+import pytest
+
+from repro.spdk import NvmeDevice, SpdkPerfResult, run_spdk_perf, run_spdk_perf_multi
+from repro.tee import NATIVE, SGX_V1
+
+
+def test_device_queues_are_isolated():
+    device = NvmeDevice(latency_cycles=10, service_cycles=1)
+    q1 = device.create_queue()
+    q2 = device.create_queue()
+    a = q1.submit(0, True, 1)
+    b = q2.submit(0, True, 2)
+    # Each poller sees only its own completions.
+    assert q1.ready(1_000, 10) == [a]
+    assert q2.ready(1_000, 10) == [b]
+    assert q1.ready(1_000, 10) == []
+
+
+def test_shared_service_engine_spaces_cross_queue():
+    device = NvmeDevice(latency_cycles=10, service_cycles=100)
+    q1 = device.create_queue()
+    q2 = device.create_queue()
+    a = q1.submit(0, True, 1)
+    b = q2.submit(0, True, 2)
+    assert b.completion_time - a.completion_time == 100
+
+
+def test_multi_queue_scales_then_saturates():
+    one = run_spdk_perf_multi(NATIVE, workers=1, ops_per_worker=1_200)
+    two = run_spdk_perf_multi(NATIVE, workers=2, ops_per_worker=1_200)
+    four = run_spdk_perf_multi(NATIVE, workers=4, ops_per_worker=1_200)
+    # Two pollers nearly double one (CPU-bound); four hit the device's
+    # ~400k IOPS service ceiling.
+    assert two.iops > 1.7 * one.iops
+    assert four.iops < 2.6 * one.iops
+    device_ceiling = 3.6e9 / 9_000
+    assert four.iops == pytest.approx(device_ceiling, rel=0.10)
+
+
+def test_multi_queue_all_ops_complete():
+    merged = run_spdk_perf_multi(NATIVE, workers=3, ops_per_worker=400)
+    assert merged.ops == 1_200
+    assert merged.reads + merged.writes == 1_200
+
+
+def test_latency_percentiles_ordered():
+    result = run_spdk_perf(NATIVE, ops=1_000)
+    p50 = result.latency_percentile_us(50)
+    p90 = result.latency_percentile_us(90)
+    p99 = result.latency_percentile_us(99)
+    assert 0 < p50 <= p90 <= p99
+    assert result.mean_latency_us() > 0
+    # Device latency is 80 us; queue depth makes observed latency at
+    # least that.
+    assert p50 >= 80
+
+
+def test_latency_grows_inside_naive_enclave():
+    native = run_spdk_perf(NATIVE, ops=400)
+    naive = run_spdk_perf(SGX_V1, optimized=False, ops=300)
+    assert naive.latency_percentile_us(50) > 5 * native.latency_percentile_us(50)
+
+
+def test_percentile_validation():
+    result = SpdkPerfResult(
+        ops=0, reads=0, writes=0, elapsed_cycles=0, freq_hz=3.6e9,
+        optimized=False, getpid_calls=0, rdtsc_calls=0, latencies=[1.0],
+    )
+    with pytest.raises(ValueError):
+        result.latency_percentile_us(0)
+    with pytest.raises(ValueError):
+        result.latency_percentile_us(101)
+
+
+def test_merge_requires_input():
+    with pytest.raises(ValueError):
+        SpdkPerfResult.merge([])

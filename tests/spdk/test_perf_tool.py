@@ -1,0 +1,110 @@
+"""Integration tests: the SPDK perf tool and the §IV-C numbers."""
+
+import pytest
+
+from repro.core import FlameGraph
+from repro.machine import Machine
+from repro.spdk import SpdkPerf, profile_spdk_perf, run_spdk_perf
+from repro.tee import NATIVE, SGX_V1, make_env
+
+
+def test_all_ios_complete_with_mix():
+    result = run_spdk_perf(NATIVE, ops=500, read_pct=80)
+    assert result.ops == 500
+    assert result.reads + result.writes == 500
+    assert result.reads / result.ops == pytest.approx(0.8, abs=0.08)
+
+
+def test_zero_and_full_read_mixes():
+    all_reads = run_spdk_perf(NATIVE, ops=200, read_pct=100)
+    all_writes = run_spdk_perf(NATIVE, ops=200, read_pct=0)
+    assert all_reads.writes == 0
+    assert all_writes.reads == 0
+
+
+def test_parameter_validation():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+    with pytest.raises(ValueError):
+        SpdkPerf(env, queue_depth=0)
+    with pytest.raises(ValueError):
+        SpdkPerf(env, read_pct=101)
+
+
+def test_queue_depth_bounded():
+    machine = Machine(cores=8)
+    env = make_env(machine, NATIVE)
+    tool = SpdkPerf(env, queue_depth=16, ops=300)
+    machine.run(tool.run)
+    assert tool.controller.device.submitted == 300
+    # Never more than queue_depth in flight: the free list proves it.
+    assert len(tool._free) == 16
+
+
+def test_getpid_once_per_io_naive():
+    result = run_spdk_perf(SGX_V1, optimized=False, ops=200)
+    assert result.getpid_calls == 200
+    assert result.rdtsc_calls == 400  # two tick reads per io
+
+
+def test_optimized_caches_pid_and_tsc():
+    result = run_spdk_perf(SGX_V1, optimized=True, ops=200)
+    assert result.getpid_calls == 1
+    assert result.rdtsc_calls < 20
+
+
+def test_paper_iops_table_shape():
+    """§IV-C: native ~224k, naive ~16k, optimised ~233k (>= native)."""
+    native = run_spdk_perf(NATIVE, optimized=False, ops=2_000)
+    naive = run_spdk_perf(SGX_V1, optimized=False, ops=600)
+    optimized = run_spdk_perf(SGX_V1, optimized=True, ops=2_000)
+    assert native.iops == pytest.approx(223_808, rel=0.10)
+    assert naive.iops == pytest.approx(15_821, rel=0.10)
+    assert optimized.iops == pytest.approx(232_736, rel=0.10)
+    assert optimized.iops > native.iops  # the paper's punchline
+    assert optimized.iops / naive.iops == pytest.approx(14.7, rel=0.10)
+    assert native.throughput_mib_s == pytest.approx(874, rel=0.10)
+    assert naive.throughput_mib_s == pytest.approx(61.8, rel=0.10)
+    assert optimized.throughput_mib_s == pytest.approx(909, rel=0.10)
+
+
+def test_figure6_unoptimized_profile_shape():
+    """getpid ~72 % and rdtsc ~20 % of the naive enclave run."""
+    perf, _, _, analysis = profile_spdk_perf(
+        platform=SGX_V1, optimized=False, ops=400
+    )
+    try:
+        graph = FlameGraph.from_analysis(analysis)
+        assert graph.share("getpid") == pytest.approx(0.72, abs=0.08)
+        assert graph.share("rdtsc") == pytest.approx(0.20, abs=0.05)
+        # The stack nests the way Figure 6 draws it.
+        folded = graph.to_folded()
+        assert (
+            "ns_cmd_read_with_md;_nvme_ns_cmd_rw;allocate_request;getpid"
+            in folded
+        )
+        assert "get_ticks;get_timer_cycles;get_tsc_cycles;rdtsc" in folded
+    finally:
+        perf.uninstrument()
+
+
+def test_figure6_optimized_profile_shape():
+    """After caching, getpid and rdtsc drop to (nearly) zero."""
+    perf, _, _, analysis = profile_spdk_perf(
+        platform=SGX_V1, optimized=True, ops=400
+    )
+    try:
+        graph = FlameGraph.from_analysis(analysis)
+        # One cold getpid ocall remains; on this short run it is ~2 %.
+        assert graph.share("getpid") < 0.03
+        assert graph.share("rdtsc") < 0.05
+        # Reading and writing get the time instead.
+        assert graph.share("submit_single_io") > 0.2
+    finally:
+        perf.uninstrument()
+
+
+def test_deterministic_iops():
+    first = run_spdk_perf(NATIVE, ops=300)
+    second = run_spdk_perf(NATIVE, ops=300)
+    assert first.iops == second.iops

@@ -1,0 +1,98 @@
+"""Unit tests for the pid/tsc sources and their caches."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.spdk import CachedPidSource, CachedTscSource, PidSource, TscSource
+from repro.tee import NATIVE, SGX_V1, make_env
+
+
+def in_env(platform, body):
+    machine = Machine()
+    env = make_env(machine, platform)
+    result = machine.run(body, env)
+    return result, machine
+
+
+def test_naive_pid_pays_every_time():
+    def body(env):
+        source = PidSource(env)
+        for _ in range(10):
+            source.getpid()
+        return source.real_calls, env.stats.ocalls
+
+    (calls, ocalls), _ = in_env(SGX_V1, body)
+    assert calls == 10
+    assert ocalls == 10
+
+
+def test_cached_pid_pays_once():
+    def body(env):
+        source = CachedPidSource(env)
+        pids = {source.getpid() for _ in range(10)}
+        return source.real_calls, env.stats.ocalls, pids
+
+    (calls, ocalls, pids), _ = in_env(SGX_V1, body)
+    assert calls == 1
+    assert ocalls == 1
+    assert len(pids) == 1
+
+
+def test_cached_pid_much_cheaper_in_enclave():
+    def run(source_cls):
+        def body(env):
+            source = source_cls(env)
+            for _ in range(100):
+                source.getpid()
+
+        _, machine = in_env(SGX_V1, body)
+        return machine.elapsed_cycles()
+
+    assert run(PidSource) > 50 * run(CachedPidSource)
+
+
+def test_naive_tsc_counts_reads():
+    def body(env):
+        source = TscSource(env)
+        values = [source.rdtsc() for _ in range(5)]
+        return source.real_calls, values
+
+    (calls, values), _ = in_env(SGX_V1, body)
+    assert calls == 5
+    assert values == sorted(values)
+
+
+def test_cached_tsc_corrects_every_interval():
+    def body(env):
+        source = CachedTscSource(env, interval=10)
+        for _ in range(101):
+            env.compute(1_000)
+            source.rdtsc()
+        return source.real_calls
+
+    calls, _ = in_env(SGX_V1, body)
+    # 1 initial + one correction per 10 cached reads.
+    assert 9 <= calls <= 12
+
+
+def test_cached_tsc_monotone_and_roughly_accurate():
+    def body(env):
+        source = CachedTscSource(env, interval=20)
+        readings = []
+        for _ in range(100):
+            env.compute(5_000)
+            readings.append(source.rdtsc())
+        truth = env.machine.clock.cycles_to_ns(env.thread().local_time)
+        return readings, truth
+
+    (readings, truth), _ = in_env(NATIVE, body)
+    assert readings == sorted(readings)
+    # The cached clock tracks real time within a correction stride.
+    assert readings[-1] == pytest.approx(truth, rel=0.25)
+
+
+def test_cached_tsc_interval_validated():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+    with pytest.raises(ValueError):
+        CachedTscSource(env, interval=0)

@@ -1,0 +1,36 @@
+"""Tests for image serialisation (the offline-analysis artefact)."""
+
+from repro.symbols import BinaryImage, mangle
+
+
+def test_json_roundtrip_preserves_symbols():
+    image = BinaryImage("app")
+    image.add_function("alpha", size=100, file="alpha.c", line=3)
+    image.add_function(
+        mangle("ns::Beta()"), size=48, file="beta.cc", line=77
+    )
+    restored = BinaryImage.from_json(image.to_json())
+    assert restored.name == "app"
+    assert restored.profiler_addr == image.profiler_addr
+    assert len(restored.symtab) == len(image.symtab)
+    alpha = restored.symtab.by_name("alpha")
+    assert alpha.file == "alpha.c" and alpha.line == 3
+    beta = restored.symtab.by_name(mangle("ns::Beta()"))
+    assert beta.pretty == "ns::Beta()"
+
+
+def test_restored_image_resolves_addresses():
+    image = BinaryImage("app")
+    addr = image.add_function("fn", size=64)
+    restored = BinaryImage.from_json(image.to_json())
+    assert restored.symtab.addr2line(addr + 10).name == "fn"
+
+
+def test_restored_image_can_keep_growing():
+    image = BinaryImage("app")
+    image.add_function("one", size=64)
+    restored = BinaryImage.from_json(image.to_json())
+    addr = restored.add_function("two", size=64)
+    assert restored.symtab.addr2line(addr).name == "two"
+    # No overlap with the restored layout.
+    assert addr > restored.symtab.by_name("one").addr

@@ -1,0 +1,130 @@
+"""Unit tests for binary images and symbol tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symbols import (
+    BinaryImage,
+    Symbol,
+    SymbolLookupError,
+    SymbolTable,
+    mangle,
+    relocation_offset,
+)
+
+
+def test_image_contains_profiler_symbol():
+    image = BinaryImage("app")
+    sym = image.symtab.by_name(BinaryImage.PROFILER_SYMBOL)
+    assert sym.addr == image.profiler_addr
+
+
+def test_functions_laid_out_in_order_and_aligned():
+    image = BinaryImage("app")
+    a = image.add_function("alpha", size=100)
+    b = image.add_function("beta", size=10)
+    assert b > a
+    assert a % 16 == 0
+    assert b % 16 == 0
+
+
+def test_addr2line_resolves_interior_addresses():
+    image = BinaryImage("app")
+    addr = image.add_function("alpha", size=100)
+    sym = image.symtab.addr2line(addr + 50)
+    assert sym.name == "alpha"
+
+
+def test_addr2line_miss_raises():
+    table = SymbolTable()
+    table.add(Symbol("f", 0x1000, 64))
+    with pytest.raises(SymbolLookupError):
+        table.addr2line(0x1040)
+    with pytest.raises(SymbolLookupError):
+        table.addr2line(0x0)
+    assert table.resolve(0x0) is None
+
+
+def test_duplicate_symbol_rejected():
+    table = SymbolTable()
+    table.add(Symbol("f", 0x1000, 64))
+    with pytest.raises(ValueError):
+        table.add(Symbol("f", 0x2000, 64))
+
+
+def test_overlapping_symbols_rejected():
+    table = SymbolTable()
+    table.add(Symbol("f", 0x1000, 64))
+    with pytest.raises(ValueError):
+        table.add(Symbol("g", 0x1020, 64))
+    with pytest.raises(ValueError):
+        table.add(Symbol("h", 0xFE0, 64))
+
+
+def test_by_name_miss_raises():
+    with pytest.raises(SymbolLookupError):
+        SymbolTable().by_name("nope")
+
+
+def test_load_with_aslr_and_relocation_recovery():
+    image = BinaryImage("app")
+    addr = image.add_function("alpha", size=64)
+    loaded = image.load(aslr_seed=7)
+    assert loaded.offset != 0
+    assert loaded.offset % 4096 == 0
+    runtime = loaded.runtime_addr(addr)
+    # The analyzer recovers the offset from the profiler address alone.
+    offset = relocation_offset(image, loaded.profiler_addr)
+    assert offset == loaded.offset
+    assert image.symtab.addr2line(runtime - offset).name == "alpha"
+
+
+def test_load_without_seed_is_identity():
+    image = BinaryImage("app")
+    loaded = image.load()
+    assert loaded.offset == 0
+    assert loaded.link_addr(loaded.runtime_addr(0x1234)) == 0x1234
+
+
+def test_dump_lists_pretty_names():
+    image = BinaryImage("app")
+    image.add_function(mangle("rocksdb::Stats::Now()"), size=32)
+    text = image.symtab.dump()
+    assert "rocksdb::Stats::Now()" in text
+    assert "FUNC" in text
+
+
+def test_text_size_grows():
+    image = BinaryImage("app")
+    before = image.text_size()
+    image.add_function("alpha", size=1000)
+    assert image.text_size() >= before + 1000
+
+
+def test_nonpositive_size_rejected():
+    with pytest.raises(ValueError):
+        BinaryImage("app").add_function("alpha", size=0)
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=4096), min_size=1,
+                      max_size=40))
+def test_layout_never_overlaps(sizes):
+    image = BinaryImage("app")
+    addrs = [
+        image.add_function(f"fn_{i}", size=size)
+        for i, size in enumerate(sizes)
+    ]
+    # Resolving any interior byte of any function returns that function.
+    for i, (addr, size) in enumerate(zip(addrs, sizes)):
+        assert image.symtab.addr2line(addr).name == f"fn_{i}"
+        assert image.symtab.addr2line(addr + size - 1).name == f"fn_{i}"
+
+
+@given(seed=st.integers(min_value=1, max_value=2**31))
+def test_relocation_roundtrip(seed):
+    image = BinaryImage("app")
+    addr = image.add_function("alpha", size=64)
+    loaded = image.load(aslr_seed=seed)
+    offset = relocation_offset(image, loaded.profiler_addr)
+    assert loaded.runtime_addr(addr) - offset == addr

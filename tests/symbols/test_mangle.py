@@ -1,0 +1,102 @@
+"""Unit tests for the mangler / c++filt equivalent."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symbols import MangleError, demangle, mangle
+
+
+def test_c_symbol_passes_through():
+    assert mangle("main") == "main"
+    assert demangle("main") == "main"
+    assert mangle("submit_single_io") == "submit_single_io"
+
+
+def test_simple_namespaced_function():
+    assert mangle("rocksdb::Stats::Now()") == "_ZN7rocksdb5Stats3NowEv"
+    assert demangle("_ZN7rocksdb5Stats3NowEv") == "rocksdb::Stats::Now()"
+
+
+def test_single_component_with_parens():
+    assert mangle("getpid()") == "_Z6getpidv"
+    assert demangle("_Z6getpidv") == "getpid()"
+
+
+def test_builtin_parameters():
+    sym = mangle("rocksdb::Stats::Start(int)")
+    assert sym == "_ZN7rocksdb5Stats5StartEi"
+    assert demangle(sym) == "rocksdb::Stats::Start(int)"
+
+
+def test_pointer_parameters():
+    sym = mangle("ns::f(char*, int)")
+    assert demangle(sym) == "ns::f(char*, int)"
+
+
+def test_unknown_type_encoded_as_source_name():
+    sym = mangle("ns::g(ThreadState*)")
+    assert demangle(sym) == "ns::g(ThreadState*)"
+
+
+def test_multiple_parameters_roundtrip():
+    pretty = "rocksdb::test::RandomString(Random*, int, double)"
+    assert demangle(mangle(pretty)) == pretty
+
+
+def test_void_parameter_normalises_to_empty():
+    assert demangle(mangle("f(void)")) == "f()"
+
+
+def test_deep_nesting():
+    pretty = "a::b::c::d::e()"
+    assert demangle(mangle(pretty)) == pretty
+
+
+def test_empty_name_rejected():
+    with pytest.raises(MangleError):
+        mangle("")
+
+
+def test_malformed_qualified_name_rejected():
+    with pytest.raises(MangleError):
+        mangle("a::::b()")
+
+
+def test_unbalanced_parens_rejected():
+    with pytest.raises(MangleError):
+        mangle("f(int")
+
+
+def test_bad_identifier_rejected():
+    with pytest.raises(MangleError):
+        mangle("1abc")
+
+
+def test_demangle_garbage_rejected():
+    with pytest.raises(MangleError):
+        demangle("_Zxx")
+
+
+def test_demangle_truncated_component_rejected():
+    with pytest.raises(MangleError):
+        demangle("_ZN7rocksE")  # claims 7 chars, provides 5
+
+
+_ident = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,12}", fullmatch=True)
+_builtin = st.sampled_from(["int", "bool", "char", "double", "long", "char*"])
+
+
+@given(parts=st.lists(_ident, min_size=2, max_size=5))
+def test_roundtrip_qualified_names(parts):
+    pretty = "::".join(parts) + "()"
+    assert demangle(mangle(pretty)) == pretty
+
+
+@given(parts=st.lists(_ident, min_size=1, max_size=3),
+       params=st.lists(_builtin, min_size=1, max_size=4))
+def test_roundtrip_with_parameters(parts, params):
+    pretty = "::".join(parts) + "(" + ", ".join(params) + ")"
+    result = demangle(mangle(pretty))
+    # "unsigned" aliases normalise; everything else must roundtrip.
+    assert result == pretty

@@ -1,0 +1,72 @@
+"""Unit tests for the platform cost tables."""
+
+import pytest
+
+from repro.tee import (
+    ALL_PLATFORMS,
+    KEYSTONE,
+    NATIVE,
+    SEV,
+    SGX_V1,
+    SGX_V2,
+    TRUSTZONE,
+    platform_by_name,
+)
+
+
+def test_platform_names_unique():
+    names = [p.name for p in ALL_PLATFORMS] + [NATIVE.name]
+    assert len(names) == len(set(names))
+
+
+def test_lookup_by_name_roundtrips():
+    for platform in (NATIVE,) + ALL_PLATFORMS:
+        assert platform_by_name(platform.name) is platform
+
+
+def test_unknown_platform_rejected_with_known_list():
+    with pytest.raises(KeyError) as err:
+        platform_by_name("sgx-v9")
+    assert "sgx-v1" in str(err.value)
+
+
+def test_native_has_no_tee_costs():
+    assert NATIVE.ocall_cycles == 0
+    assert NATIVE.mee_factor == 1.0
+    assert NATIVE.epc_bytes is None
+
+
+def test_sgx_v1_models_paper_section_1():
+    # The four §I effects: MEE, EPC limit, expensive transitions,
+    # forbidden/emulated rdtsc.
+    assert SGX_V1.mee_factor > 1.5
+    assert SGX_V1.epc_bytes is not None and SGX_V1.epc_bytes < 128 * 1024 * 1024
+    assert SGX_V1.ocall_cycles > 50 * SGX_V1.syscall_cycles
+    assert SGX_V1.rdtsc_cycles > 100 * NATIVE.rdtsc_cycles
+
+
+def test_sgx_v2_relaxes_v1():
+    assert SGX_V2.epc_bytes > SGX_V1.epc_bytes
+    assert SGX_V2.rdtsc_cycles < SGX_V1.rdtsc_cycles
+
+
+def test_vm_based_tees_have_no_epc_limit():
+    assert SEV.epc_bytes is None
+    assert TRUSTZONE.epc_bytes is None
+
+
+def test_transitions_cheaper_outside_sgx():
+    for platform in (TRUSTZONE, SEV, KEYSTONE):
+        assert platform.ocall_cycles < SGX_V1.ocall_cycles
+
+
+def test_derived_overrides_single_field():
+    tweaked = SGX_V1.derived(ocall_cycles=1.0)
+    assert tweaked.ocall_cycles == 1.0
+    assert tweaked.epc_bytes == SGX_V1.epc_bytes
+    assert SGX_V1.ocall_cycles != 1.0  # original untouched
+
+
+def test_costs_frozen():
+    with pytest.raises(Exception):
+        SGX_V1.ocall_cycles = 0

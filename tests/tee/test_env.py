@@ -1,0 +1,161 @@
+"""Unit tests for execution environments."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.tee import (
+    NATIVE,
+    SEV,
+    SGX_V1,
+    EnclaveEnv,
+    NativeEnv,
+    make_env,
+)
+
+MIB = 1024 * 1024
+
+
+def run(body):
+    machine = Machine(cores=8)
+    return machine.run(body, machine)
+
+
+def elapsed_for(work, platform=NATIVE):
+    machine = Machine(cores=8)
+
+    def main():
+        env = make_env(machine, platform)
+        work(env)
+
+    machine.run(main)
+    return machine.elapsed_cycles()
+
+
+def test_make_env_picks_the_right_class():
+    machine = Machine()
+    assert isinstance(make_env(machine, NATIVE), NativeEnv)
+    assert isinstance(make_env(machine, SGX_V1), EnclaveEnv)
+    assert make_env(machine, SGX_V1).is_enclave
+    assert not make_env(machine, NATIVE).is_enclave
+
+
+def test_compute_charges_cycles():
+    assert elapsed_for(lambda env: env.compute(12_345)) >= 12_345
+
+
+def test_random_memory_access_costlier_than_sequential():
+    seq = elapsed_for(lambda env: env.mem_read(MIB, random=False))
+    rand = elapsed_for(lambda env: env.mem_read(MIB, random=True))
+    assert rand > 10 * seq
+
+
+def test_enclave_memory_pays_mee_factor():
+    native = elapsed_for(lambda env: env.mem_read(MIB, random=True), NATIVE)
+    enclave = elapsed_for(lambda env: env.mem_read(MIB, random=True), SGX_V1)
+    assert enclave == pytest.approx(native * SGX_V1.mee_factor, rel=0.01)
+
+
+def test_epc_paging_cliff():
+    def fits(env):
+        env.alloc(32 * MIB)
+        env.mem_read(MIB, random=True)
+
+    def spills(env):
+        env.alloc(1024 * MIB)
+        env.mem_read(MIB, random=True)
+
+    assert elapsed_for(spills, SGX_V1) > 50 * elapsed_for(fits, SGX_V1)
+
+
+def test_sev_has_no_epc_cliff():
+    def spills(env):
+        env.alloc(4096 * MIB)
+        env.mem_read(MIB, random=True)
+
+    inside = elapsed_for(spills, SEV)
+    outside = elapsed_for(lambda e: e.mem_read(MIB, random=True), NATIVE)
+    assert inside < 2 * outside
+
+
+def test_syscall_becomes_ocall_in_enclave():
+    machine = Machine()
+
+    def main():
+        env = make_env(machine, SGX_V1)
+        env.syscall("read")
+        return env.stats.ocalls, env.stats.syscalls
+
+    ocalls, syscalls = machine.run(main)
+    assert ocalls == 1
+    assert syscalls == 1
+
+
+def test_native_syscall_is_not_an_ocall():
+    machine = Machine()
+
+    def main():
+        env = make_env(machine, NATIVE)
+        env.syscall("read")
+        return env.stats.ocalls
+
+    assert machine.run(main) == 0
+
+
+def test_getpid_cost_explodes_in_sgx():
+    native = elapsed_for(lambda env: env.getpid(), NATIVE)
+    sgx = elapsed_for(lambda env: env.getpid(), SGX_V1)
+    assert sgx > 50 * native
+
+
+def test_timestamp_returns_monotonic_ns_and_charges():
+    machine = Machine()
+
+    def main():
+        env = make_env(machine, SGX_V1)
+        first = env.timestamp()
+        env.compute(1_000_000)
+        second = env.timestamp()
+        return first, second, env.stats.timestamps
+
+    first, second, count = machine.run(main)
+    assert second > first
+    assert count == 2
+
+
+def test_rdtsc_emulation_cost_on_sgx_v1():
+    native = elapsed_for(lambda env: env.timestamp(), NATIVE)
+    sgx = elapsed_for(lambda env: env.timestamp(), SGX_V1)
+    assert sgx > 100 * native
+
+
+def test_aex_accounting():
+    machine = Machine()
+
+    def main():
+        env = make_env(machine, SGX_V1)
+        before = env.thread().local_time
+        env.aex()
+        return env.stats.aex, env.thread().local_time - before
+
+    count, cycles = machine.run(main)
+    assert count == 1
+    assert cycles == pytest.approx(SGX_V1.aex_cycles)
+
+
+def test_transition_cycles_accumulate():
+    machine = Machine()
+
+    def main():
+        env = make_env(machine, SGX_V1)
+        env.ecall()
+        env.ocall("write")
+        env.syscall("read")
+        return env.stats.transition_cycles
+
+    total = machine.run(main)
+    assert total >= SGX_V1.ecall_cycles + 2 * SGX_V1.ocall_cycles
+
+
+def test_bad_costs_type_rejected():
+    with pytest.raises(TypeError):
+        NativeEnv(Machine(), costs={"name": "nope"})

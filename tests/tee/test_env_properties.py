@@ -1,0 +1,99 @@
+"""Property tests on the cost model's structural invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine
+from repro.tee import ALL_PLATFORMS, NATIVE, make_env
+
+_PLATFORMS = (NATIVE,) + ALL_PLATFORMS
+
+
+def charge(platform, actions):
+    machine = Machine(cores=8)
+    env = make_env(machine, platform)
+
+    def main():
+        for action, arg in actions:
+            if action == "compute":
+                env.compute(arg)
+            elif action == "read":
+                env.mem_read(arg)
+            elif action == "rand_read":
+                env.mem_read(arg, random=True)
+            elif action == "syscall":
+                env.syscall("x")
+            elif action == "timestamp":
+                env.timestamp()
+
+    machine.run(main)
+    return machine.elapsed_cycles()
+
+
+_actions = st.lists(
+    st.tuples(
+        st.sampled_from(["compute", "read", "rand_read", "syscall",
+                         "timestamp"]),
+        st.integers(min_value=1, max_value=100_000),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(actions=_actions, platform=st.sampled_from(_PLATFORMS))
+def test_charges_are_deterministic(actions, platform):
+    assert charge(platform, actions) == charge(platform, actions)
+
+
+@settings(max_examples=30, deadline=None)
+@given(actions=_actions)
+def test_no_tee_is_faster_than_native(actions):
+    native = charge(NATIVE, actions)
+    for platform in ALL_PLATFORMS:
+        assert charge(platform, actions) >= native * 0.999, platform.name
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=_actions,
+    b=_actions,
+    platform=st.sampled_from(_PLATFORMS),
+)
+def test_charges_are_additive(a, b, platform):
+    """Cost of a run is the sum of its parts (no hidden state across
+    actions, memory pressure aside — these draws never alloc)."""
+    together = charge(platform, a + b)
+    separate = charge(platform, a) + charge(platform, b)
+    assert together == pytest.approx(separate, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nbytes=st.integers(min_value=64, max_value=1 << 22),
+    platform=st.sampled_from(_PLATFORMS),
+)
+def test_memory_cost_monotone_in_size(nbytes, platform):
+    smaller = charge(platform, [("rand_read", nbytes)])
+    larger = charge(platform, [("rand_read", nbytes * 2)])
+    assert larger > smaller
+
+
+@settings(max_examples=20, deadline=None)
+@given(platform=st.sampled_from(ALL_PLATFORMS))
+def test_stats_count_what_happened(platform):
+    machine = Machine(cores=8)
+    env = make_env(machine, platform)
+
+    def main():
+        for _ in range(5):
+            env.syscall("write")
+        for _ in range(3):
+            env.timestamp()
+        return env.stats.syscalls, env.stats.timestamps
+
+    syscalls, timestamps = machine.run(main)
+    assert syscalls == 5
+    assert timestamps == 3

@@ -1,0 +1,100 @@
+"""Unit tests for the EPC paging model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tee.memory import EnclaveMemory
+
+MIB = 1024 * 1024
+
+
+def make(epc_mib=64):
+    return EnclaveMemory(epc_mib * MIB, page_fault_cycles=40_000)
+
+
+def test_no_paging_inside_epc():
+    mem = make()
+    mem.alloc(32 * MIB)
+    assert mem.miss_probability() == 0.0
+    assert mem.paging_cycles(1 * MIB, random=True) == 0.0
+
+
+def test_paging_kicks_in_past_epc():
+    mem = make(epc_mib=64)
+    mem.alloc(128 * MIB)
+    assert mem.miss_probability() == pytest.approx(0.5)
+    assert mem.paging_cycles(4096, random=True) > 0
+
+
+def test_unlimited_epc_never_pages():
+    mem = EnclaveMemory(None, page_fault_cycles=40_000)
+    mem.alloc(100 * 1024 * MIB)
+    assert mem.miss_probability() == 0.0
+    assert mem.paging_cycles(64 * MIB, random=True) == 0.0
+
+
+def test_random_access_much_costlier_than_sequential():
+    mem = make(epc_mib=64)
+    mem.alloc(128 * MIB)
+    seq = mem.paging_cycles(1 * MIB, random=False)
+    rand = mem.paging_cycles(1 * MIB, random=True)
+    # One fault chance per line vs per page: 64x.
+    assert rand == pytest.approx(seq * 64)
+
+
+def test_free_restores_residency():
+    mem = make(epc_mib=64)
+    mem.alloc(128 * MIB)
+    mem.free(96 * MIB)
+    assert mem.miss_probability() == 0.0
+
+
+def test_over_free_rejected():
+    mem = make()
+    mem.alloc(MIB)
+    with pytest.raises(ValueError):
+        mem.free(2 * MIB)
+
+
+def test_negative_sizes_rejected():
+    mem = make()
+    with pytest.raises(ValueError):
+        mem.alloc(-1)
+    with pytest.raises(ValueError):
+        mem.free(-1)
+
+
+def test_peak_tracks_high_watermark():
+    mem = make()
+    mem.alloc(10 * MIB)
+    mem.free(5 * MIB)
+    mem.alloc(1 * MIB)
+    assert mem.peak_allocated == 10 * MIB
+    assert mem.allocated == 6 * MIB
+
+
+def test_fault_counter_accumulates():
+    mem = make(epc_mib=1)
+    mem.alloc(4 * MIB)
+    mem.paging_cycles(4096, random=True)
+    assert mem.page_faults > 0
+
+
+@given(
+    alloc=st.integers(min_value=1, max_value=1 << 36),
+    epc=st.integers(min_value=1, max_value=1 << 32),
+)
+def test_miss_probability_is_a_probability(alloc, epc):
+    mem = EnclaveMemory(epc, 40_000)
+    mem.alloc(alloc)
+    assert 0.0 <= mem.miss_probability() < 1.0
+
+
+@given(nbytes=st.integers(min_value=1, max_value=1 << 30))
+def test_paging_cost_monotone_in_pressure(nbytes):
+    light = EnclaveMemory(64 * MIB, 40_000)
+    heavy = EnclaveMemory(64 * MIB, 40_000)
+    light.alloc(80 * MIB)
+    heavy.alloc(160 * MIB)
+    assert heavy.paging_cycles(nbytes, True) >= light.paging_cycles(nbytes, True)

@@ -1,0 +1,80 @@
+"""Unit tests for the SCONE-style syscall shim."""
+
+import pytest
+
+from repro.machine import Machine, MachineError
+from repro.tee import ASYNC, SGX_V1, SYNC, SconeShim, make_env
+from repro.tee.costs import NATIVE
+
+
+def elapsed_with_mode(mode, n_syscalls=100):
+    machine = Machine(cores=8)
+
+    def main():
+        env = make_env(machine, SGX_V1)
+        with SconeShim(env, mode=mode) as shim:
+            for _ in range(n_syscalls):
+                shim.syscall("read")
+
+    machine.run(main)
+    return machine.elapsed_cycles()
+
+
+def test_async_mode_is_much_cheaper():
+    sync = elapsed_with_mode(SYNC)
+    asynchronous = elapsed_with_mode(ASYNC)
+    assert sync > 4 * asynchronous
+
+
+def test_async_mode_reserves_and_releases_cores():
+    machine = Machine(cores=8)
+
+    def main():
+        env = make_env(machine, SGX_V1)
+        shim = SconeShim(env, mode=ASYNC)
+        shim.start()
+        reserved = machine.available_cores()
+        shim.stop()
+        return reserved, machine.available_cores()
+
+    during, after = machine.run(main)
+    assert during == 7
+    assert after == 8
+
+
+def test_sync_mode_does_not_touch_cores():
+    machine = Machine(cores=8)
+
+    def main():
+        env = make_env(machine, SGX_V1)
+        with SconeShim(env, mode=SYNC):
+            return machine.available_cores()
+
+    assert machine.run(main) == 8
+
+
+def test_forwarded_counter():
+    machine = Machine(cores=8)
+
+    def main():
+        env = make_env(machine, SGX_V1)
+        shim = SconeShim(env)
+        shim.syscall("read")
+        shim.getpid()
+        return shim.forwarded
+
+    assert machine.run(main) == 1  # getpid goes through env directly
+
+
+def test_invalid_mode_rejected():
+    machine = Machine()
+    env = make_env(machine, SGX_V1)
+    with pytest.raises(ValueError):
+        SconeShim(env, mode="turbo")
+
+
+def test_native_env_rejected():
+    machine = Machine()
+    env = make_env(machine, NATIVE)
+    with pytest.raises(MachineError):
+        SconeShim(env)

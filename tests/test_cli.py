@@ -1,0 +1,125 @@
+"""Tests for the tee-perf command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo_then_inspect(tmp_path, capsys):
+    out = tmp_path / "demo"
+    assert main(["demo", "--platform", "sgx-v1", "-o", str(out)]) == 0
+    demo_out = capsys.readouterr().out
+    assert "demo::Process()" in demo_out
+    assert (out / "demo.teeperf").exists()
+    assert (out / "demo_flamegraph.svg").exists()
+
+    assert main(["inspect", str(out / "demo.teeperf")]) == 0
+    inspect_out = capsys.readouterr().out
+    assert "calls/returns:  101/101" in inspect_out  # main + 50 x 2 kernels
+    assert "threads:        1" in inspect_out
+
+
+def test_demo_unknown_platform_raises(tmp_path):
+    with pytest.raises(KeyError):
+        main(["demo", "--platform", "sgx-v9", "-o", str(tmp_path)])
+
+
+def test_flamegraph_from_folded(tmp_path, capsys):
+    folded = tmp_path / "stacks.folded"
+    folded.write_text("main;io 30\nmain;compute 70\nmain 10\n")
+    svg = tmp_path / "graph.svg"
+    assert main(["flamegraph", str(folded), "-o", str(svg)]) == 0
+    assert svg.read_text().startswith("<svg")
+    assert "110 total ticks" in capsys.readouterr().out
+
+
+def test_flamegraph_rejects_garbage(tmp_path, capsys):
+    folded = tmp_path / "bad.folded"
+    folded.write_text("this is not folded format\n")
+    assert main(["flamegraph", str(folded), "-o", str(tmp_path / "x.svg")]) == 1
+    assert "not a folded-stacks line" in capsys.readouterr().err
+
+
+def test_inspect_multithreaded_log(tmp_path, capsys):
+    from repro.core import KIND_CALL, KIND_RET, SharedLog
+
+    log = SharedLog.create(16, pid=7)
+    log.append(KIND_CALL, 10, 0x400000, 1)
+    log.append(KIND_CALL, 12, 0x400040, 2)
+    log.append(KIND_RET, 20, 0x400040, 2)
+    log.append(KIND_RET, 30, 0x400000, 1)
+    path = tmp_path / "run.teeperf"
+    log.dump(str(path))
+    assert main(["inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "pid:            7" in out
+    assert "threads:        2" in out
+    assert "counter span:   10 .. 30" in out
+
+
+def test_analyze_offline_formats(tmp_path, capsys):
+    out = tmp_path / "demo"
+    main(["demo", "-o", str(out)])
+    capsys.readouterr()
+    log = str(out / "demo.teeperf")
+
+    assert main(["analyze", log]) == 0
+    assert "demo::Process()" in capsys.readouterr().out
+
+    assert main(["analyze", log, "--format", "gprof"]) == 0
+    assert "Flat profile:" in capsys.readouterr().out
+
+    assert main(["analyze", log, "--format", "callgrind"]) == 0
+    assert "events: Ticks" in capsys.readouterr().out
+
+    assert main(["analyze", log, "--format", "folded"]) == 0
+    assert "demo::Main();demo::Parse()" in capsys.readouterr().out
+
+    assert main(["analyze", log, "--format", "speedscope"]) == 0
+    assert "speedscope" in capsys.readouterr().out
+
+
+def test_analyze_missing_symtab(tmp_path, capsys):
+    from repro.core import SharedLog
+
+    log = SharedLog.create(4)
+    path = tmp_path / "orphan.teeperf"
+    log.dump(str(path))
+    assert main(["analyze", str(path)]) == 1
+    assert "no symbol table" in capsys.readouterr().err
+
+
+def test_diff_two_demo_runs(tmp_path, capsys):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    main(["demo", "--platform", "sgx-v1", "-o", str(a)])
+    main(["demo", "--platform", "native", "-o", str(b)])
+    capsys.readouterr()
+    svg = tmp_path / "diff.svg"
+    assert main(
+        [
+            "diff",
+            str(a / "demo.teeperf"),
+            str(b / "demo.teeperf"),
+            "--svg",
+            str(svg),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "differential profile" in out
+    # Process() does syscalls: hugely expensive in SGX, cheap natively,
+    # so its share shrinks in the diff.
+    assert "demo::Process()" in out
+    assert svg.read_text().startswith("<svg")
+
+
+def test_diff_missing_input(tmp_path, capsys):
+    assert main(
+        ["diff", str(tmp_path / "a.teeperf"), str(tmp_path / "b.teeperf")]
+    ) == 1
+    assert "missing input" in capsys.readouterr().err
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
