@@ -26,6 +26,7 @@ from repro.core import (
     to_callgrind,
     to_gprof,
     to_json,
+    to_metrics,
     to_speedscope,
 )
 from repro.core.log import KIND_CALL
@@ -75,7 +76,9 @@ def cmd_analyze(args):
             file=sys.stderr,
         )
         return 1
-    analysis = Analyzer(image).analyze(args.log)
+    analysis = Analyzer(image).analyze(
+        args.log, jobs=args.jobs, chunk_size=args.chunk_size
+    )
     if args.format == "report":
         print(analysis.report(top=args.top))
     elif args.format == "gprof":
@@ -86,8 +89,13 @@ def cmd_analyze(args):
         print(to_speedscope(analysis))
     elif args.format == "json":
         print(to_json(analysis))
+    elif args.format == "metrics":
+        print(to_metrics(analysis), end="")
     elif args.format == "folded":
         print(FlameGraph.from_analysis(analysis).to_folded(), end="")
+    if args.stats:
+        print()
+        print(analysis.pipeline.report())
     return 0
 
 
@@ -207,11 +215,29 @@ def build_parser():
     analyze.add_argument(
         "--format",
         choices=(
-            "report", "gprof", "callgrind", "speedscope", "json", "folded",
+            "report", "gprof", "callgrind", "speedscope", "json",
+            "metrics", "folded",
         ),
         default="report",
     )
     analyze.add_argument("--top", type=int, default=20)
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker-pool width for per-thread shard analysis",
+    )
+    analyze.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="entries decoded per ingestion chunk (default 8192)",
+    )
+    analyze.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the pipeline counters after the output",
+    )
     analyze.set_defaults(fn=cmd_analyze)
 
     diff = sub.add_parser(

@@ -13,7 +13,14 @@
 
 from repro.core.analyzer import Analysis, Analyzer, CallRecord, MethodStats
 from repro.core.diff import AnalysisDiff, MethodDelta
-from repro.core.export import to_callgrind, to_gprof, to_json, to_speedscope
+from repro.core.export import (
+    to_callgrind,
+    to_gprof,
+    to_json,
+    to_metrics,
+    to_speedscope,
+)
+from repro.core.stats import PipelineStats
 from repro.core.counter import (
     PerfCounterClock,
     ThreadCounter,
@@ -33,11 +40,13 @@ from repro.core.instrument import (
     symbol,
 )
 from repro.core.log import (
+    DEFAULT_CHUNK_ENTRIES,
     ENTRY_SIZE,
     HEADER_SIZE,
     KIND_CALL,
     KIND_RET,
     LogEntry,
+    LogStream,
     SharedLog,
 )
 from repro.core.profiler import TEEPerf
@@ -53,8 +62,10 @@ __all__ = [
     "to_callgrind",
     "to_gprof",
     "to_json",
+    "to_metrics",
     "to_speedscope",
     "CallRecord",
+    "DEFAULT_CHUNK_ENTRIES",
     "ENTRY_SIZE",
     "FlameGraph",
     "HEADER_SIZE",
@@ -65,8 +76,10 @@ __all__ = [
     "LiveRecorder",
     "LogEntry",
     "LogFormatError",
+    "LogStream",
     "MethodStats",
     "PerfCounterClock",
+    "PipelineStats",
     "QuerySession",
     "Recorder",
     "RecorderError",

@@ -1,13 +1,23 @@
-"""Stage 3 — the offline analyzer.
+"""Stage 3 — the streaming analyzer.
 
-The analyzer reads the entire log, groups entries per thread (the
-thread id in each entry makes per-thread order reliable even though the
-global log order is not), reconstructs each thread's call stack from
-the call/return events, and computes for every method:
+The analyzer ingests the log in fixed-size chunks (from a
+:class:`~repro.core.log.SharedLog` in memory or a mmap-backed
+:class:`~repro.core.log.LogStream` on disk), groups entries per thread
+(the thread id in each entry makes per-thread order reliable even
+though the global log order is not), reconstructs each thread's call
+stack from the call/return events — per-thread shards are independent,
+so ``jobs=N`` runs them on a worker pool — and computes for every
+method:
 
 * *inclusive* time — counter ticks between entry and exit;
 * *exclusive* ("real") time — inclusive minus the time spent in
   callees, the paper's "infer the real time spent in the method".
+
+:meth:`Analyzer.analyze_batch` keeps the original one-entry-at-a-time
+single-pass path; the streaming path is differentially tested to be
+byte-for-byte equivalent to it, and every run carries a
+:class:`~repro.core.stats.PipelineStats` counters object
+(``analysis.pipeline``) describing what the pipeline did.
 
 Addresses are runtime addresses; the analyzer recovers the relocation
 offset from the log header's well-known profiler address and resolves
@@ -25,11 +35,14 @@ Robustness rules, matching §II-B:
 * a return with no matching frame at all is counted and dismissed.
 """
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.errors import AnalyzerError
-from repro.core.log import SharedLog
+from repro.core.log import DEFAULT_CHUNK_ENTRIES, LogStream, SharedLog
+from repro.core.stats import PipelineStats
 from repro.frame import Frame
+from repro.symbols.symtab import CachedResolver
 
 
 @dataclass(frozen=True)
@@ -80,12 +93,13 @@ class Analysis:
     """The result object: records, aggregates, frames and reports."""
 
     def __init__(self, records, unmatched_returns, tick_ns, meta,
-                 locations=None):
+                 locations=None, pipeline=None):
         self.records = records
         self.unmatched_returns = unmatched_returns
         self.tick_ns = tick_ns
         self.meta = meta
         self.locations = locations or {}
+        self.pipeline = pipeline
         self._stats = {}
         for record in records:
             stats = self._stats.get(record.method)
@@ -243,57 +257,163 @@ class _OpenFrame:
 
 
 class Analyzer:
-    """Turns a log (+ the binary image) into an :class:`Analysis`."""
+    """Turns a log (+ the binary image) into an :class:`Analysis`.
 
-    def __init__(self, image, tick_ns=1.0):
+    Parameters
+    ----------
+    image:
+        The simulated binary whose symbol table resolves addresses.
+    tick_ns:
+        Nanoseconds per counter tick (reporting only).
+    cache_size:
+        Capacity of the per-run symbol-resolution LRU.
+    """
+
+    def __init__(self, image, tick_ns=1.0, cache_size=65536):
         self.image = image
         self.tick_ns = tick_ns
+        self.cache_size = cache_size
 
-    def analyze(self, log):
-        """`log` may be a :class:`SharedLog`, raw bytes, or a path."""
+    def analyze(self, log, jobs=1, chunk_size=None, stats=None):
+        """Streaming analysis: chunked ingestion, sharded reconstruction.
+
+        `log` may be a :class:`SharedLog`, a :class:`LogStream`, raw
+        bytes, or a path (paths are opened as mmap-backed streams, so
+        the whole file is never read into memory at once).  `jobs`
+        sets the worker-pool width for per-thread shards; `stats` is
+        an optional recorder-seeded :class:`PipelineStats` to extend —
+        the resulting counters land on ``analysis.pipeline`` either
+        way.  Output is byte-for-byte identical to
+        :meth:`analyze_batch`.
+        """
+        if jobs < 1:
+            raise AnalyzerError(f"jobs must be positive: {jobs}")
+        chunk_size = chunk_size or DEFAULT_CHUNK_ENTRIES
+        opened = not isinstance(log, (SharedLog, LogStream))
         log = self._coerce(log)
-        offset = log.profiler_addr - self.image.profiler_addr
+        stats = stats if stats is not None else PipelineStats()
+        stats.jobs = jobs
+        stats.chunk_size = chunk_size
+
+        try:
+            # Ingestion: decode fixed-size chunks, shard per thread.
+            per_thread = {}
+            lo = hi = None
+            for chunk in log.iter_chunks(chunk_size):
+                stats.chunks_processed += 1
+                stats.entries_ingested += len(chunk)
+                for entry in chunk:
+                    shard = per_thread.get(entry.tid)
+                    if shard is None:
+                        shard = per_thread[entry.tid] = []
+                    shard.append(entry)
+                if chunk:
+                    cmin = min(e.counter for e in chunk)
+                    cmax = max(e.counter for e in chunk)
+                    lo = cmin if lo is None else min(lo, cmin)
+                    hi = cmax if hi is None else max(hi, cmax)
+            stats.counter_span = (hi - lo) if lo is not None else 0
+
+            return self._finish(log, per_thread, jobs, stats)
+        finally:
+            if opened and isinstance(log, LogStream):
+                log.close()
+
+    def analyze_batch(self, log, stats=None):
+        """The original single-pass path: the whole log, one entry at
+        a time, one worker.  Kept as the differential-testing oracle
+        for the streaming path (and for callers that hold tiny logs)."""
+        log = self._coerce(log)
+        stats = stats if stats is not None else PipelineStats()
+        stats.jobs = 1
+        stats.chunks_processed += 1
         per_thread = {}
+        lo = hi = None
         for entry in log:
+            stats.entries_ingested += 1
             per_thread.setdefault(entry.tid, []).append(entry)
+            lo = entry.counter if lo is None else min(lo, entry.counter)
+            hi = entry.counter if hi is None else max(hi, entry.counter)
+        stats.counter_span = (hi - lo) if lo is not None else 0
+        return self._finish(log, per_thread, 1, stats)
+
+    # ------------------------------------------------------------------
+
+    def _finish(self, log, per_thread, jobs, stats):
+        """Reconstruct every shard (serially or on a pool) and merge."""
+        offset = log.profiler_addr - self.image.profiler_addr
+        cache = CachedResolver(self.image.symtab, maxsize=self.cache_size)
+        shards = list(per_thread.items())
+        stats.shards_analyzed = len(shards)
+
+        def run(shard):
+            tid, entries = shard
+            return self._reconstruct_shard(tid, entries, offset, cache)
+
+        if jobs > 1 and len(shards) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(jobs, len(shards))
+            ) as pool:
+                results = list(pool.map(run, shards))
+        else:
+            results = [run(shard) for shard in shards]
+
+        # Merge: shard results concatenate in thread first-appearance
+        # order, which is exactly the order the batch path produced.
         records = []
         unmatched = 0
-        self._callsite_mismatches = 0
-        for tid, entries in per_thread.items():
-            unmatched += self._reconstruct(tid, entries, offset, records)
+        mismatches = 0
+        for shard_records, shard_unmatched, shard_mismatches in results:
+            records.extend(shard_records)
+            unmatched += shard_unmatched
+            mismatches += shard_mismatches
+        stats.entries_dismissed += unmatched
+        stats.frames_truncated += sum(1 for r in records if r.truncated)
+        stats.cache_hits += cache.hits
+        stats.cache_misses += cache.misses
+
         meta = {
             "events": len(log),
             "pid": log.pid,
             "capacity": log.capacity,
             "version": log.version,
             "multithread": log.multithread,
+            "callsite_mismatches": mismatches,
         }
-        meta["callsite_mismatches"] = self._callsite_mismatches
         locations = {
             sym.pretty: (sym.file, sym.line) for sym in self.image.symtab
         }
-        return Analysis(records, unmatched, self.tick_ns, meta, locations)
-
-    # ------------------------------------------------------------------
+        return Analysis(
+            records, unmatched, self.tick_ns, meta, locations, pipeline=stats
+        )
 
     def _coerce(self, log):
-        if isinstance(log, SharedLog):
+        if isinstance(log, (SharedLog, LogStream)):
             return log
         if isinstance(log, (bytes, bytearray)):
             return SharedLog.from_bytes(log)
         if isinstance(log, str) or hasattr(log, "__fspath__"):
-            return SharedLog.load(log)
+            return LogStream.open(log)
         raise AnalyzerError(f"cannot analyze {type(log).__name__}")
 
-    def _resolve(self, runtime_addr, offset):
-        symbol = self.image.symtab.resolve(runtime_addr - offset)
+    def _resolve(self, runtime_addr, offset, cache):
+        symbol = cache.resolve(runtime_addr - offset)
         if symbol is None:
             return f"[unknown {runtime_addr:#x}]"
         return symbol.pretty
 
-    def _reconstruct(self, tid, entries, offset, records):
+    def _reconstruct_shard(self, tid, entries, offset, cache):
+        """Reconstruct one thread's stack from its entries.
+
+        Pure with respect to the analyzer — results come back as
+        ``(records, unmatched, callsite_mismatches)`` so shards can run
+        concurrently without sharing mutable state (the resolution
+        cache is the one shared structure, and it locks internally).
+        """
         stack = []
+        records = []
         unmatched = 0
+        mismatches = 0
         last_counter = entries[-1].counter if entries else 0
 
         def close(frame, at, truncated):
@@ -321,13 +441,13 @@ class Analyzer:
                 # v2 logs carry the call site; cross-check it against
                 # the stack-derived caller (a log-integrity diagnostic).
                 if entry.call_site and stack:
-                    expected = self._resolve(entry.call_site, offset)
+                    expected = self._resolve(entry.call_site, offset, cache)
                     if expected != stack[-1].method:
-                        self._callsite_mismatches += 1
+                        mismatches += 1
                 stack.append(
                     _OpenFrame(
                         entry.addr,
-                        self._resolve(entry.addr, offset),
+                        self._resolve(entry.addr, offset, cache),
                         entry.counter,
                         entry.call_site,
                     )
@@ -344,4 +464,4 @@ class Analyzer:
                 unmatched += 1
         while stack:
             close(stack.pop(), last_counter, truncated=True)
-        return unmatched
+        return records, unmatched, mismatches

@@ -10,7 +10,10 @@ a visualiser needs.  This module proves the point with four writers:
   KCachegrind/QCachegrind;
 * :func:`to_speedscope` — speedscope.app's "evented" JSON, preserving
   the exact per-thread event timeline;
-* :func:`to_json` — a plain machine-readable dump of the aggregates.
+* :func:`to_json` — a plain machine-readable dump of the aggregates,
+  including the pipeline counters when the analysis carries them;
+* :func:`to_metrics` — Prometheus-style exposition text of the
+  pipeline and profile counters (the TEEMon-style scrape surface).
 """
 
 import json
@@ -169,11 +172,13 @@ def to_speedscope(analysis, name="tee-perf profile"):
 
 def to_json(analysis):
     """A plain JSON dump of the aggregates and folded stacks."""
+    pipeline = getattr(analysis, "pipeline", None)
     return json.dumps(
         {
             "meta": analysis.meta,
             "tick_ns": analysis.tick_ns,
             "unmatched_returns": analysis.unmatched_returns,
+            "pipeline": pipeline.to_dict() if pipeline else None,
             "methods": [
                 {
                     "method": s.method,
@@ -193,3 +198,79 @@ def to_json(analysis):
         },
         indent=2,
     )
+
+
+def to_metrics(analysis, prefix="teeperf"):
+    """Prometheus-style exposition text: the pipeline counters plus
+    the headline profile gauges.
+
+    TEEMon's insight is that a TEE profiler earns its keep when its
+    counters are continuously scrapeable; this writer makes one
+    analysis pass look exactly like such a scrape, so the output can
+    be pushed to a textfile collector unchanged.
+    """
+    lines = []
+
+    def metric(name, kind, help_text, value):
+        lines.append(f"# HELP {prefix}_{name} {help_text}")
+        lines.append(f"# TYPE {prefix}_{name} {kind}")
+        lines.append(f"{prefix}_{name} {value}")
+
+    pipeline = getattr(analysis, "pipeline", None)
+    if pipeline is not None:
+        metric(
+            "entries_ingested_total", "counter",
+            "Log entries decoded by the analyzer.",
+            pipeline.entries_ingested,
+        )
+        metric(
+            "entries_dropped_total", "counter",
+            "Events lost at record time (log reservation overflow).",
+            pipeline.entries_dropped,
+        )
+        metric(
+            "entries_dismissed_total", "counter",
+            "Returns dismissed for want of a matching open frame.",
+            pipeline.entries_dismissed,
+        )
+        metric(
+            "frames_truncated_total", "counter",
+            "Calls closed at the thread's last observed counter.",
+            pipeline.frames_truncated,
+        )
+        metric(
+            "chunks_processed_total", "counter",
+            "Fixed-size ingestion chunks decoded.",
+            pipeline.chunks_processed,
+        )
+        metric(
+            "shards_analyzed_total", "counter",
+            "Per-thread shards reconstructed.",
+            pipeline.shards_analyzed,
+        )
+        metric(
+            "ingest_rate_entries_per_tick", "gauge",
+            "Entries ingested per software-counter tick.",
+            f"{pipeline.ingest_rate:.6f}",
+        )
+        metric(
+            "symbol_cache_hit_rate", "gauge",
+            "Fraction of symbol resolutions served from the LRU.",
+            f"{pipeline.cache_hit_rate:.6f}",
+        )
+    metric(
+        "profile_calls_total", "counter",
+        "Completed (or truncated) method invocations.",
+        len(analysis.records),
+    )
+    metric(
+        "profile_threads", "gauge",
+        "Distinct threads observed in the profile.",
+        len(analysis.threads()),
+    )
+    metric(
+        "profile_exclusive_ticks_total", "counter",
+        "Total attributed exclusive ticks.",
+        analysis.total_exclusive(),
+    )
+    return "\n".join(lines) + "\n"

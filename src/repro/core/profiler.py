@@ -178,16 +178,24 @@ class TEEPerf:
     # ------------------------------------------------------------------
     # Stage 3: analyze
 
-    def analyze(self, log=None):
-        """Analyze the last recording (or an explicit log/path)."""
+    def analyze(self, log=None, jobs=1, chunk_size=None):
+        """Analyze the last recording (or an explicit log/path).
+
+        `jobs` widens the analyzer's per-thread shard pool; the
+        resulting ``analysis.pipeline`` carries the recorder's counters
+        (events dropped at record time) merged with the analyzer's.
+        """
         if self.program is None:
             if not self._instrumenter.program.functions:
                 raise TEEPerfError("nothing compiled yet")
             raise RecorderError("no recording was made yet")
         recorder = self._require_recorder() if log is None else None
         source = log if log is not None else recorder.log
+        stats = recorder.pipeline_stats() if recorder is not None else None
         analyzer = Analyzer(self.program.image, tick_ns=self._tick_ns())
-        self._analysis = analyzer.analyze(source)
+        self._analysis = analyzer.analyze(
+            source, jobs=jobs, chunk_size=chunk_size, stats=stats
+        )
         return self._analysis
 
     def query(self):

@@ -23,6 +23,7 @@ from repro.core.counter import ThreadCounter, VirtualCounter
 from repro.core.errors import RecorderError
 from repro.core.instrument import LiveHooks, SimHooks
 from repro.core.log import SharedLog, VERSION
+from repro.core.stats import PipelineStats
 
 DEFAULT_CAPACITY = 1 << 20  # entries
 DEFAULT_PID = 4242
@@ -92,6 +93,12 @@ class _RecorderBase:
 
     def events_dropped(self):
         return self.log.dropped if self.log is not None else 0
+
+    def pipeline_stats(self):
+        """Recorder-side pipeline counters, ready for the analyzer to
+        extend: what was lost *before* analysis even starts (events
+        dropped when the log's reservation counter overflowed)."""
+        return PipelineStats(entries_dropped=self.events_dropped())
 
     def __enter__(self):
         self.start()

@@ -1,0 +1,132 @@
+"""Pipeline observability — the counters the streaming analyzer keeps.
+
+TEEMon turned a one-shot TEE profiler into a continuously-fed pipeline
+by exporting metrics at every stage; :class:`PipelineStats` is this
+repository's equivalent.  One instance travels through a profiling run:
+the recorder seeds it with what happened at record time (entries that
+overflowed the log's reservation counter), the analyzer adds what
+happened at analysis time (entries ingested per chunk, shards analyzed,
+returns dismissed, frames truncated, symbol-cache traffic), and the
+exporters (:func:`repro.core.export.to_json`,
+:func:`repro.core.export.to_metrics`) and ``tee-perf analyze --stats``
+surface it.
+
+Every counter is a plain integer so merging two stats objects — e.g.
+per-shard partials — is simple addition.
+"""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PipelineStats:
+    """Counters for one pass of the record -> ingest -> analyze pipeline.
+
+    Attributes
+    ----------
+    entries_ingested:
+        Log entries decoded and fed to the per-thread shards.
+    entries_dropped:
+        Events the *recorder* lost because the log was full
+        (reservation past the maximum size; §II-B's drop rule).
+    entries_dismissed:
+        Returns the *analyzer* dismissed because no open frame
+        matched them (tracing was off during the call).
+    frames_truncated:
+        Calls closed at the thread's last observed counter value
+        because their return never made it into the log.
+    chunks_processed:
+        Fixed-size ingestion chunks decoded (1 for a batch pass).
+    shards_analyzed:
+        Per-thread shards reconstructed.
+    jobs:
+        Worker-pool width the shards ran under (1 = serial).
+    chunk_size:
+        Entries per ingestion chunk (0 = unchunked batch read).
+    counter_span:
+        Ticks between the smallest and largest counter value seen;
+        the denominator of the ingest rate.
+    cache_hits / cache_misses:
+        Symbol-resolution LRU traffic (see
+        :class:`repro.symbols.CachedResolver`).
+    """
+
+    entries_ingested: int = 0
+    entries_dropped: int = 0
+    entries_dismissed: int = 0
+    frames_truncated: int = 0
+    chunks_processed: int = 0
+    shards_analyzed: int = 0
+    jobs: int = 1
+    chunk_size: int = 0
+    counter_span: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived rates
+
+    @property
+    def ingest_rate(self):
+        """Entries ingested per counter tick (0.0 on an empty span)."""
+        if self.counter_span <= 0:
+            return 0.0
+        return self.entries_ingested / self.counter_span
+
+    @property
+    def cache_hit_rate(self):
+        """Fraction of symbol resolutions served from the LRU."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    # ------------------------------------------------------------------
+    # Combination and output
+
+    def merge(self, other):
+        """Add `other`'s counters into this object (in place).
+
+        ``jobs`` and ``chunk_size`` are configuration, not counters:
+        the merged object keeps the wider/larger of the two.
+        """
+        for f in fields(self):
+            if f.name in ("jobs", "chunk_size"):
+                setattr(
+                    self, f.name, max(getattr(self, f.name), getattr(other, f.name))
+                )
+            else:
+                setattr(
+                    self, f.name, getattr(self, f.name) + getattr(other, f.name)
+                )
+        return self
+
+    def to_dict(self):
+        """All counters plus the derived rates, JSON-ready."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["ingest_rate"] = self.ingest_rate
+        out["cache_hit_rate"] = self.cache_hit_rate
+        return out
+
+    def report(self):
+        """The human-readable counter table (``--stats`` output)."""
+        lines = [
+            "pipeline stats:",
+            f"  entries ingested:  {self.entries_ingested}",
+            f"  entries dropped:   {self.entries_dropped}"
+            "   (log full at record time)",
+            f"  entries dismissed: {self.entries_dismissed}"
+            "   (unmatched returns)",
+            f"  frames truncated:  {self.frames_truncated}",
+            f"  chunks processed:  {self.chunks_processed}"
+            + (f"   ({self.chunk_size} entries/chunk)" if self.chunk_size else ""),
+            f"  shards analyzed:   {self.shards_analyzed}"
+            f"   (jobs={self.jobs})",
+            f"  ingest rate:       {self.ingest_rate:.3f} entries/tick",
+            f"  symbol cache:      {100 * self.cache_hit_rate:.1f}% hits "
+            f"({self.cache_hits} hits, {self.cache_misses} misses)",
+        ]
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.report()

@@ -13,10 +13,16 @@ from repro.symbols.image import (
     relocation_offset,
 )
 from repro.symbols.mangle import MangleError, demangle, mangle
-from repro.symbols.symtab import Symbol, SymbolLookupError, SymbolTable
+from repro.symbols.symtab import (
+    CachedResolver,
+    Symbol,
+    SymbolLookupError,
+    SymbolTable,
+)
 
 __all__ = [
     "BinaryImage",
+    "CachedResolver",
     "LoadedImage",
     "MangleError",
     "Symbol",

@@ -19,6 +19,7 @@ Deviations from the full ABI (no substitutions, no templates) are
 deliberate: the encoding only needs to roundtrip through *our* tools.
 """
 
+import functools
 import re
 
 _BUILTIN_TO_CODE = {
@@ -127,10 +128,13 @@ def mangle(pretty):
     return encoded
 
 
+@functools.lru_cache(maxsize=8192)
 def demangle(symbol):
     """Decode a linker symbol back to its pretty form (c++filt).
 
     Unmangled (C) names are returned unchanged, matching c++filt.
+    Memoised: ``Symbol.pretty`` is on the analyzer's per-entry path and
+    a binary has few distinct symbols.
     """
     if not symbol.startswith("_Z"):
         return symbol

@@ -4,9 +4,16 @@ A :class:`SymbolTable` maps link-time address ranges to symbols and can
 answer the two queries the analyzer needs: exact lookup by name and
 range lookup by address (binutils' ``addr2line``).  ``dump`` produces a
 ``readelf --syms``-style listing used by the CLI and the docs.
+
+:class:`CachedResolver` puts an LRU in front of the range lookup: a
+profile log names the same few hundred addresses millions of times, so
+the analyzer should not re-walk the table (or re-demangle the name)
+for every entry.
 """
 
 import bisect
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.symbols.mangle import demangle
@@ -109,3 +116,53 @@ class SymbolTable:
 
     def __contains__(self, name):
         return name in self._by_name
+
+
+class CachedResolver:
+    """An LRU cache in front of :meth:`SymbolTable.resolve`.
+
+    Misses (addresses outside every function) are cached too — a torn
+    log tail hammers the same bogus address, and "not a symbol" is as
+    expensive to recompute as a hit.  Thread-safe, because the
+    streaming analyzer resolves from concurrent shard workers; `hits`
+    and `misses` feed the pipeline's cache-hit-rate counter.
+    """
+
+    def __init__(self, symtab, maxsize=65536):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive: {maxsize}")
+        self._symtab = symtab
+        self._maxsize = maxsize
+        self._cache = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def resolve(self, addr):
+        """Like :meth:`SymbolTable.resolve`, memoised per address."""
+        with self._lock:
+            if addr in self._cache:
+                self.hits += 1
+                self._cache.move_to_end(addr)
+                return self._cache[addr]
+        symbol = self._symtab.resolve(addr)
+        with self._lock:
+            self.misses += 1
+            self._cache[addr] = symbol
+            if len(self._cache) > self._maxsize:
+                self._cache.popitem(last=False)
+        return symbol
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self):
+        return len(self._cache)
+
+    def __repr__(self):
+        return (
+            f"CachedResolver({len(self._cache)}/{self._maxsize} cached, "
+            f"{100 * self.hit_rate:.1f}% hits)"
+        )

@@ -78,6 +78,31 @@ def test_analyze_offline_formats(tmp_path, capsys):
     assert main(["analyze", log, "--format", "speedscope"]) == 0
     assert "speedscope" in capsys.readouterr().out
 
+    assert main(["analyze", log, "--format", "metrics"]) == 0
+    metrics = capsys.readouterr().out
+    assert "teeperf_entries_ingested_total 202" in metrics
+    assert "teeperf_symbol_cache_hit_rate" in metrics
+
+
+def test_analyze_jobs_and_stats(tmp_path, capsys):
+    out = tmp_path / "demo"
+    main(["demo", "-o", str(out)])
+    capsys.readouterr()
+    log = str(out / "demo.teeperf")
+
+    assert main(["analyze", log, "--jobs", "4", "--stats"]) == 0
+    text = capsys.readouterr().out
+    assert "pipeline stats:" in text
+    assert "entries ingested:  202" in text
+    assert "jobs=4" in text
+
+    # The parallel path prints the identical report.
+    assert main(["analyze", log]) == 0
+    serial = capsys.readouterr().out
+    assert main(["analyze", log, "--jobs", "4", "--chunk-size", "16"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
 
 def test_analyze_missing_symtab(tmp_path, capsys):
     from repro.core import SharedLog

@@ -1,0 +1,107 @@
+"""Executable documentation: run the README quickstart and the
+query-reference examples exactly as written, so the docs cannot rot.
+
+* Every ``python`` fenced block in the README's Quickstart section is
+  executed in order (one shared working directory, fresh namespaces).
+* Every ``tee-perf`` command in the Quickstart console blocks is run
+  through the real CLI entry point (with ``>`` redirection honoured).
+* Every ``python`` block in docs/query-reference.md runs top-to-bottom
+  in one shared namespace, as the page promises.
+* Paths the README tells people to run (``examples/*.py``) must exist.
+"""
+
+import pathlib
+import re
+import shlex
+
+import pytest
+
+from repro.cli import main
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+README = ROOT / "README.md"
+QUERY_REFERENCE = ROOT / "docs" / "query-reference.md"
+
+_FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+
+
+def section(text, heading):
+    """The markdown between `heading` and the next same-level heading."""
+    level = heading.split(" ", 1)[0]
+    pattern = re.compile(
+        rf"^{re.escape(heading)}\s*$(.*?)(?=^{level} |\Z)",
+        re.DOTALL | re.MULTILINE,
+    )
+    match = pattern.search(text)
+    assert match, f"no section {heading!r}"
+    return match.group(1)
+
+
+def fenced_blocks(text, language):
+    return [
+        body for lang, body in _FENCE.findall(text) if lang == language
+    ]
+
+
+def run_console_line(line, capsys):
+    """Execute one ``$ tee-perf ...`` line through the CLI."""
+    command = line[1:].strip()
+    command, _, redirect = command.partition(">")
+    argv = shlex.split(command.split("#")[0])
+    assert argv[0] == "tee-perf"
+    assert main(argv[1:]) == 0, line
+    out = capsys.readouterr().out
+    if redirect:
+        pathlib.Path(redirect.strip()).write_text(out)
+    return out
+
+
+@pytest.fixture
+def in_tmp(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_readme_quickstart_python_blocks(in_tmp):
+    quickstart = section(README.read_text(), "## Quickstart")
+    blocks = fenced_blocks(quickstart, "python")
+    assert len(blocks) >= 3  # live, simulated, auto
+    for block in blocks:
+        exec(compile(block, str(README), "exec"), {"__name__": "__docs__"})
+    # The live snippet wrote its flame graph where it said it would.
+    assert (in_tmp / "out.svg").read_text().startswith("<svg")
+
+
+def test_readme_quickstart_cli_commands(in_tmp, capsys):
+    quickstart = section(README.read_text(), "## Quickstart")
+    commands = [
+        line
+        for block in fenced_blocks(quickstart, "console")
+        for line in block.splitlines()
+        if line.startswith("$ tee-perf")
+    ]
+    assert len(commands) >= 7
+    for line in commands:
+        run_console_line(line, capsys)
+    # The pipeline produced what the commands claim.
+    assert (in_tmp / "demo" / "demo.teeperf").exists()
+    assert (in_tmp / "stacks.folded").read_text().strip()
+    assert (in_tmp / "out.svg").read_text().startswith("<svg")
+
+
+def test_readme_example_paths_exist():
+    quickstart = section(README.read_text(), "## Quickstart")
+    paths = re.findall(r"\$ python (examples/\S+)", quickstart)
+    assert paths, "quickstart no longer lists runnable examples"
+    for path in paths:
+        assert (ROOT / path).exists(), path
+
+
+def test_query_reference_examples(in_tmp):
+    blocks = fenced_blocks(QUERY_REFERENCE.read_text(), "python")
+    assert len(blocks) >= 10
+    namespace = {"__name__": "__docs__"}
+    for block in blocks:
+        exec(compile(block, str(QUERY_REFERENCE), "exec"), namespace)
+    # The page's own claims held while executing.
+    assert len(namespace["session"].records) == 13

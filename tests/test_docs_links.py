@@ -1,0 +1,55 @@
+"""Dead-link check over the documentation.
+
+Every relative markdown link in docs/*.md, README.md and DESIGN.md
+must point at a file that exists (anchors and external URLs are out of
+scope).  This is the docs half of the CI workflow; it also runs as
+part of tier-1 so a broken link never lands.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+DOC_FILES = sorted(
+    [ROOT / "README.md", ROOT / "DESIGN.md"]
+    + list((ROOT / "docs").glob("*.md"))
+)
+
+# [text](target) — excluding images' alt text is unnecessary: the
+# target rules are the same.  Stops at the first ')' like markdown.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# Inside fenced code blocks, "](" is just text.
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _links(path):
+    text = _FENCE.sub("", path.read_text())
+    return _LINK.findall(text)
+
+
+def test_doc_set_is_nonempty():
+    names = [p.name for p in DOC_FILES]
+    assert "README.md" in names
+    assert "architecture.md" in names
+    assert "analyzer-pipeline.md" in names
+    assert "query-reference.md" in names
+    assert "log-format.md" in names
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(path):
+    broken = []
+    for target in _links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#")[0]
+        if not target:  # pure in-page anchor
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{path.name}: dead links {broken}"
