@@ -1,6 +1,6 @@
 """The ``tee-perf`` command-line interface.
 
-Three offline utilities around the log format and the visualizer::
+Offline utilities around the log format and the visualizer::
 
     tee-perf inspect <run.teeperf>          # header + entry statistics
     tee-perf flamegraph <stacks.folded> -o out.svg
@@ -10,10 +10,20 @@ Three offline utilities around the log format and the visualizer::
 image; ``flamegraph`` renders standard folded-stacks text (from this
 tool or any other producer) into a standalone SVG; ``demo`` runs a
 small simulated workload end to end and writes its artefacts.
+
+Plus the live surface::
+
+    tee-perf monitor [--workload histogram] [--port 9464] [--rules F]
+
+which runs a Phoenix workload under the profiler with a monitor
+attached and serves Prometheus-format scrapes while it executes (see
+docs/monitoring.md).
 """
 
 import argparse
 import sys
+import threading
+import time
 from collections import Counter
 
 from repro.core import (
@@ -193,6 +203,107 @@ def cmd_demo(args):
     return 0
 
 
+def cmd_monitor(args):
+    """Live monitoring: run a Phoenix workload under the profiler with
+    a monitor attached, serve scrapes, evaluate alert rules."""
+    from repro.monitor import (
+        ConsoleSink,
+        MemorySink,
+        Monitor,
+        MonitorServer,
+        RuleSyntaxError,
+        parse_rules,
+    )
+    from repro.phoenix.runner import workload_by_name
+
+    monitor = Monitor(interval=args.interval)
+    if args.rules:
+        try:
+            with open(args.rules) as fh:
+                monitor.add_rules(parse_rules(fh.read()))
+        except OSError as exc:
+            print(f"cannot read rules file: {exc}", file=sys.stderr)
+            return 1
+        except RuleSyntaxError as exc:
+            print(f"bad rules file: {exc}", file=sys.stderr)
+            return 1
+    monitor.add_sink(ConsoleSink())
+    fired = monitor.add_sink(MemorySink())
+
+    try:
+        platform = platform_by_name(args.platform)
+        workload_cls = workload_by_name(args.workload)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    params = {}
+    for item in args.param or ():
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"--param needs key=value, got {item!r}", file=sys.stderr)
+            return 1
+        params[key] = int(value)
+
+    perf = TEEPerf.simulated(
+        platform=platform,
+        capacity=args.capacity,
+        name=workload_cls.NAME,
+        monitor=monitor,
+    )
+    workload = workload_cls(perf.machine, perf.env, **params)
+    perf.compile_instance(workload)
+
+    server = None
+    if not args.once:
+        server = MonitorServer(monitor, port=args.port)
+        port = server.start()
+        print(f"monitor: serving {server.url}/metrics "
+              f"(snapshot at {server.url}/snapshot.json)")
+        sys.stdout.flush()
+
+    monitor.start()
+    failure = []
+
+    def run():
+        try:
+            perf.record(workload.run)
+        except Exception as exc:  # noqa: BLE001 — reported below
+            failure.append(exc)
+
+    worker = threading.Thread(
+        target=run, name="tee-perf-monitored-workload", daemon=True
+    )
+    worker.start()
+    worker.join()
+    if failure:
+        monitor.stop()
+        if server is not None:
+            server.stop()
+        print(f"workload failed: {failure[0]}", file=sys.stderr)
+        return 1
+    perf.analyze()  # attaches the pipeline sampler and polls once
+
+    if args.duration > 0 and server is not None:
+        print(f"monitor: workload done; serving {args.duration:g}s more")
+        sys.stdout.flush()
+        time.sleep(args.duration)
+    monitor.stop()
+    if server is not None:
+        server.stop()
+
+    if args.once:
+        print(monitor.exposition(), end="")
+    samples = int(monitor.registry.value("monitor_samples_total", 0))
+    families = len(monitor.registry)
+    alerts = len(fired.fired())
+    print(
+        f"monitor: {samples} sampling passes, {families} metric "
+        f"families, {alerts} alert(s) fired",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="tee-perf",
@@ -264,6 +375,56 @@ def build_parser():
     demo.add_argument("--platform", default="sgx-v1")
     demo.add_argument("-o", "--output", default="tee-perf-demo")
     demo.set_defaults(fn=cmd_demo)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="run a workload with live metrics, scrapes and alerts",
+    )
+    mon.add_argument(
+        "--workload",
+        default="histogram",
+        help="Phoenix workload to run under the profiler",
+    )
+    mon.add_argument("--platform", default="sgx-v1")
+    mon.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="scrape-endpoint port (0 picks a free one)",
+    )
+    mon.add_argument(
+        "--interval",
+        type=float,
+        default=0.05,
+        help="seconds between sampling passes",
+    )
+    mon.add_argument(
+        "--rules", help="alert-rules file (see docs/monitoring.md)"
+    )
+    mon.add_argument(
+        "--capacity",
+        type=int,
+        default=1 << 20,
+        help="shared-log capacity in entries",
+    )
+    mon.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="keep serving this many seconds after the workload ends",
+    )
+    mon.add_argument(
+        "--once",
+        action="store_true",
+        help="no endpoint: run, then print one exposition to stdout",
+    )
+    mon.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=INT",
+        help="workload constructor parameter (repeatable)",
+    )
+    mon.set_defaults(fn=cmd_monitor)
 
     return parser
 

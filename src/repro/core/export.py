@@ -219,6 +219,16 @@ def to_metrics(analysis, prefix="teeperf"):
     pipeline = getattr(analysis, "pipeline", None)
     if pipeline is not None:
         metric(
+            "recorder_events_recorded_total", "counter",
+            "Events the recorder committed to the shared log.",
+            pipeline.entries_recorded,
+        )
+        metric(
+            "recorder_events_dropped_total", "counter",
+            "Events lost at record time (log reservation overflow).",
+            pipeline.entries_dropped,
+        )
+        metric(
             "entries_ingested_total", "counter",
             "Log entries decoded by the analyzer.",
             pipeline.entries_ingested,

@@ -35,11 +35,19 @@ from repro.tee import NATIVE, make_env
 class TEEPerf:
     """One profiling pipeline: compile, record, analyze, visualize."""
 
-    def __init__(self, recorder_factory, instrumenter, machine=None, env=None):
+    def __init__(
+        self,
+        recorder_factory,
+        instrumenter,
+        machine=None,
+        env=None,
+        monitor=None,
+    ):
         self._recorder_factory = recorder_factory
         self._instrumenter = instrumenter
         self.machine = machine
         self.env = env
+        self.monitor = monitor
         self.program = None
         self.recorder = None
         self._analysis = None
@@ -57,32 +65,48 @@ class TEEPerf:
         select=None,
         name="a.out",
         aslr_seed=1,
+        monitor=None,
     ):
         """A profiler for workloads on the simulated machine.
 
         `platform` picks the TEE cost model the workload runs under;
-        the profiler itself stays platform-independent.
+        the profiler itself stays platform-independent.  Passing a
+        :class:`repro.monitor.Monitor` attaches live samplers for the
+        recorder, counter, TEE cost model and (after ``analyze``) the
+        pipeline stats.
         """
         machine = machine or Machine(cores=cores)
         env = make_env(machine, platform)
 
         def factory(program):
             return Recorder(
-                machine, env, program, capacity=capacity, aslr_seed=aslr_seed
+                machine,
+                env,
+                program,
+                capacity=capacity,
+                aslr_seed=aslr_seed,
+                monitor=monitor,
             )
 
         return cls(
-            factory, Instrumenter(name, select=select), machine=machine, env=env
+            factory,
+            Instrumenter(name, select=select),
+            machine=machine,
+            env=env,
+            monitor=monitor,
         )
 
     @classmethod
-    def live(cls, capacity=DEFAULT_CAPACITY, select=None, name="a.out"):
+    def live(
+        cls, capacity=DEFAULT_CAPACITY, select=None, name="a.out",
+        monitor=None,
+    ):
         """A profiler for real (unsimulated) Python code."""
 
         def factory(program):
-            return LiveRecorder(program, capacity=capacity)
+            return LiveRecorder(program, capacity=capacity, monitor=monitor)
 
-        return cls(factory, Instrumenter(name, select=select))
+        return cls(factory, Instrumenter(name, select=select), monitor=monitor)
 
     @classmethod
     def auto(cls, scope=None, capacity=DEFAULT_CAPACITY, version=None):
@@ -196,6 +220,11 @@ class TEEPerf:
         self._analysis = analyzer.analyze(
             source, jobs=jobs, chunk_size=chunk_size, stats=stats
         )
+        if self.monitor is not None and self._analysis.pipeline is not None:
+            from repro.monitor import PipelineSampler
+
+            self.monitor.attach(PipelineSampler(self._analysis.pipeline))
+            self.monitor.poll_once()
         return self._analysis
 
     def query(self):

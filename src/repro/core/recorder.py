@@ -30,15 +30,23 @@ DEFAULT_PID = 4242
 
 
 class _RecorderBase:
-    """Shared lifecycle: idle -> started -> stopped."""
+    """Shared lifecycle: idle -> started -> stopped.
 
-    def __init__(self, program, capacity, pid, version=VERSION):
+    An optional :class:`repro.monitor.Monitor` can be handed in; the
+    recorder then attaches live samplers for itself and its counter on
+    ``start`` (replacing any previous run's, so re-recording under the
+    same monitor is idempotent) and takes one final sampling pass on
+    ``stop`` so the series capture the terminal state.
+    """
+
+    def __init__(self, program, capacity, pid, version=VERSION, monitor=None):
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.program = program
         self.capacity = capacity
         self.pid = pid
         self.version = version
+        self.monitor = monitor
         self.log = None
         self.loaded = None
         self.hooks = None
@@ -60,6 +68,9 @@ class _RecorderBase:
         self.program.hooks.arm(self.hooks, self.loaded.offset)
         self.log.set_active(True)
         self._started = True
+        if self.monitor is not None:
+            self._attach_monitor(self.monitor)
+            self.monitor.poll_once()
 
     def stop(self):
         """Stop recording and detach from the application."""
@@ -70,6 +81,15 @@ class _RecorderBase:
         self._stop_counter()
         self.log._store_tail()
         self._started = False
+        if self.monitor is not None:
+            self.monitor.poll_once()
+
+    def _attach_monitor(self, monitor):
+        """Attach this recorder's live sources to `monitor`."""
+        from repro.monitor import CounterSampler, RecorderSampler
+
+        monitor.attach(RecorderSampler(self))
+        monitor.attach(CounterSampler(self.counter))
 
     def pause(self):
         """Dynamically deactivate tracing (flags stay writable while
@@ -96,9 +116,13 @@ class _RecorderBase:
 
     def pipeline_stats(self):
         """Recorder-side pipeline counters, ready for the analyzer to
-        extend: what was lost *before* analysis even starts (events
-        dropped when the log's reservation counter overflowed)."""
-        return PipelineStats(entries_dropped=self.events_dropped())
+        extend: what reached the log, and what was lost *before*
+        analysis even starts (events dropped when the log's
+        reservation counter overflowed)."""
+        return PipelineStats(
+            entries_recorded=self.events_recorded(),
+            entries_dropped=self.events_dropped(),
+        )
 
     def __enter__(self):
         self.start()
@@ -148,12 +172,19 @@ class Recorder(_RecorderBase):
         counter=None,
         aslr_seed=1,
         version=VERSION,
+        monitor=None,
     ):
-        super().__init__(program, capacity, pid, version)
+        super().__init__(program, capacity, pid, version, monitor)
         self.machine = machine
         self.env = env
         self.counter = counter or VirtualCounter(machine)
         self._seed = aslr_seed
+
+    def _attach_monitor(self, monitor):
+        from repro.monitor import TeeCostSampler
+
+        super()._attach_monitor(monitor)
+        monitor.attach(TeeCostSampler(self.env))
 
     def _aslr_seed(self):
         return self._seed
@@ -191,8 +222,9 @@ class LiveRecorder(_RecorderBase):
         pid=DEFAULT_PID,
         counter=None,
         version=VERSION,
+        monitor=None,
     ):
-        super().__init__(program, capacity, pid, version)
+        super().__init__(program, capacity, pid, version, monitor)
         self.counter = counter or ThreadCounter()
         self._saved_interval = None
 

@@ -24,6 +24,9 @@ class PipelineStats:
 
     Attributes
     ----------
+    entries_recorded:
+        Events the *recorder* committed to the shared log (its view
+        of the run, seeded before analysis starts).
     entries_ingested:
         Log entries decoded and fed to the per-thread shards.
     entries_dropped:
@@ -51,6 +54,7 @@ class PipelineStats:
         :class:`repro.symbols.CachedResolver`).
     """
 
+    entries_recorded: int = 0
     entries_ingested: int = 0
     entries_dropped: int = 0
     entries_dismissed: int = 0
@@ -108,10 +112,23 @@ class PipelineStats:
         out["cache_hit_rate"] = self.cache_hit_rate
         return out
 
+    @classmethod
+    def from_dict(cls, data):
+        """Rehydrate from :meth:`to_dict` output (or any superset).
+
+        Derived rates and unknown keys are ignored, so a snapshot that
+        travelled through JSON — e.g. a monitor snapshot or the
+        ``pipeline`` block of :func:`repro.core.export.to_json` —
+        round-trips to an equal object.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
     def report(self):
         """The human-readable counter table (``--stats`` output)."""
         lines = [
             "pipeline stats:",
+            f"  entries recorded:  {self.entries_recorded}",
             f"  entries ingested:  {self.entries_ingested}",
             f"  entries dropped:   {self.entries_dropped}"
             "   (log full at record time)",

@@ -60,17 +60,37 @@ def repeat(fn, runs=10):
 
 
 class Experiment:
-    """A named experiment accumulating one measurement per variant."""
+    """A named experiment accumulating one measurement per variant.
 
-    def __init__(self, name, runs=10):
+    With a :class:`repro.monitor.Monitor` attached, every run also
+    captures a monitor snapshot (after one synchronous sampling pass),
+    collected per variant in :attr:`snapshots` — so an experiment's
+    result rows carry the live-metric context they were measured
+    under.
+    """
+
+    def __init__(self, name, runs=10, monitor=None):
         self.name = name
         self.runs = runs
+        self.monitor = monitor
         self.results = {}
+        self.snapshots = {}
 
     def measure(self, variant, fn):
         """Measure one variant; `fn(run_index)` returns the metric."""
-        measurement = repeat(fn, self.runs)
+        snapshots = []
+
+        def observed(run_index):
+            value = fn(run_index)
+            if self.monitor is not None:
+                self.monitor.poll_once()
+                snapshots.append(self.monitor.snapshot())
+            return value
+
+        measurement = repeat(observed, self.runs)
         self.results[variant] = measurement
+        if self.monitor is not None:
+            self.snapshots[variant] = snapshots
         return measurement
 
     def geomeans(self):

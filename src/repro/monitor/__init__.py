@@ -1,0 +1,90 @@
+"""Live monitoring: TEEMon-style continuous visibility for TEE-Perf.
+
+The offline pipeline (record -> persist -> analyze) answers "what
+happened"; this subsystem answers "what is happening".  A
+:class:`Monitor` polls pluggable :class:`Sampler`\\ s — the software
+counter, the recorder's drop accounting, the TEE cost model, in-flight
+:class:`~repro.core.stats.PipelineStats`, workload statistics — into a
+:class:`MetricRegistry`, retains ring-buffer time series with windowed
+aggregation, serves Prometheus-format scrapes over stdlib HTTP
+(:class:`MonitorServer`), and drives threshold-with-hysteresis
+:class:`AlertRule`\\ s through pluggable notification sinks.
+
+Hookup points: ``Recorder(..., monitor=...)``,
+``TEEPerf.simulated(..., monitor=...)``, ``tee-perf monitor`` on the
+command line, and ``Experiment(..., monitor=...)`` for per-run
+snapshots.  See docs/monitoring.md for the metric catalogue.
+"""
+
+from repro.monitor.alerts import (
+    FIRING,
+    OK,
+    PENDING,
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    AlertState,
+    CallbackSink,
+    ConsoleSink,
+    MemorySink,
+    NotificationSink,
+    RuleSyntaxError,
+    parse_rule,
+    parse_rules,
+)
+from repro.monitor.http import EXPOSITION_CONTENT_TYPE, MonitorServer
+from repro.monitor.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    sanitize,
+)
+from repro.monitor.monitor import DEFAULT_INTERVAL, Monitor
+from repro.monitor.samplers import (
+    CallbackSampler,
+    CounterSampler,
+    KVStoreSampler,
+    PipelineSampler,
+    RecorderSampler,
+    Sampler,
+    SpdkSampler,
+    TeeCostSampler,
+)
+from repro.monitor.series import RingSeries, SeriesStore
+
+__all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "AlertState",
+    "CallbackSampler",
+    "CallbackSink",
+    "ConsoleSink",
+    "Counter",
+    "CounterSampler",
+    "DEFAULT_INTERVAL",
+    "EXPOSITION_CONTENT_TYPE",
+    "FIRING",
+    "Gauge",
+    "Histogram",
+    "KVStoreSampler",
+    "MemorySink",
+    "MetricRegistry",
+    "Monitor",
+    "MonitorServer",
+    "NotificationSink",
+    "OK",
+    "PENDING",
+    "PipelineSampler",
+    "RecorderSampler",
+    "RingSeries",
+    "RuleSyntaxError",
+    "Sampler",
+    "SeriesStore",
+    "SpdkSampler",
+    "TeeCostSampler",
+    "parse_rule",
+    "parse_rules",
+    "sanitize",
+]

@@ -1,0 +1,298 @@
+"""Alert rules: thresholds with hysteresis over sampled metrics.
+
+A rule watches one metric family and moves through three states::
+
+    ok -> pending -> firing -> ok
+
+It *fires* only after the threshold has been breached for
+``for_windows`` consecutive sampling passes (the "for 3 windows" of
+"drop rate > 1% for 3 windows"), and once firing it *resolves* only
+when the value crosses the ``clear`` threshold — hysteresis, so a
+metric oscillating around the trigger point does not flap
+notifications.
+
+Rules can be built in code or parsed from the small text syntax the
+``tee-perf monitor --rules`` flag accepts, one rule per line::
+
+    # name:  metric  op  threshold  [for N] [clear X]
+    drops:   recorder_drop_ratio > 0.01 for 3 clear 0.001
+    stalls:  counter_running < 1
+
+Notification is pluggable: a :class:`NotificationSink` receives one
+:class:`AlertEvent` per transition (fired / resolved).
+"""
+
+from dataclasses import dataclass, field
+
+OK = "ok"
+PENDING = "pending"
+FIRING = "firing"
+
+_OPS = {
+    ">": lambda value, threshold: value > threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+class RuleSyntaxError(ValueError):
+    """A rule line that does not parse."""
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold rule over a metric family.
+
+    ``clear`` defaults to the trigger threshold itself (no
+    hysteresis); set it strictly on the OK side of the threshold to
+    require the metric to recover past it before the alert resolves.
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    for_windows: int = 1
+    clear: float = None
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(
+                f"unknown operator {self.op!r} (known: {sorted(_OPS)})"
+            )
+        if self.for_windows < 1:
+            raise ValueError(
+                f"for_windows must be >= 1: {self.for_windows}"
+            )
+
+    def breached(self, value):
+        return _OPS[self.op](value, self.threshold)
+
+    def recovered(self, value):
+        clear = self.threshold if self.clear is None else self.clear
+        return not _OPS[self.op](value, clear)
+
+    def describe(self):
+        text = f"{self.metric} {self.op} {self.threshold:g}"
+        if self.for_windows > 1:
+            text += f" for {self.for_windows}"
+        if self.clear is not None:
+            text += f" clear {self.clear:g}"
+        return text
+
+
+@dataclass
+class AlertEvent:
+    """One state transition, delivered to every sink."""
+
+    rule: AlertRule
+    state: str  # FIRING or OK (a resolve)
+    value: float
+    timestamp: float
+
+    def describe(self):
+        verb = "FIRING" if self.state == FIRING else "resolved"
+        return (
+            f"[{verb}] {self.rule.name}: {self.rule.describe()} "
+            f"(value={self.value:g} at t={self.timestamp:.3f})"
+        )
+
+
+@dataclass
+class AlertState:
+    """Mutable evaluation state for one rule."""
+
+    rule: AlertRule
+    state: str = OK
+    breaches: int = 0
+    value: float = None
+    fired_at: float = None
+
+    def as_dict(self):
+        return {
+            "name": self.rule.name,
+            "rule": self.rule.describe(),
+            "state": self.state,
+            "breaches": self.breaches,
+            "value": self.value,
+            "fired_at": self.fired_at,
+        }
+
+
+class NotificationSink:
+    """Base sink: receives every fired/resolved transition."""
+
+    def notify(self, event):
+        raise NotImplementedError
+
+
+class MemorySink(NotificationSink):
+    """Collects events in memory (tests, snapshots)."""
+
+    def __init__(self):
+        self.events = []
+
+    def notify(self, event):
+        self.events.append(event)
+
+    def fired(self):
+        return [e for e in self.events if e.state == FIRING]
+
+
+class CallbackSink(NotificationSink):
+    """Routes events to a callable (webhooks, logging adapters)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def notify(self, event):
+        self.fn(event)
+
+
+class ConsoleSink(NotificationSink):
+    """Prints transitions to a stream (the CLI's default)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def notify(self, event):
+        import sys
+
+        print(event.describe(), file=self.stream or sys.stderr)
+
+
+class AlertEngine:
+    """Evaluates every rule against each sampling pass."""
+
+    def __init__(self, rules=(), sinks=()):
+        self._states = {}
+        self.sinks = list(sinks)
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule):
+        if rule.name in self._states:
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self._states[rule.name] = AlertState(rule)
+        return rule
+
+    def add_sink(self, sink):
+        self.sinks.append(sink)
+        return sink
+
+    @property
+    def rules(self):
+        return [s.rule for s in self._states.values()]
+
+    def states(self):
+        return list(self._states.values())
+
+    def firing(self):
+        return [s for s in self._states.values() if s.state == FIRING]
+
+    def as_dict(self):
+        return [s.as_dict() for s in self._states.values()]
+
+    def evaluate(self, values, timestamp):
+        """Advance every rule against ``{metric: value}``; returns the
+        transitions (fired or resolved) this pass produced.
+
+        A rule whose metric is absent from `values` holds its state —
+        a sampler that has not run yet is not evidence of recovery.
+        """
+        events = []
+        for state in self._states.values():
+            rule = state.rule
+            if rule.metric not in values:
+                continue
+            value = float(values[rule.metric])
+            state.value = value
+            if state.state == FIRING:
+                if rule.recovered(value):
+                    state.state = OK
+                    state.breaches = 0
+                    state.fired_at = None
+                    events.append(
+                        AlertEvent(rule, OK, value, timestamp)
+                    )
+            elif rule.breached(value):
+                state.breaches += 1
+                if state.breaches >= rule.for_windows:
+                    state.state = FIRING
+                    state.fired_at = timestamp
+                    events.append(
+                        AlertEvent(rule, FIRING, value, timestamp)
+                    )
+                else:
+                    state.state = PENDING
+            else:
+                state.state = OK
+                state.breaches = 0
+        for event in events:
+            for sink in self.sinks:
+                sink.notify(event)
+        return events
+
+
+# ----------------------------------------------------------------------
+# The text syntax
+
+
+def parse_rule(line, lineno=0):
+    """Parse one ``name: metric op threshold [for N] [clear X]`` line."""
+    where = f"rule line {lineno}" if lineno else "rule"
+    name, sep, rest = line.partition(":")
+    if not sep or not name.strip():
+        raise RuleSyntaxError(f"{where}: expected 'name: metric op ...'")
+    tokens = rest.split()
+    if len(tokens) < 3:
+        raise RuleSyntaxError(
+            f"{where}: expected 'metric op threshold', got {rest!r}"
+        )
+    metric, op = tokens[0], tokens[1]
+    if op not in _OPS:
+        raise RuleSyntaxError(f"{where}: unknown operator {op!r}")
+    try:
+        threshold = float(tokens[2])
+    except ValueError:
+        raise RuleSyntaxError(
+            f"{where}: threshold is not a number: {tokens[2]!r}"
+        ) from None
+    for_windows, clear = 1, None
+    rest_tokens = tokens[3:]
+    while rest_tokens:
+        keyword = rest_tokens.pop(0)
+        if not rest_tokens:
+            raise RuleSyntaxError(f"{where}: {keyword!r} needs a value")
+        raw = rest_tokens.pop(0)
+        try:
+            if keyword == "for":
+                for_windows = int(raw)
+            elif keyword == "clear":
+                clear = float(raw)
+            else:
+                raise RuleSyntaxError(
+                    f"{where}: unknown keyword {keyword!r}"
+                )
+        except ValueError:
+            raise RuleSyntaxError(
+                f"{where}: bad value for {keyword!r}: {raw!r}"
+            ) from None
+    try:
+        return AlertRule(
+            name.strip(), metric, op, threshold, for_windows, clear
+        )
+    except ValueError as exc:
+        raise RuleSyntaxError(f"{where}: {exc}") from None
+
+
+def parse_rules(text):
+    """Parse a rules file: one rule per line, ``#`` comments allowed."""
+    rules = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rules.append(parse_rule(line, lineno))
+    return rules

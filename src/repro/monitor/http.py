@@ -1,0 +1,113 @@
+"""The scrape endpoint: a stdlib HTTP server over a monitor.
+
+Four routes, all read-only:
+
+* ``/metrics``       — Prometheus text exposition (the scrape target);
+* ``/snapshot.json`` — the full JSON snapshot (metrics, windowed
+  aggregates, alert states);
+* ``/alerts``        — just the alert states, JSON;
+* ``/healthz``       — liveness probe.
+
+The server binds ``127.0.0.1`` by default and requesting port 0 lets
+the OS pick a free one — :meth:`MonitorServer.start` returns the
+bound port so tests and the CLI can advertise it.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests against ``server.monitor``."""
+
+    server_version = "tee-perf-monitor/1.0"
+
+    def do_GET(self):  # noqa: N802 — BaseHTTPRequestHandler's casing
+        monitor = self.server.monitor
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            monitor.registry.counter(
+                "monitor_scrapes_total",
+                "Scrape requests served by the endpoint.",
+            ).inc()
+            self._reply(
+                monitor.exposition().encode(), EXPOSITION_CONTENT_TYPE
+            )
+        elif path == "/snapshot.json":
+            body = json.dumps(monitor.snapshot(), indent=2).encode()
+            self._reply(body, "application/json")
+        elif path == "/alerts":
+            body = json.dumps(monitor.engine.as_dict(), indent=2).encode()
+            self._reply(body, "application/json")
+        elif path == "/healthz":
+            self._reply(b"ok\n", "text/plain")
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+
+    def _reply(self, body, content_type):
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        """Silence per-request stderr chatter; scrapes are counted in
+        the registry instead."""
+
+
+class MonitorServer:
+    """Serve one monitor's surface on a background thread."""
+
+    def __init__(self, monitor, port=0, host="127.0.0.1"):
+        self.monitor = monitor
+        self.host = host
+        self.port = port
+        self._httpd = None
+        self._thread = None
+
+    def start(self):
+        """Bind and start serving; returns the actual bound port."""
+        if self._httpd is not None:
+            return self.port
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.monitor = self.monitor
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="tee-perf-monitor-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    @property
+    def url(self):
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self):
+        return self._httpd is not None
+
+    def stop(self):
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join()
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False

@@ -1,0 +1,298 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+TEEMon's observation is that a TEE profiler becomes operationally
+useful the moment its counters are *live* — scrapeable while the
+workload runs instead of summarised after it.  These classes are the
+in-process half of that surface: samplers (``repro.monitor.samplers``)
+write into a :class:`MetricRegistry`, and the scrape endpoint
+(``repro.monitor.http``) reads it out in the same Prometheus text
+conventions :func:`repro.core.export.to_metrics` already established
+(``# HELP``/``# TYPE`` per family, ``teeperf_`` prefix).
+
+Everything is stdlib-only and thread-safe: sampler threads, the HTTP
+server, and the workload all touch the registry concurrently.
+"""
+
+import threading
+
+DEFAULT_PREFIX = "teeperf"
+
+# Upper bounds (seconds) for the default histogram, tuned for sampler
+# pass durations: sub-millisecond on the happy path, tailing into
+# tens of milliseconds when a sampler walks a large structure.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def valid_name(name):
+    """Prometheus-compatible metric/family name (we keep it strict)."""
+    return bool(name) and name[0].isalpha() and set(name) <= _NAME_OK
+
+
+def sanitize(name):
+    """Coerce an arbitrary label (e.g. a kvstore ticker ``get.hit``)
+    into a valid metric-name fragment."""
+    cleaned = "".join(
+        ch if ch in _NAME_OK else "_" for ch in name.lower()
+    )
+    return cleaned.strip("_") or "metric"
+
+
+class Metric:
+    """Base class: a named family with HELP text and a kind."""
+
+    kind = None
+
+    def __init__(self, name, help_text):
+        if not valid_name(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def value(self):
+        raise NotImplementedError
+
+    def expose(self, prefix=DEFAULT_PREFIX):
+        """The family's exposition lines (HELP, TYPE, samples)."""
+        full = f"{prefix}_{self.name}"
+        return [
+            f"# HELP {full} {self.help}",
+            f"# TYPE {full} {self.kind}",
+        ] + self._sample_lines(full)
+
+    def _sample_lines(self, full):
+        return [f"{full} {format_value(self.value())}"]
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r}, {self.value()!r})"
+
+
+class Counter(Metric):
+    """A monotonically non-decreasing total.
+
+    Samplers usually *observe* an absolute total maintained elsewhere
+    (the recorder's event count, the env's ocall count), so alongside
+    ``inc`` there is :meth:`set_total`, which accepts the polled value
+    but refuses to go backwards — a re-attached source restarting from
+    zero keeps the previous high-water mark rather than corrupting
+    rate computations downstream.
+    """
+
+    kind = COUNTER
+
+    def __init__(self, name, help_text):
+        super().__init__(name, help_text)
+        self._value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0: {amount}")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, total):
+        with self._lock:
+            if total > self._value:
+                self._value = total
+
+    def value(self):
+        with self._lock:
+            return self._value
+
+
+class Gauge(Metric):
+    """An instantaneous value that can move in either direction."""
+
+    kind = GAUGE
+
+    def __init__(self, name, help_text):
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    def set(self, value):
+        with self._lock:
+            self._value = value
+
+    def add(self, amount):
+        with self._lock:
+            self._value += amount
+
+    def value(self):
+        with self._lock:
+            return self._value
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``observe`` files a value into every bucket whose upper bound
+    admits it; exposition emits ``_bucket{le=...}``, ``_sum`` and
+    ``_count`` series plus the implicit ``+Inf`` bucket.
+    """
+
+    kind = HISTOGRAM
+
+    def __init__(self, name, help_text, buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help_text)
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value):
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+            self._counts[-1] += 1
+
+    def value(self):
+        """The running sum (``_sum``); mirrors the other kinds."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self):
+        with self._lock:
+            return self._count
+
+    def percentile(self, pct):
+        """Bucket-resolution percentile estimate (0-100)."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile out of range: {pct}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = self._count * pct / 100.0
+            for i, bound in enumerate(self.bounds):
+                if self._counts[i] >= target:
+                    return bound
+            return self.bounds[-1]
+
+    def _sample_lines(self, full):
+        with self._lock:
+            lines = [
+                f'{full}_bucket{{le="{format_value(b)}"}} {self._counts[i]}'
+                for i, b in enumerate(self.bounds)
+            ]
+            lines.append(f'{full}_bucket{{le="+Inf"}} {self._counts[-1]}')
+            lines.append(f"{full}_sum {format_value(self._sum)}")
+            lines.append(f"{full}_count {self._count}")
+            return lines
+
+
+def format_value(value):
+    """Exposition-friendly number: integers stay bare, floats get a
+    compact repr (no exponent surprises for the usual magnitudes)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricRegistry:
+    """All live metric families, keyed by (unprefixed) name.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create so samplers
+    can run statelessly; asking for an existing name with a different
+    kind is an error, because it would silently fork the family.
+    """
+
+    def __init__(self):
+        self._metrics = {}
+        self._lock = threading.RLock()
+
+    # -- creation -------------------------------------------------------
+
+    def counter(self, name, help_text=""):
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name, help_text=""):
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(self, name, help_text="", buckets=DEFAULT_BUCKETS):
+        return self._get_or_create(
+            Histogram, name, help_text, buckets=buckets
+        )
+
+    def _get_or_create(self, cls, name, help_text, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, not {cls.kind}"
+                )
+            return metric
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, name):
+        with self._lock:
+            return self._metrics.get(name)
+
+    def value(self, name, default=None):
+        metric = self.get(name)
+        return metric.value() if metric is not None else default
+
+    def names(self):
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._metrics)
+
+    def __iter__(self):
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return iter(metric for _, metric in items)
+
+    # -- output ---------------------------------------------------------
+
+    def values(self):
+        """name -> current scalar value for every family."""
+        return {metric.name: metric.value() for metric in self}
+
+    def snapshot(self):
+        """JSON-ready description of every family."""
+        out = {}
+        for metric in self:
+            entry = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "value": metric.value(),
+            }
+            if isinstance(metric, Histogram):
+                entry["count"] = metric.count
+                entry["p50"] = metric.percentile(50)
+                entry["p95"] = metric.percentile(95)
+            out[metric.name] = entry
+        return out
+
+    def to_exposition(self, prefix=DEFAULT_PREFIX):
+        """Prometheus text format for every family, sorted by name."""
+        lines = []
+        for metric in self:
+            lines.extend(metric.expose(prefix))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,209 @@
+"""The monitor: samplers + registry + time series + alerts, on a clock.
+
+One :class:`Monitor` owns the whole live surface: a background host
+thread polls every attached sampler at a fixed interval, appends the
+registry's values into the ring-buffer series store, evaluates the
+alert rules, and keeps its own self-metrics honest (samples taken,
+sampler errors, pass duration histogram).  Nothing here touches the
+simulated machine's scheduler — samplers are read-only adapters — so
+attaching a monitor to a running workload changes the workload's
+virtual timeline not at all, and its wall-clock cost is bounded by
+``benchmarks/bench_monitor_overhead.py``.
+"""
+
+import threading
+import time
+
+from repro.monitor.alerts import AlertEngine
+from repro.monitor.metrics import DEFAULT_PREFIX, MetricRegistry
+from repro.monitor.series import SeriesStore
+
+DEFAULT_INTERVAL = 0.25  # seconds between sampling passes
+
+
+class Monitor:
+    """The live-monitoring orchestrator.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between background sampling passes.
+    series_capacity:
+        Ring-buffer depth per metric family.
+    clock:
+        Timestamp source (seconds); injectable for deterministic
+        tests.  Defaults to :func:`time.monotonic`.
+    rules, sinks:
+        Initial alert rules and notification sinks.
+    """
+
+    def __init__(
+        self,
+        interval=DEFAULT_INTERVAL,
+        series_capacity=512,
+        clock=time.monotonic,
+        rules=(),
+        sinks=(),
+        prefix=DEFAULT_PREFIX,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.interval = interval
+        self.clock = clock
+        self.prefix = prefix
+        self.registry = MetricRegistry()
+        self.series = SeriesStore(series_capacity)
+        self.engine = AlertEngine(rules, sinks)
+        self._samplers = {}
+        self._lock = threading.RLock()
+        self._wake = threading.Event()
+        self._thread = None
+        self._started_at = None
+
+    # ------------------------------------------------------------------
+    # Sampler management
+
+    def attach(self, sampler, key=None):
+        """Attach a sampler; a sampler with the same key is replaced.
+
+        Replacement (rather than accumulation) is what makes recorder
+        hookup idempotent: each new recording run attaches fresh
+        samplers for its recorder/counter and displaces the previous
+        run's, while the metric families — and their time series —
+        carry straight through.
+        """
+        key = key or getattr(sampler, "key", None) or repr(sampler)
+        with self._lock:
+            self._samplers[key] = sampler
+        return sampler
+
+    def detach(self, key):
+        """Detach by key (or by the sampler object itself)."""
+        key = getattr(key, "key", key)
+        with self._lock:
+            return self._samplers.pop(key, None)
+
+    def samplers(self):
+        with self._lock:
+            return dict(self._samplers)
+
+    # ------------------------------------------------------------------
+    # Alerting passthrough
+
+    def add_rule(self, rule):
+        return self.engine.add_rule(rule)
+
+    def add_rules(self, rules):
+        for rule in rules:
+            self.engine.add_rule(rule)
+
+    def add_sink(self, sink):
+        return self.engine.add_sink(sink)
+
+    # ------------------------------------------------------------------
+    # The sampling pass
+
+    def poll_once(self):
+        """One synchronous sampling pass; safe to call from any thread
+        (the background loop and explicit callers serialise on a
+        lock).  Returns the alert transitions the pass produced."""
+        with self._lock:
+            started = self.clock()
+            samplers = list(self._samplers.values())
+            errors = 0
+            for sampler in samplers:
+                try:
+                    sampler.sample(self.registry)
+                except Exception:
+                    errors = errors + 1
+            self.registry.counter(
+                "monitor_samples_total",
+                "Sampling passes completed by the monitor.",
+            ).inc()
+            if errors:
+                self.registry.counter(
+                    "monitor_sampler_errors_total",
+                    "Sampler invocations that raised.",
+                ).inc(errors)
+            duration = max(0.0, self.clock() - started)
+            self.registry.histogram(
+                "monitor_sample_duration_seconds",
+                "Wall-clock duration of one sampling pass.",
+            ).observe(duration)
+            values = self.registry.values()
+            self.series.record_all(started, values)
+            events = self.engine.evaluate(values, started)
+            self.registry.gauge(
+                "monitor_alerts_firing",
+                "Alert rules currently in the firing state.",
+            ).set(len(self.engine.firing()))
+            return events
+
+    # ------------------------------------------------------------------
+    # Background thread
+
+    @property
+    def running(self):
+        return self._thread is not None
+
+    def start(self):
+        """Start the background sampling thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._wake.clear()
+            self._started_at = self.clock()
+            self._thread = threading.Thread(
+                target=self._loop, name="tee-perf-monitor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, final_poll=True):
+        """Stop the background thread; by default take one last pass so
+        the series capture the source's terminal state."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            self._wake.set()
+            thread.join()
+        if final_poll:
+            self.poll_once()
+
+    def _loop(self):
+        while True:
+            if self._wake.wait(self.interval):
+                return
+            if self._thread is None:
+                return
+            self.poll_once()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Output surfaces
+
+    def exposition(self):
+        """The Prometheus text scrape body."""
+        return self.registry.to_exposition(self.prefix)
+
+    def snapshot(self, window_seconds=None):
+        """JSON-ready state: metrics, windowed aggregates, alerts."""
+        return {
+            "timestamp": self.clock(),
+            "interval": self.interval,
+            "uptime": (
+                self.clock() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "metrics": self.registry.snapshot(),
+            "windows": self.series.aggregates(seconds=window_seconds),
+            "alerts": self.engine.as_dict(),
+        }

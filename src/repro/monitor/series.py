@@ -1,0 +1,147 @@
+"""Fixed-capacity time series and windowed aggregation.
+
+Every sampling pass appends each metric's current value, stamped with
+the monitor's clock, into a per-metric ring buffer.  The ring is what
+turns instantaneous scrapes into *trends*: drop-rate over the last
+three windows (the alert engine's input), ocall rate per second, p95
+of the sampler's own pass duration.  Capacity is fixed so an attached
+monitor has bounded memory no matter how long the workload runs — the
+same reasoning §II-B applies to the shared log itself.
+"""
+
+import threading
+from collections import deque
+
+
+class RingSeries:
+    """A bounded sequence of ``(timestamp, value)`` points."""
+
+    def __init__(self, capacity=512):
+        if capacity < 2:
+            raise ValueError(f"series capacity must be >= 2: {capacity}")
+        self.capacity = capacity
+        self._points = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def append(self, timestamp, value):
+        with self._lock:
+            self._points.append((float(timestamp), float(value)))
+
+    def __len__(self):
+        with self._lock:
+            return len(self._points)
+
+    def points(self, seconds=None, count=None):
+        """The retained points, optionally restricted to the trailing
+        `seconds` of time or the last `count` samples."""
+        with self._lock:
+            pts = list(self._points)
+        if count is not None:
+            pts = pts[-count:]
+        if seconds is not None and pts:
+            horizon = pts[-1][0] - seconds
+            pts = [p for p in pts if p[0] >= horizon]
+        return pts
+
+    def last(self):
+        with self._lock:
+            return self._points[-1][1] if self._points else None
+
+    # -- windowed aggregates --------------------------------------------
+
+    def rate(self, seconds=None, count=None):
+        """Per-second rate of change across the window.
+
+        Meaningful for counters; a counter reset (value moving
+        backwards) clamps to zero rather than reporting a negative
+        rate.
+        """
+        pts = self.points(seconds, count)
+        if len(pts) < 2:
+            return 0.0
+        (t0, v0), (t1, v1) = pts[0], pts[-1]
+        if t1 <= t0:
+            return 0.0
+        return max(0.0, (v1 - v0) / (t1 - t0))
+
+    def delta(self, seconds=None, count=None):
+        """Absolute change across the window (last - first)."""
+        pts = self.points(seconds, count)
+        if len(pts) < 2:
+            return 0.0
+        return pts[-1][1] - pts[0][1]
+
+    def percentile(self, pct, seconds=None, count=None):
+        """Exact percentile of the windowed values (0-100)."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile out of range: {pct}")
+        values = sorted(v for _, v in self.points(seconds, count))
+        if not values:
+            return 0.0
+        index = min(
+            len(values) - 1, max(0, round(pct / 100.0 * (len(values) - 1)))
+        )
+        return values[index]
+
+    def max(self, seconds=None, count=None):
+        values = [v for _, v in self.points(seconds, count)]
+        return max(values) if values else 0.0
+
+    def min(self, seconds=None, count=None):
+        values = [v for _, v in self.points(seconds, count)]
+        return min(values) if values else 0.0
+
+    def mean(self, seconds=None, count=None):
+        values = [v for _, v in self.points(seconds, count)]
+        return sum(values) / len(values) if values else 0.0
+
+    def aggregate(self, seconds=None, count=None):
+        """The standard windowed summary: rate, p50, p95, max, last."""
+        return {
+            "rate": self.rate(seconds, count),
+            "p50": self.percentile(50, seconds, count),
+            "p95": self.percentile(95, seconds, count),
+            "max": self.max(seconds, count),
+            "last": self.last(),
+            "samples": len(self.points(seconds, count)),
+        }
+
+
+class SeriesStore:
+    """One :class:`RingSeries` per metric family."""
+
+    def __init__(self, capacity=512):
+        self.capacity = capacity
+        self._series = {}
+        self._lock = threading.Lock()
+
+    def series(self, name):
+        with self._lock:
+            store = self._series.get(name)
+            if store is None:
+                store = RingSeries(self.capacity)
+                self._series[name] = store
+            return store
+
+    def get(self, name):
+        with self._lock:
+            return self._series.get(name)
+
+    def record(self, name, timestamp, value):
+        self.series(name).append(timestamp, value)
+
+    def record_all(self, timestamp, values):
+        """Append one sampling pass: ``{name: value}`` at `timestamp`."""
+        for name, value in values.items():
+            self.record(name, timestamp, value)
+
+    def names(self):
+        with self._lock:
+            return sorted(self._series)
+
+    def aggregates(self, seconds=None, count=None):
+        """name -> windowed summary for every tracked family."""
+        return {
+            name: self.series(name).aggregate(seconds, count)
+            for name in self.names()
+        }

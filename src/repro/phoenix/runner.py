@@ -72,14 +72,18 @@ def run_baseline(workload_cls, platform=SGX_V1, seed=0, cores=DEFAULT_CORES,
 
 
 def run_teeperf(workload_cls, platform=SGX_V1, seed=0, cores=DEFAULT_CORES,
-                capacity=1 << 21, **params):
-    """The workload under TEE-Perf (instrumentation + recorder)."""
+                capacity=1 << 21, monitor=None, **params):
+    """The workload under TEE-Perf (instrumentation + recorder).
+
+    Pass a :class:`repro.monitor.Monitor` to sample the run live
+    (recorder, counter, TEE cost model, then pipeline stats)."""
     machine = Machine(cores=cores)
     perf = TEEPerf.simulated(
         platform=platform,
         machine=machine,
         capacity=capacity,
         name=workload_cls.NAME,
+        monitor=monitor,
     )
     workload = _build(workload_cls, machine, perf.env, seed, params)
     perf.compile_instance(workload)

@@ -1,0 +1,67 @@
+"""PipelineStats: merge semantics and the to_dict/from_dict round trip."""
+
+import json
+
+from repro.core import PipelineStats
+
+
+def sample_stats():
+    return PipelineStats(
+        entries_recorded=120,
+        entries_ingested=118,
+        entries_dropped=2,
+        entries_dismissed=1,
+        frames_truncated=3,
+        chunks_processed=4,
+        shards_analyzed=5,
+        jobs=2,
+        chunk_size=32,
+        counter_span=1000,
+        cache_hits=80,
+        cache_misses=20,
+    )
+
+
+def test_round_trip_is_equal():
+    stats = sample_stats()
+    assert PipelineStats.from_dict(stats.to_dict()) == stats
+
+
+def test_round_trip_through_json():
+    stats = sample_stats()
+    rehydrated = PipelineStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert rehydrated == stats
+    assert rehydrated.ingest_rate == stats.ingest_rate
+
+
+def test_from_dict_ignores_derived_and_unknown_keys():
+    data = sample_stats().to_dict()
+    assert "ingest_rate" in data and "cache_hit_rate" in data  # derived
+    data["someday_a_new_counter"] = 999
+    stats = PipelineStats.from_dict(data)
+    assert stats == sample_stats()
+
+
+def test_from_dict_defaults_missing_fields():
+    stats = PipelineStats.from_dict({"entries_recorded": 7})
+    assert stats.entries_recorded == 7
+    assert stats.entries_ingested == 0
+    assert stats.jobs == 1
+
+
+def test_merge_adds_counters_and_survives_round_trip():
+    one = PipelineStats(entries_recorded=10, entries_dropped=1, jobs=1)
+    two = PipelineStats(entries_recorded=20, entries_dropped=3, jobs=4)
+    merged = PipelineStats.from_dict(one.to_dict()).merge(two)
+    assert merged.entries_recorded == 30
+    assert merged.entries_dropped == 4
+    assert merged.jobs == 4  # configuration: max, not sum
+    assert PipelineStats.from_dict(merged.to_dict()) == merged
+
+
+def test_equality_distinguishes_counters():
+    assert PipelineStats(entries_recorded=1) != PipelineStats()
+
+
+def test_report_names_recorded_entries():
+    assert "entries recorded:  120" in sample_stats().report()

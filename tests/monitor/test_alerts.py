@@ -1,0 +1,133 @@
+"""Alert rules: thresholds, windows, hysteresis, parsing, sinks."""
+
+import pytest
+
+from repro.monitor import (
+    FIRING,
+    OK,
+    PENDING,
+    AlertEngine,
+    AlertRule,
+    CallbackSink,
+    MemorySink,
+    RuleSyntaxError,
+    parse_rule,
+    parse_rules,
+)
+
+
+def engine_with(rule):
+    engine = AlertEngine([rule])
+    sink = MemorySink()
+    engine.add_sink(sink)
+    return engine, sink
+
+
+def test_fires_after_consecutive_windows():
+    rule = AlertRule("drops", "drop_ratio", ">", 0.01, for_windows=3)
+    engine, sink = engine_with(rule)
+    assert engine.evaluate({"drop_ratio": 0.5}, 1.0) == []
+    assert engine.states()[0].state == PENDING
+    assert engine.evaluate({"drop_ratio": 0.5}, 2.0) == []
+    events = engine.evaluate({"drop_ratio": 0.5}, 3.0)
+    assert [e.state for e in events] == [FIRING]
+    assert engine.firing()[0].rule.name == "drops"
+    assert sink.fired()[0].timestamp == 3.0
+
+
+def test_breach_streak_resets_on_recovery():
+    rule = AlertRule("drops", "drop_ratio", ">", 0.01, for_windows=2)
+    engine, _ = engine_with(rule)
+    engine.evaluate({"drop_ratio": 0.5}, 1.0)
+    engine.evaluate({"drop_ratio": 0.0}, 2.0)  # streak broken
+    assert engine.states()[0].state == OK
+    engine.evaluate({"drop_ratio": 0.5}, 3.0)
+    assert engine.states()[0].state == PENDING
+
+
+def test_hysteresis_keeps_firing_until_clear_threshold():
+    rule = AlertRule("drops", "drop_ratio", ">", 0.01, clear=0.001)
+    engine, sink = engine_with(rule)
+    engine.evaluate({"drop_ratio": 0.5}, 1.0)
+    assert engine.states()[0].state == FIRING
+    # Back under the trigger but above clear: still firing.
+    engine.evaluate({"drop_ratio": 0.005}, 2.0)
+    assert engine.states()[0].state == FIRING
+    events = engine.evaluate({"drop_ratio": 0.0005}, 3.0)
+    assert [e.state for e in events] == [OK]
+    assert engine.states()[0].state == OK
+    assert len(sink.events) == 2  # one fire, one resolve
+
+
+def test_missing_metric_holds_state():
+    rule = AlertRule("drops", "drop_ratio", ">", 0.01)
+    engine, _ = engine_with(rule)
+    engine.evaluate({"drop_ratio": 0.5}, 1.0)
+    engine.evaluate({}, 2.0)  # sampler has not run: no evidence
+    assert engine.states()[0].state == FIRING
+
+
+def test_less_than_operator():
+    rule = AlertRule("stall", "counter_running", "<", 1)
+    engine, _ = engine_with(rule)
+    engine.evaluate({"counter_running": 0}, 1.0)
+    assert engine.states()[0].state == FIRING
+
+
+def test_callback_sink_and_event_description():
+    seen = []
+    rule = AlertRule("drops", "drop_ratio", ">", 0.01, for_windows=1)
+    engine = AlertEngine([rule], [CallbackSink(seen.append)])
+    engine.evaluate({"drop_ratio": 1.0}, 1.0)
+    assert len(seen) == 1
+    text = seen[0].describe()
+    assert "FIRING" in text and "drop_ratio > 0.01" in text
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        AlertRule("x", "m", "!=", 1.0)
+    with pytest.raises(ValueError):
+        AlertRule("x", "m", ">", 1.0, for_windows=0)
+    engine = AlertEngine([AlertRule("x", "m", ">", 1.0)])
+    with pytest.raises(ValueError):
+        engine.add_rule(AlertRule("x", "m", ">", 2.0))
+
+
+def test_parse_single_rule():
+    rule = parse_rule("drops: recorder_drop_ratio > 0.01 for 3 clear 0.001")
+    assert rule == AlertRule(
+        "drops", "recorder_drop_ratio", ">", 0.01, 3, 0.001
+    )
+    assert rule.describe() == "recorder_drop_ratio > 0.01 for 3 clear 0.001"
+
+
+def test_parse_rules_file_with_comments():
+    rules = parse_rules(
+        """
+        # watch the recorder
+        drops: recorder_drop_ratio > 0.01 for 3
+
+        stall: counter_running < 1
+        """
+    )
+    assert [r.name for r in rules] == ["drops", "stall"]
+    assert rules[1].for_windows == 1
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "no colon here",
+        "x: metric >",
+        "x: metric ~ 3",
+        "x: metric > notanumber",
+        "x: metric > 1 for",
+        "x: metric > 1 for two",
+        "x: metric > 1 banana 3",
+        "x: metric > 1 for 0",
+    ],
+)
+def test_parse_rejects_bad_lines(line):
+    with pytest.raises(RuleSyntaxError):
+        parse_rule(line)

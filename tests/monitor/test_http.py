@@ -1,0 +1,107 @@
+"""The scrape endpoint: routes, content types, well-formedness."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.monitor import (
+    AlertRule,
+    CallbackSampler,
+    Monitor,
+    MonitorServer,
+)
+
+
+@pytest.fixture
+def served():
+    monitor = Monitor()
+    monitor.add_rule(AlertRule("high", "src_v", ">", 100))
+    monitor.attach(CallbackSampler("src", lambda: {"v": 3}))
+    monitor.poll_once()
+    server = MonitorServer(monitor, port=0)
+    port = server.start()
+    assert port != 0  # the OS picked a real port
+    yield monitor, server
+    server.stop()
+
+
+def fetch(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}", timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+def test_metrics_route_serves_exposition(served):
+    monitor, server = served
+    status, ctype, body = fetch(server, "/metrics")
+    assert status == 200
+    assert ctype.startswith("text/plain")
+    text = body.decode()
+    assert "# HELP teeperf_src_v" in text
+    assert "# TYPE teeperf_src_v gauge" in text
+    assert "teeperf_src_v 3" in text
+    # Scrapes count themselves.
+    assert monitor.registry.value("monitor_scrapes_total") == 1
+
+
+def test_snapshot_route_is_json(served):
+    _, server = served
+    status, ctype, body = fetch(server, "/snapshot.json")
+    assert status == 200
+    assert ctype == "application/json"
+    snap = json.loads(body)
+    assert snap["metrics"]["src_v"]["value"] == 3
+    assert "windows" in snap
+
+
+def test_alerts_route(served):
+    _, server = served
+    status, _, body = fetch(server, "/alerts")
+    assert status == 200
+    alerts = json.loads(body)
+    assert alerts[0]["name"] == "high"
+    assert alerts[0]["state"] == "ok"
+
+
+def test_healthz_and_404(served):
+    _, server = served
+    status, _, body = fetch(server, "/healthz")
+    assert (status, body) == (200, b"ok\n")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fetch(server, "/nope")
+    assert excinfo.value.code == 404
+
+
+def test_exposition_is_well_formed(served):
+    """Every sample line belongs to a family that declared HELP+TYPE."""
+    monitor, server = served
+    _, _, body = fetch(server, "/metrics")
+    declared = set()
+    for line in body.decode().splitlines():
+        if line.startswith("# TYPE "):
+            name, kind = line.split()[2], line.split()[3]
+            assert kind in ("counter", "gauge", "histogram")
+            declared.add(name)
+        elif line.startswith("# HELP ") or not line:
+            continue
+        else:
+            family = line.split("{", 1)[0].split()[0]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix) and family[: -len(suffix)] in declared:
+                    family = family[: -len(suffix)]
+                    break
+            assert family in declared, line
+
+
+def test_server_context_manager_and_restart():
+    monitor = Monitor()
+    with MonitorServer(monitor, port=0) as server:
+        port = server.port
+        status, _, _ = fetch(server, "/healthz")
+        assert status == 200
+    assert not server.running
+    # A stopped server can be started again (a fresh port is fine).
+    second = server.start()
+    assert second != 0
+    server.stop()

@@ -1,0 +1,115 @@
+"""Metric primitives: counters, gauges, histograms, registry."""
+
+import pytest
+
+from repro.monitor import Counter, Gauge, Histogram, MetricRegistry, sanitize
+from repro.monitor.metrics import format_value, valid_name
+
+
+def test_counter_increments_and_rejects_negative():
+    counter = Counter("events_total", "events")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value() == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_counter_set_total_never_goes_backwards():
+    counter = Counter("events_total", "events")
+    counter.set_total(100)
+    counter.set_total(40)  # a restarted source must not rewind
+    assert counter.value() == 100
+    counter.set_total(140)
+    assert counter.value() == 140
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("depth", "queue depth")
+    gauge.set(7)
+    gauge.add(-3)
+    assert gauge.value() == 4
+
+
+def test_histogram_buckets_are_cumulative():
+    hist = Histogram("lat", "latency", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    lines = hist.expose("t")
+    assert 't_lat_bucket{le="0.01"} 1' in lines
+    assert 't_lat_bucket{le="0.1"} 2' in lines
+    assert 't_lat_bucket{le="1"} 3' in lines
+    assert 't_lat_bucket{le="+Inf"} 4' in lines
+    assert "t_lat_count 4" in lines
+
+
+def test_histogram_percentile_estimate():
+    hist = Histogram("lat", "latency", buckets=(1, 2, 4, 8))
+    for value in (0.5, 1.5, 1.5, 3.0):
+        hist.observe(value)
+    assert hist.percentile(50) == 2
+    assert hist.percentile(100) == 4  # smallest bound covering all
+    assert Histogram("empty", "", buckets=(1,)).percentile(95) == 0.0
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricRegistry()
+    first = registry.counter("x_total", "help text")
+    second = registry.counter("x_total")
+    assert first is second
+    assert len(registry) == 1
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricRegistry()
+    registry.counter("x_total", "x")
+    with pytest.raises(TypeError):
+        registry.gauge("x_total", "x")
+
+
+def test_registry_rejects_invalid_names():
+    registry = MetricRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("9starts_with_digit")
+    with pytest.raises(ValueError):
+        registry.gauge("has-dash")
+
+
+def test_exposition_has_help_and_type_per_family():
+    registry = MetricRegistry()
+    registry.counter("a_total", "first").inc(3)
+    registry.gauge("b_now", "second").set(1.5)
+    text = registry.to_exposition("teeperf")
+    lines = text.splitlines()
+    assert "# HELP teeperf_a_total first" in lines
+    assert "# TYPE teeperf_a_total counter" in lines
+    assert "teeperf_a_total 3" in lines
+    assert "# TYPE teeperf_b_now gauge" in lines
+    assert "teeperf_b_now 1.5" in lines
+    assert text.endswith("\n")
+
+
+def test_snapshot_describes_every_family():
+    registry = MetricRegistry()
+    registry.counter("a_total", "first").inc(2)
+    registry.histogram("h", "hist", buckets=(1,)).observe(0.5)
+    snap = registry.snapshot()
+    assert snap["a_total"] == {"kind": "counter", "help": "first", "value": 2}
+    assert snap["h"]["kind"] == "histogram"
+    assert snap["h"]["count"] == 1
+
+
+def test_sanitize_and_valid_name():
+    assert sanitize("get.hit") == "get_hit"
+    assert sanitize("Weird Name!") == "weird_name"
+    assert sanitize("...") == "metric"
+    assert valid_name(sanitize("keys.read"))
+    assert not valid_name("")
+    assert not valid_name("_leading")
+
+
+def test_format_value():
+    assert format_value(3) == "3"
+    assert format_value(3.0) == "3"
+    assert format_value(0.25) == "0.25"
+    assert format_value(True) == "1"

@@ -1,0 +1,219 @@
+"""The Monitor orchestrator: polling, series, alerts, recorder hookup."""
+
+import time
+
+import pytest
+
+from repro.core import TEEPerf, symbol
+from repro.monitor import (
+    AlertRule,
+    CallbackSampler,
+    MemorySink,
+    Monitor,
+    Sampler,
+)
+from repro.tee import SGX_V1
+
+
+class FakeClock:
+    """Deterministic monitor clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds=1.0):
+        self.now += seconds
+
+
+def test_poll_once_samples_series_and_self_metrics():
+    clock = FakeClock()
+    monitor = Monitor(interval=0.01, clock=clock)
+    value = {"v": 0}
+    monitor.attach(CallbackSampler("src", lambda: dict(value)))
+    monitor.poll_once()
+    clock.tick()
+    value["v"] = 10
+    monitor.poll_once()
+    assert monitor.registry.value("src_v") == 10
+    assert monitor.registry.value("monitor_samples_total") == 2
+    assert monitor.series.series("src_v").delta() == 10
+    assert monitor.series.series("src_v").rate() == pytest.approx(10.0)
+
+
+def test_attach_replaces_same_key():
+    monitor = Monitor()
+    first = monitor.attach(CallbackSampler("same", lambda: {"v": 1}))
+    second = monitor.attach(CallbackSampler("same", lambda: {"v": 2}))
+    assert list(monitor.samplers().values()) == [second]
+    assert first is not second
+    monitor.detach(second)
+    assert monitor.samplers() == {}
+
+
+def test_sampler_errors_are_counted_not_fatal():
+    class Broken(Sampler):
+        key = "broken"
+
+        def sample(self, registry):
+            raise RuntimeError("boom")
+
+    monitor = Monitor()
+    monitor.attach(Broken())
+    monitor.attach(CallbackSampler("ok", lambda: {"v": 7}))
+    monitor.poll_once()
+    assert monitor.registry.value("ok_v") == 7
+    assert monitor.registry.value("monitor_sampler_errors_total") == 1
+
+
+def test_alert_fires_from_polled_values():
+    clock = FakeClock()
+    monitor = Monitor(clock=clock)
+    sink = monitor.add_sink(MemorySink())
+    monitor.add_rule(AlertRule("high", "src_v", ">", 5, for_windows=2))
+    level = {"v": 10}
+    monitor.attach(CallbackSampler("src", lambda: dict(level)))
+    monitor.poll_once()
+    assert sink.fired() == []
+    events = monitor.poll_once()
+    assert [e.rule.name for e in events] == ["high"]
+    assert monitor.registry.value("monitor_alerts_firing") == 1
+    snapshot = monitor.snapshot()
+    assert snapshot["alerts"][0]["state"] == "firing"
+
+
+def test_background_thread_polls_and_stops():
+    monitor = Monitor(interval=0.005)
+    monitor.attach(CallbackSampler("src", lambda: {"v": 1}))
+    with monitor:
+        assert monitor.running
+        deadline = time.time() + 2.0
+        while (
+            monitor.registry.value("monitor_samples_total", 0) < 3
+            and time.time() < deadline
+        ):
+            time.sleep(0.005)
+    assert not monitor.running
+    assert monitor.registry.value("monitor_samples_total") >= 3
+    # stop() took a final pass; no further samples accumulate.
+    settled = monitor.registry.value("monitor_samples_total")
+    time.sleep(0.03)
+    assert monitor.registry.value("monitor_samples_total") == settled
+
+
+def test_start_is_idempotent():
+    monitor = Monitor(interval=0.01)
+    monitor.start()
+    monitor.start()
+    monitor.stop()
+    assert not monitor.running
+
+
+def test_snapshot_shape():
+    clock = FakeClock()
+    monitor = Monitor(clock=clock)
+    monitor.attach(CallbackSampler("src", lambda: {"v": 2}))
+    monitor.poll_once()
+    snap = monitor.snapshot()
+    assert set(snap) == {
+        "timestamp", "interval", "uptime", "metrics", "windows", "alerts",
+    }
+    assert snap["metrics"]["src_v"]["value"] == 2
+    assert snap["windows"]["src_v"]["samples"] == 1
+
+
+# ----------------------------------------------------------------------
+# Recorder hookup (including the pause/resume satellite)
+
+
+class TwoPhase:
+    def __init__(self, env):
+        self.env = env
+
+    @symbol("app::Phase1()")
+    def phase1(self):
+        for _ in range(20):
+            self.kernel()
+
+    @symbol("app::Phase2()")
+    def phase2(self):
+        for _ in range(20):
+            self.kernel()
+
+    @symbol("app::Kernel()")
+    def kernel(self):
+        self.env.compute(1_000)
+
+
+def test_recorder_hookup_attaches_and_samples():
+    monitor = Monitor(interval=0.005)
+    perf = TEEPerf.simulated(platform=SGX_V1, monitor=monitor)
+    app = TwoPhase(perf.env)
+    perf.compile_instance(app)
+    with monitor:
+        perf.record(app.phase1)
+    keys = set(monitor.samplers())
+    assert {"recorder", "counter", "tee"} <= keys
+    assert monitor.registry.value("recorder_events_recorded_total") == 42
+    assert monitor.registry.value("recorder_events_dropped_total") == 0
+    perf.analyze()
+    assert "pipeline" in monitor.samplers()
+    assert monitor.registry.value("pipeline_entries_ingested_total") == 42
+
+
+def test_pause_resume_with_attached_sampler_no_drift_no_deadlock():
+    """Satellite: pausing/resuming tracing while a monitor samples in
+    the background must not corrupt the loss accounting (recorded +
+    dropped never moves backwards, pauses record nothing) and ``stop``
+    must not deadlock against the sampling thread."""
+    monitor = Monitor(interval=0.001)
+    perf = TEEPerf.simulated(platform=SGX_V1, monitor=monitor)
+    app = TwoPhase(perf.env)
+    perf.compile_instance(app)
+
+    observed = []
+
+    def run():
+        app.phase1()
+        recorder = perf.recorder
+        observed.append(
+            (recorder.events_recorded(), recorder.events_dropped())
+        )
+        recorder.pause()
+        monitor.poll_once()  # explicit pass while paused
+        app.phase2()  # traced nothing: the log flag is off
+        observed.append(
+            (recorder.events_recorded(), recorder.events_dropped())
+        )
+        recorder.resume()
+        app.phase2()
+
+    monitor.start()
+    try:
+        perf.record(run)
+    finally:
+        monitor.stop()
+
+    (rec_before, drop_before), (rec_paused, drop_paused) = observed
+    assert rec_paused == rec_before  # pause really suppressed events
+    assert drop_paused == drop_before
+    final = perf.recorder.events_recorded()
+    assert final == rec_before + 42  # resumed phase2 traced fully
+    assert monitor.registry.value("recorder_events_recorded_total") == final
+    assert monitor.registry.value("recorder_active") == 0  # stopped
+    # Counter families reflect a monotone history despite pauses.
+    series = monitor.series.series("recorder_events_recorded_total")
+    values = [v for _, v in series.points()]
+    assert values == sorted(values)
+
+
+def test_stop_with_monitor_takes_terminal_sample():
+    monitor = Monitor()
+    perf = TEEPerf.simulated(platform=SGX_V1, monitor=monitor)
+    app = TwoPhase(perf.env)
+    perf.compile_instance(app)
+    perf.record(app.phase1)  # no background thread at all
+    assert monitor.registry.value("monitor_samples_total") >= 2
+    assert monitor.registry.value("recorder_events_recorded_total") == 42

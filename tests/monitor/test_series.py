@@ -1,0 +1,86 @@
+"""Ring-buffer time series and windowed aggregation."""
+
+import pytest
+
+from repro.monitor import RingSeries, SeriesStore
+
+
+def test_ring_is_bounded():
+    series = RingSeries(capacity=4)
+    for i in range(10):
+        series.append(i, i * 10)
+    assert len(series) == 4
+    assert [v for _, v in series.points()] == [60, 70, 80, 90]
+
+
+def test_rate_is_per_second_change():
+    series = RingSeries()
+    series.append(0.0, 100)
+    series.append(2.0, 300)
+    assert series.rate() == pytest.approx(100.0)
+    assert series.delta() == pytest.approx(200.0)
+
+
+def test_rate_clamps_counter_resets_to_zero():
+    series = RingSeries()
+    series.append(0.0, 500)
+    series.append(1.0, 20)  # source restarted
+    assert series.rate() == 0.0
+
+
+def test_window_by_seconds_and_count():
+    series = RingSeries()
+    for t in range(10):
+        series.append(float(t), float(t))
+    assert len(series.points(seconds=3.0)) == 4  # t in [6, 9]
+    assert len(series.points(count=2)) == 2
+    assert series.rate(seconds=3.0) == pytest.approx(1.0)
+
+
+def test_percentiles_and_extremes():
+    series = RingSeries()
+    for i, value in enumerate((5.0, 1.0, 9.0, 3.0, 7.0)):
+        series.append(float(i), value)
+    assert series.percentile(0) == 1.0
+    assert series.percentile(50) == 5.0
+    assert series.percentile(100) == 9.0
+    assert series.max() == 9.0
+    assert series.min() == 1.0
+    assert series.mean() == pytest.approx(5.0)
+
+
+def test_empty_series_aggregates_are_safe():
+    series = RingSeries()
+    assert series.rate() == 0.0
+    assert series.percentile(95) == 0.0
+    assert series.last() is None
+    agg = series.aggregate()
+    assert agg["samples"] == 0
+
+
+def test_aggregate_summary_shape():
+    series = RingSeries()
+    series.append(0.0, 0.0)
+    series.append(1.0, 10.0)
+    agg = series.aggregate()
+    assert agg["rate"] == pytest.approx(10.0)
+    assert agg["max"] == 10.0
+    assert agg["last"] == 10.0
+    assert agg["samples"] == 2
+
+
+def test_store_records_whole_passes():
+    store = SeriesStore(capacity=8)
+    store.record_all(1.0, {"a": 1, "b": 10})
+    store.record_all(2.0, {"a": 3, "b": 30})
+    assert store.names() == ["a", "b"]
+    assert store.series("a").delta() == 2
+    aggregates = store.aggregates()
+    assert aggregates["b"]["rate"] == pytest.approx(20.0)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        RingSeries(capacity=1)
+    with pytest.raises(ValueError):
+        RingSeries().percentile(101)
