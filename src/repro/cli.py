@@ -30,8 +30,8 @@ from repro.core import (
     AnalysisDiff,
     Analyzer,
     FlameGraph,
-    SharedLog,
     TEEPerf,
+    open_log,
     symbol,
     to_callgrind,
     to_gprof,
@@ -39,38 +39,44 @@ from repro.core import (
     to_metrics,
     to_speedscope,
 )
-from repro.core.log import KIND_CALL
+from repro.core.log import KIND_CALL, LogStream
 from repro.symbols import BinaryImage
 from repro.tee import platform_by_name
 
 
 def cmd_inspect(args):
-    log = SharedLog.load(args.log)
-    print(f"TEE-Perf log: {args.log}")
-    print(f"  version:        {log.version}")
-    print(f"  pid:            {log.pid}")
-    print(f"  multithreaded:  {log.multithread}")
-    print(f"  active flag:    {log.active}")
-    print(f"  capacity:       {log.capacity} entries")
-    print(f"  entries:        {len(log)}")
-    print(f"  profiler addr:  {log.profiler_addr:#x}")
-    calls = rets = 0
-    threads = Counter()
-    lo = hi = None
-    for entry in log:
-        if entry.kind == KIND_CALL:
-            calls += 1
-        else:
-            rets += 1
-        threads[entry.tid] += 1
-        lo = entry.counter if lo is None else min(lo, entry.counter)
-        hi = entry.counter if hi is None else max(hi, entry.counter)
-    print(f"  calls/returns:  {calls}/{rets}")
-    print(f"  threads:        {len(threads)}")
-    if lo is not None:
-        print(f"  counter span:   {lo} .. {hi}")
-    for tid, count in threads.most_common(10):
-        print(f"    thread {tid}: {count} events")
+    # Big logs stream through mmap; small ones load whole (open_log
+    # picks, so inspect never slurps a multi-gigabyte file).
+    log = open_log(args.log)
+    try:
+        print(f"TEE-Perf log: {args.log}")
+        print(f"  version:        {log.version}")
+        print(f"  pid:            {log.pid}")
+        print(f"  multithreaded:  {log.multithread}")
+        print(f"  active flag:    {log.active}")
+        print(f"  capacity:       {log.capacity} entries")
+        print(f"  entries:        {len(log)}")
+        print(f"  profiler addr:  {log.profiler_addr:#x}")
+        calls = rets = 0
+        threads = Counter()
+        lo = hi = None
+        for cols in log.iter_column_chunks():
+            kinds, counters, _, tids, _ = cols.as_lists()
+            calls += kinds.count(KIND_CALL)
+            rets += len(kinds) - kinds.count(KIND_CALL)
+            threads.update(tids)
+            if counters:
+                lo = min(counters) if lo is None else min(lo, min(counters))
+                hi = max(counters) if hi is None else max(hi, max(counters))
+        print(f"  calls/returns:  {calls}/{rets}")
+        print(f"  threads:        {len(threads)}")
+        if lo is not None:
+            print(f"  counter span:   {lo} .. {hi}")
+        for tid, count in threads.most_common(10):
+            print(f"    thread {tid}: {count} events")
+    finally:
+        if isinstance(log, LogStream):
+            log.close()
     return 0
 
 
@@ -182,7 +188,9 @@ class _DemoApp:
 
 def cmd_demo(args):
     platform = platform_by_name(args.platform)
-    perf = TEEPerf.simulated(platform=platform, name="demo")
+    perf = TEEPerf.simulated(
+        platform=platform, name="demo", writer_block=args.writer_block
+    )
     app = _DemoApp(perf.env)
     perf.compile_instance(app)
     perf.record(app.main)
@@ -249,6 +257,7 @@ def cmd_monitor(args):
         capacity=args.capacity,
         name=workload_cls.NAME,
         monitor=monitor,
+        writer_block=args.writer_block,
     )
     workload = workload_cls(perf.machine, perf.env, **params)
     perf.compile_instance(workload)
@@ -374,6 +383,12 @@ def build_parser():
     demo = sub.add_parser("demo", help="run a small simulated profile")
     demo.add_argument("--platform", default="sgx-v1")
     demo.add_argument("-o", "--output", default="tee-perf-demo")
+    demo.add_argument(
+        "--writer-block",
+        type=int,
+        default=0,
+        help="per-thread batched-writer block size (0 = per-event)",
+    )
     demo.set_defaults(fn=cmd_demo)
 
     mon = sub.add_parser(
@@ -423,6 +438,12 @@ def build_parser():
         action="append",
         metavar="KEY=INT",
         help="workload constructor parameter (repeatable)",
+    )
+    mon.add_argument(
+        "--writer-block",
+        type=int,
+        default=0,
+        help="per-thread batched-writer block size (0 = per-event)",
     )
     mon.set_defaults(fn=cmd_monitor)
 

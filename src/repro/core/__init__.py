@@ -41,13 +41,19 @@ from repro.core.instrument import (
 )
 from repro.core.log import (
     DEFAULT_CHUNK_ENTRIES,
+    DEFAULT_MMAP_THRESHOLD,
+    DEFAULT_WRITER_BLOCK,
     ENTRY_SIZE,
     HEADER_SIZE,
     KIND_CALL,
     KIND_RET,
+    LogColumns,
     LogEntry,
     LogStream,
     SharedLog,
+    ThreadLogWriter,
+    decode_columns,
+    open_log,
 )
 from repro.core.profiler import TEEPerf
 from repro.core.query import QuerySession
@@ -66,6 +72,8 @@ __all__ = [
     "to_speedscope",
     "CallRecord",
     "DEFAULT_CHUNK_ENTRIES",
+    "DEFAULT_MMAP_THRESHOLD",
+    "DEFAULT_WRITER_BLOCK",
     "ENTRY_SIZE",
     "FlameGraph",
     "HEADER_SIZE",
@@ -74,6 +82,7 @@ __all__ = [
     "KIND_CALL",
     "KIND_RET",
     "LiveRecorder",
+    "LogColumns",
     "LogEntry",
     "LogFormatError",
     "LogStream",
@@ -87,8 +96,11 @@ __all__ = [
     "TEEPerf",
     "TEEPerfError",
     "ThreadCounter",
+    "ThreadLogWriter",
     "VirtualCounter",
+    "decode_columns",
     "fold_stacks",
     "no_instrument",
+    "open_log",
     "symbol",
 ]

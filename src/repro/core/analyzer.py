@@ -37,9 +37,21 @@ Robustness rules, matching §II-B:
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from itertools import repeat
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dep in-tree
+    _np = None
 
 from repro.core.errors import AnalyzerError
-from repro.core.log import DEFAULT_CHUNK_ENTRIES, LogStream, SharedLog
+from repro.core.log import (
+    DEFAULT_CHUNK_ENTRIES,
+    KIND_CALL,
+    LogStream,
+    SharedLog,
+    open_log,
+)
 from repro.core.stats import PipelineStats
 from repro.frame import Frame
 from repro.symbols.symtab import CachedResolver
@@ -296,25 +308,22 @@ class Analyzer:
         stats.chunk_size = chunk_size
 
         try:
-            # Ingestion: decode fixed-size chunks, shard per thread.
+            # Ingestion: decode fixed-size *column* chunks (one
+            # vectorised sweep each — no LogEntry objects), shard per
+            # thread with array masks.
             per_thread = {}
             lo = hi = None
-            for chunk in log.iter_chunks(chunk_size):
+            for cols in log.iter_column_chunks(chunk_size):
                 stats.chunks_processed += 1
-                stats.entries_ingested += len(chunk)
-                for entry in chunk:
-                    shard = per_thread.get(entry.tid)
-                    if shard is None:
-                        shard = per_thread[entry.tid] = []
-                    shard.append(entry)
-                if chunk:
-                    cmin = min(e.counter for e in chunk)
-                    cmax = max(e.counter for e in chunk)
-                    lo = cmin if lo is None else min(lo, cmin)
-                    hi = cmax if hi is None else max(hi, cmax)
+                stats.entries_ingested += len(cols)
+                bounds = cols.counter_bounds()
+                if bounds is not None:
+                    lo = bounds[0] if lo is None else min(lo, bounds[0])
+                    hi = bounds[1] if hi is None else max(hi, bounds[1])
+                    self._shard_columns(cols, per_thread)
             stats.counter_span = (hi - lo) if lo is not None else 0
 
-            return self._finish(log, per_thread, jobs, stats)
+            return self._finish_columns(log, per_thread, jobs, stats)
         finally:
             if opened and isinstance(log, LogStream):
                 log.close()
@@ -339,6 +348,110 @@ class Analyzer:
 
     # ------------------------------------------------------------------
 
+    def _shard_columns(self, cols, per_thread):
+        """Split one decoded column span per thread id, preserving
+        thread first-appearance order (the merge order contract).
+
+        Each shard accumulates *segments* — per-chunk column slices —
+        that are concatenated once, just before reconstruction.
+        """
+        tid_col = cols.tid
+        if _np is not None and not isinstance(tid_col, list):
+            uniq, first = _np.unique(tid_col, return_index=True)
+            if len(uniq) == 1:
+                shard = per_thread.get(int(uniq[0]))
+                if shard is None:
+                    shard = per_thread[int(uniq[0])] = []
+                shard.append(
+                    (cols.kind, cols.counter, cols.addr, cols.call_site)
+                )
+                return
+            for j in _np.argsort(first, kind="stable"):
+                t = uniq[j]
+                mask = tid_col == t
+                call_site = (
+                    cols.call_site[mask]
+                    if cols.call_site is not None
+                    else None
+                )
+                shard = per_thread.get(int(t))
+                if shard is None:
+                    shard = per_thread[int(t)] = []
+                shard.append(
+                    (
+                        cols.kind[mask],
+                        cols.counter[mask],
+                        cols.addr[mask],
+                        call_site,
+                    )
+                )
+            return
+        # List-backed fallback (no numpy): group indices per tid.
+        kind, counter, addr, tid, call_site = cols.as_lists()
+        local = {}
+        for i, t in enumerate(tid):
+            bucket = local.get(t)
+            if bucket is None:
+                bucket = local[t] = []
+            bucket.append(i)
+        for t, idxs in local.items():
+            shard = per_thread.get(t)
+            if shard is None:
+                shard = per_thread[t] = []
+            shard.append(
+                (
+                    [kind[i] for i in idxs],
+                    [counter[i] for i in idxs],
+                    [addr[i] for i in idxs],
+                    [call_site[i] for i in idxs]
+                    if call_site is not None
+                    else None,
+                )
+            )
+
+    @staticmethod
+    def _concat_segments(segments):
+        """Flatten a shard's segments into four plain-int lists
+        (``call_sites`` is ``None`` for v1 logs)."""
+        kinds, counters, addrs = [], [], []
+        call_sites = [] if segments and segments[0][3] is not None else None
+        for kind, counter, addr, call_site in segments:
+            kinds.extend(
+                kind.tolist() if hasattr(kind, "tolist") else kind
+            )
+            counters.extend(
+                counter.tolist() if hasattr(counter, "tolist") else counter
+            )
+            addrs.extend(
+                addr.tolist() if hasattr(addr, "tolist") else addr
+            )
+            if call_sites is not None:
+                call_sites.extend(
+                    call_site.tolist()
+                    if hasattr(call_site, "tolist")
+                    else call_site
+                )
+        return kinds, counters, addrs, call_sites
+
+    def _finish_columns(self, log, per_thread, jobs, stats):
+        """Column-shard counterpart of :meth:`_finish`."""
+        offset = log.profiler_addr - self.image.profiler_addr
+        cache = CachedResolver(self.image.symtab, maxsize=self.cache_size)
+        shards = list(per_thread.items())
+        stats.shards_analyzed = len(shards)
+
+        def run(shard):
+            tid, segments = shard
+            kinds, counters, addrs, call_sites = self._concat_segments(
+                segments
+            )
+            return self._reconstruct_columns(
+                tid, kinds, counters, addrs, call_sites, offset, cache
+            )
+
+        results = self._run_shards(run, shards, jobs)
+        return self._merge(log, results, cache, stats)
+
     def _finish(self, log, per_thread, jobs, stats):
         """Reconstruct every shard (serially or on a pool) and merge."""
         offset = log.profiler_addr - self.image.profiler_addr
@@ -350,14 +463,19 @@ class Analyzer:
             tid, entries = shard
             return self._reconstruct_shard(tid, entries, offset, cache)
 
+        results = self._run_shards(run, shards, jobs)
+        return self._merge(log, results, cache, stats)
+
+    @staticmethod
+    def _run_shards(run, shards, jobs):
         if jobs > 1 and len(shards) > 1:
             with ThreadPoolExecutor(
                 max_workers=min(jobs, len(shards))
             ) as pool:
-                results = list(pool.map(run, shards))
-        else:
-            results = [run(shard) for shard in shards]
+                return list(pool.map(run, shards))
+        return [run(shard) for shard in shards]
 
+    def _merge(self, log, results, cache, stats):
         # Merge: shard results concatenate in thread first-appearance
         # order, which is exactly the order the batch path produced.
         records = []
@@ -393,7 +511,9 @@ class Analyzer:
         if isinstance(log, (bytes, bytearray)):
             return SharedLog.from_bytes(log)
         if isinstance(log, str) or hasattr(log, "__fspath__"):
-            return LogStream.open(log)
+            # Threshold-based: small files are slurped into a
+            # SharedLog, big ones become mmap-backed streams.
+            return open_log(log)
         raise AnalyzerError(f"cannot analyze {type(log).__name__}")
 
     def _resolve(self, runtime_addr, offset, cache):
@@ -460,6 +580,75 @@ class Analyzer:
                 while stack[-1].addr != entry.addr:
                     close(stack.pop(), entry.counter, truncated=True)
                 close(stack.pop(), entry.counter, truncated=False)
+            else:
+                unmatched += 1
+        while stack:
+            close(stack.pop(), last_counter, truncated=True)
+        return records, unmatched, mismatches
+
+    def _reconstruct_columns(
+        self, tid, kinds, counters, addrs, call_sites, offset, cache
+    ):
+        """Column-input twin of :meth:`_reconstruct_shard`.
+
+        Consumes the analyzer's columnar shards (parallel plain-int
+        lists) directly — no :class:`~repro.core.log.LogEntry`
+        objects between decode and stack reconstruction.  The record
+        semantics are kept deliberately identical to the entry-based
+        oracle above; ``tests/core/test_streaming.py`` and
+        ``tests/core/test_writer.py`` enforce the equivalence.
+        """
+        stack = []
+        records = []
+        unmatched = 0
+        mismatches = 0
+        last_counter = counters[-1] if counters else 0
+
+        def close(frame, at, truncated):
+            inclusive = max(0, at - frame.enter)
+            exclusive = max(0, inclusive - frame.child_ticks)
+            if stack:
+                stack[-1].child_ticks += inclusive
+            records.append(
+                CallRecord(
+                    method=frame.method,
+                    tid=tid,
+                    enter=frame.enter,
+                    exit=at,
+                    inclusive=inclusive,
+                    exclusive=exclusive,
+                    depth=len(stack),
+                    caller=stack[-1].method if stack else None,
+                    path=tuple(f.method for f in stack) + (frame.method,),
+                    truncated=truncated,
+                )
+            )
+
+        if call_sites is None:
+            call_sites = repeat(0)
+        for kind, counter, addr, call_site in zip(
+            kinds, counters, addrs, call_sites
+        ):
+            if kind == KIND_CALL:
+                if call_site and stack:
+                    expected = self._resolve(call_site, offset, cache)
+                    if expected != stack[-1].method:
+                        mismatches += 1
+                stack.append(
+                    _OpenFrame(
+                        addr,
+                        self._resolve(addr, offset, cache),
+                        counter,
+                        call_site,
+                    )
+                )
+                continue
+            if stack and stack[-1].addr == addr:
+                close(stack.pop(), counter, truncated=False)
+            elif any(f.addr == addr for f in stack):
+                while stack[-1].addr != addr:
+                    close(stack.pop(), counter, truncated=True)
+                close(stack.pop(), counter, truncated=False)
             else:
                 unmatched += 1
         while stack:

@@ -55,6 +55,10 @@ class AutoTracer:
         self.offset = 0  # relocation offset of the loaded image
         self.events = 0
 
+    def flush(self):
+        """Hooks-interface parity: the tracer appends per event and
+        stages nothing, so there is never anything to commit."""
+
     @staticmethod
     def _normalise_scope(scope):
         if scope is None:

@@ -41,6 +41,16 @@ class VirtualCounter:
         self.machine = machine
         self.resolution_cycles = resolution_cycles
         self._running = False
+        # Integer fast path for the per-event read: when the resolution
+        # is a power of two (the default, 8.0) its reciprocal is exact
+        # in binary floating point, so `time * recip` truncates to the
+        # same integer as `time / resolution` — one multiply instead of
+        # a divide, with bit-identical results.
+        self._recip = None
+        as_int = int(resolution_cycles)
+        if resolution_cycles == as_int and as_int & (as_int - 1) == 0:
+            self._recip = 1.0 / resolution_cycles
+        self._current = machine.current
 
     def start(self):
         """Dedicate a core to the counter loop."""
@@ -61,8 +71,10 @@ class VirtualCounter:
 
     def read(self):
         """Current tick count as seen by the calling simulated thread."""
-        thread = self.machine.current()
-        return int(thread.local_time / self.resolution_cycles)
+        recip = self._recip
+        if recip is not None:
+            return int(self._current().local_time * recip)
+        return int(self._current().local_time / self.resolution_cycles)
 
     def ticks_to_ns(self, ticks):
         return self.machine.clock.cycles_to_ns(ticks * self.resolution_cycles)

@@ -31,7 +31,7 @@ import inspect
 import threading
 
 from repro.core.errors import TEEPerfError
-from repro.core.log import KIND_CALL, KIND_RET
+from repro.core.log import KIND_CALL, KIND_RET, ThreadLogWriter
 from repro.symbols import BinaryImage, mangle
 
 _NO_INSTRUMENT = "__tee_no_instrument__"
@@ -72,24 +72,45 @@ def symbol_name_for(func, prefix=None):
 class HookSlot:
     """The globally accessible variable of the paper's injected code.
 
-    Wrappers read :attr:`impl` on every event; the recorder arms it at
-    start-up and clears it at teardown.  ``offset`` is the relocation
-    offset of the loaded image, added to every link-time address so the
-    log carries *runtime* addresses.
+    Wrappers read :attr:`impl` once per invocation; the recorder arms
+    it at start-up and clears it at teardown.  ``offset`` is the
+    relocation offset of the loaded image.  Instead of adding it to
+    the link-time address on every event, each wrapper registers an
+    *address cell* at instrumentation time and :meth:`arm` precomputes
+    ``link_addr + offset`` into every cell — the hot path reads one
+    list slot and never does relocation arithmetic.
     """
 
-    __slots__ = ("impl", "offset")
+    __slots__ = ("impl", "offset", "_cells")
 
     def __init__(self):
         self.impl = None
         self.offset = 0
+        self._cells = []
+
+    def register(self, link_addr):
+        """A one-slot runtime-address cell for a wrapper closure.
+
+        Holds the link-time address until :meth:`arm` relocates it.
+        """
+        cell = [link_addr]
+        self._cells.append((link_addr, cell))
+        return cell
 
     def arm(self, impl, offset=0):
-        self.impl = impl
+        if offset != self.offset:
+            for link_addr, cell in self._cells:
+                cell[0] = link_addr + offset
         self.offset = offset
+        # impl is published last: a wrapper that observes it armed is
+        # guaranteed to read already-relocated address cells.
+        self.impl = impl
 
     def disarm(self):
         self.impl = None
+        if self.offset:
+            for link_addr, cell in self._cells:
+                cell[0] = link_addr
         self.offset = 0
 
 
@@ -146,17 +167,26 @@ def _function_size(func):
 
 
 def _make_wrapper(func, link_addr, hooks):
+    # The armed impl is captured ONCE per invocation: the CALL and its
+    # RET always go to the same hooks object, so a recorder disarming
+    # (or arming) mid-call can never log one half of the pair — the
+    # analyzer sees balanced per-thread logs, with ACTIVE alone
+    # deciding whether either event lands.  The runtime address comes
+    # from a cell the slot relocates at arm time, so the hot path is
+    # two list-index reads and no arithmetic.
+    cell = hooks.register(link_addr)
+
     @functools.wraps(func)
     def wrapper(*args, **kwargs):
         impl = hooks.impl
-        if impl is not None:
-            impl.on_event(KIND_CALL, link_addr + hooks.offset)
+        if impl is None:
+            return func(*args, **kwargs)
+        addr = cell[0]
+        impl.on_event(KIND_CALL, addr)
         try:
             return func(*args, **kwargs)
         finally:
-            impl = hooks.impl
-            if impl is not None:
-                impl.on_event(KIND_RET, link_addr + hooks.offset)
+            impl.on_event(KIND_RET, addr)
 
     setattr(wrapper, _NO_INSTRUMENT, True)  # never instrument twice
     wrapper.__tee_wrapped__ = func
@@ -268,47 +298,131 @@ class Instrumenter:
         return self.program
 
 
+class _WriterPool:
+    """Per-thread :class:`~repro.core.log.ThreadLogWriter` bookkeeping
+    shared by both hook implementations.
+
+    A hooks object is shared by every thread, so the batched path
+    keys writers by thread id; the last ``(tid, writer)`` pair is
+    cached because the overwhelmingly common case is a run of events
+    from one thread.
+    """
+
+    __slots__ = ("log", "writer_block", "_writers", "_last")
+
+    def __init__(self, log, writer_block):
+        self.log = log
+        self.writer_block = writer_block
+        self._writers = {}
+        # (tid, writer) published as one tuple: concurrent threads can
+        # race on the cache but never observe a torn pair.
+        self._last = (None, None)
+
+    def writer_for(self, tid):
+        last_tid, last_writer = self._last
+        if tid == last_tid:
+            return last_writer
+        writer = self._writers.get(tid)
+        if writer is None:
+            writer = self._writers.setdefault(
+                tid, ThreadLogWriter(self.log, self.writer_block)
+            )
+        self._last = (tid, writer)
+        return writer
+
+    def flush(self):
+        """Commit every thread's staged block (recorder stop/pause)."""
+        for writer in list(self._writers.values()):
+            writer.flush()
+
+    def writers(self):
+        return list(self._writers.values())
+
+    def blocks_flushed(self):
+        return sum(w.blocks_flushed for w in self._writers.values())
+
+
 class SimHooks:
     """Injected-code implementation for simulation mode.
 
     Every event charges the platform's per-event instrumentation cost
     to the running simulated thread, reads the virtual software
     counter, and appends to the shared log with the *relaxed*
-    reservation (per-thread ordering is all the analyzer needs).
+    reservation (per-thread ordering is all the analyzer needs).  With
+    ``writer_block > 0`` events go through per-thread
+    :class:`~repro.core.log.ThreadLogWriter` staging instead of
+    per-event appends — same per-thread bytes, amortised reservation.
     """
 
-    __slots__ = ("log", "counter", "machine", "event_cycles", "events")
+    __slots__ = ("log", "counter", "machine", "event_cycles", "events",
+                 "pool", "_read", "_current")
 
-    def __init__(self, log, counter, machine, event_cycles):
+    def __init__(self, log, counter, machine, event_cycles,
+                 writer_block=0):
         self.log = log
         self.counter = counter
         self.machine = machine
         self.event_cycles = event_cycles
         self.events = 0
+        self.pool = (
+            _WriterPool(log, writer_block) if writer_block else None
+        )
+        self._read = counter.read
+        self._current = machine.current
 
     def on_event(self, kind, addr):
         if not self.log.active:
             return
-        thread = self.machine.current()
+        thread = self._current()
         thread.advance(self.event_cycles)
         self.events += 1
-        self.log.append(kind, self.counter.read(), addr, thread.tid)
+        if self.pool is not None:
+            self.pool.writer_for(thread.tid).append(
+                kind, self._read(), addr, thread.tid
+            )
+        else:
+            self.log.append(kind, self._read(), addr, thread.tid)
+
+    def flush(self):
+        if self.pool is not None:
+            self.pool.flush()
 
 
 class LiveHooks:
-    """Injected-code implementation for live (real-time) mode."""
+    """Injected-code implementation for live (real-time) mode.
 
-    __slots__ = ("log", "counter", "events")
+    ``threading.get_ident`` and ``counter.read`` are bound once at
+    construction — the per-event path does no global/attribute-chain
+    lookups — and ``writer_block > 0`` (the live default, via
+    :class:`~repro.core.recorder.LiveRecorder`) batches entries
+    through per-thread writers.
+    """
 
-    def __init__(self, log, counter):
+    __slots__ = ("log", "counter", "events", "pool", "_read",
+                 "_get_ident")
+
+    def __init__(self, log, counter, writer_block=0):
         self.log = log
         self.counter = counter
         self.events = 0
+        self.pool = (
+            _WriterPool(log, writer_block) if writer_block else None
+        )
+        self._read = counter.read
+        self._get_ident = threading.get_ident
 
     def on_event(self, kind, addr):
         if not self.log.active:
             return
         self.events += 1
-        self.log.append(
-            kind, self.counter.read(), addr, threading.get_ident()
-        )
+        tid = self._get_ident()
+        if self.pool is not None:
+            self.pool.writer_for(tid).append(
+                kind, self._read(), addr, tid
+            )
+        else:
+            self.log.append(kind, self._read(), addr, tid)
+
+    def flush(self):
+        if self.pool is not None:
+            self.pool.flush()

@@ -19,18 +19,46 @@ Entries are reserved with a fetch-and-add on the tail, so writers never
 contend on a lock; reservations past the maximum size are *dropped* and
 counted, and the analyzer independently dismisses anything past the
 maximum — the paper's rule for records "which might be wrong at the end
-of the log".
+of the log".  The real injected code issues one ``lock xadd``; this
+reproduction models that atomic with a tail integer whose update is a
+two-bytecode critical section, shared by the per-event path
+(:meth:`SharedLog.try_reserve`) and the batched path
+(:meth:`SharedLog.reserve_block`, which amortises the one atomic over a
+whole block of entries — the relaxed reservation of §II-C).
+
+:class:`ThreadLogWriter` is the batched writer built on block
+reservation: one per thread, it stages each entry as its packed bytes
+and commits each block with a single blit.  Only per-thread ordering
+survives — exactly the contract the analyzer needs.
 
 The flags word is the only mutable control surface: bit 0 (ACTIVE)
 gates recording and may be flipped while the application runs, which is
 how dynamic de-/activation and selective phases work without adding a
 critical section to the hot path.
+
+Reading has a columnar fast path: :func:`decode_columns` turns a span
+of raw entries into :class:`LogColumns` — one array per field
+(kind/counter/addr/tid/call-site), decoded with a single vectorised
+``numpy`` view when numpy is available — and :class:`LogEntry` objects
+are materialised lazily, only where a consumer asks for them.
 """
 
-import itertools
 import mmap
+import os
 import struct
+import sys
+import threading
 from dataclasses import dataclass
+
+# memoryview.cast only knows native formats; the log is little-endian,
+# so the flat word view is valid exactly on little-endian hosts (struct
+# keeps big-endian ones correct, just slower).
+_NATIVE_WORDS = sys.byteorder == "little"
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dep in-tree
+    _np = None
 
 from repro.core.errors import LogFormatError
 
@@ -70,6 +98,14 @@ _ENTRY_V2 = struct.Struct("<4Q")
 # that a streaming reader never holds more than a sliver of the log.
 DEFAULT_CHUNK_ENTRIES = 8192
 
+# Entries a ThreadLogWriter stages before committing a block: one
+# fetch-and-add and one blit per 256 events.
+DEFAULT_WRITER_BLOCK = 256
+
+# On-disk logs at or above this size are opened as mmap-backed
+# LogStreams by default; smaller ones are cheaper to slurp whole.
+DEFAULT_MMAP_THRESHOLD = 1 << 20  # 1 MiB
+
 
 @dataclass(frozen=True)
 class LogEntry:
@@ -90,40 +126,125 @@ class LogEntry:
         return self.kind == KIND_RET
 
 
-def _decode_entries(buf, version, start, count):
-    """Decode `count` consecutive entries beginning at index `start`.
+class LogColumns:
+    """A decoded span of the log as structure-of-arrays.
 
-    One ``iter_unpack`` sweep over a memoryview slice — the bulk path
-    shared by :meth:`SharedLog.iter_chunks` and :class:`LogStream`,
-    roughly 3x faster than per-entry ``unpack_from``.
+    One sequence per entry field — ``kind``, ``counter``, ``addr``,
+    ``tid`` and (v2 only, else ``None``) ``call_site`` — decoded in one
+    vectorised sweep.  With numpy the columns are ``uint64`` views cut
+    from a single ``frombuffer`` pass; without it they are plain lists
+    from one ``iter_unpack`` sweep.  :class:`LogEntry` objects are only
+    materialised on demand (:meth:`entries`, iteration), so bulk
+    consumers — the analyzer's sharding pass, counters, histograms —
+    never pay the per-entry object cost.
+
+    ``start`` is the log index of the first decoded entry, so a
+    chunked reader can map columns back to absolute positions.
+    """
+
+    __slots__ = ("kind", "counter", "addr", "tid", "call_site", "start")
+
+    def __init__(self, kind, counter, addr, tid, call_site, start=0):
+        self.kind = kind
+        self.counter = counter
+        self.addr = addr
+        self.tid = tid
+        self.call_site = call_site
+        self.start = start
+
+    def __len__(self):
+        return len(self.kind)
+
+    def as_lists(self):
+        """The columns as plain Python lists (ints), numpy or not.
+
+        ``call_site`` stays ``None`` for v1 spans.
+        """
+        out = []
+        for col in (self.kind, self.counter, self.addr, self.tid,
+                    self.call_site):
+            if col is None or isinstance(col, list):
+                out.append(col)
+            else:
+                out.append(col.tolist())
+        return out
+
+    def counter_bounds(self):
+        """(min, max) counter value in the span; ``None`` when empty."""
+        if not len(self.kind):
+            return None
+        counter = self.counter
+        if isinstance(counter, list):
+            return min(counter), max(counter)
+        return int(counter.min()), int(counter.max())
+
+    def entries(self):
+        """Materialise the span as :class:`LogEntry` objects."""
+        kind, counter, addr, tid, call_site = self.as_lists()
+        if call_site is None:
+            return [
+                LogEntry(k, c, a, t)
+                for k, c, a, t in zip(kind, counter, addr, tid)
+            ]
+        return [
+            LogEntry(k, c, a, t, s)
+            for k, c, a, t, s in zip(kind, counter, addr, tid, call_site)
+        ]
+
+    def __iter__(self):
+        return iter(self.entries())
+
+
+def decode_columns(buf, version, start, count, copy=False):
+    """Decode `count` consecutive entries at index `start` into columns.
+
+    The bulk read path shared by :meth:`SharedLog.iter_column_chunks`
+    and :meth:`LogStream.column_chunks`: one ``numpy.frombuffer`` view
+    reshaped to (count, words) and sliced per field — no per-entry
+    Python work at all.  Falls back to a single ``iter_unpack`` sweep
+    when numpy is unavailable.
+
+    With ``copy=True`` the columns are materialised (one vectorised
+    memcpy) instead of viewing `buf` — required when `buf` must stay
+    closeable, e.g. an ``mmap`` held by a :class:`LogStream`.
     """
     entry_size = _ENTRY_SIZES[version]
     offset = HEADER_SIZE + start * entry_size
     view = memoryview(buf)[offset : offset + count * entry_size]
-    entries = []
-    append = entries.append
-    if entry_size == ENTRY_SIZE_V2:
-        for word0, addr, tid, call_site in _ENTRY_V2.iter_unpack(view):
-            append(
-                LogEntry(
-                    KIND_RET if word0 & _KIND_BIT else KIND_CALL,
-                    word0 & COUNTER_MASK,
-                    addr,
-                    tid,
-                    call_site,
-                )
-            )
-    else:
-        for word0, addr, tid in _ENTRY.iter_unpack(view):
-            append(
-                LogEntry(
-                    KIND_RET if word0 & _KIND_BIT else KIND_CALL,
-                    word0 & COUNTER_MASK,
-                    addr,
-                    tid,
-                )
-            )
-    return entries
+    if _np is not None:
+        words = entry_size // 8
+        mat = _np.frombuffer(view, dtype="<u8").reshape(count, words)
+        if copy:
+            mat = mat.copy()
+            view.release()
+        word0 = mat[:, 0]
+        kind = (word0 >> _np.uint64(63)).astype(_np.uint64)
+        counter = word0 & _np.uint64(COUNTER_MASK)
+        call_site = mat[:, 3] if words == 4 else None
+        return LogColumns(kind, counter, mat[:, 1], mat[:, 2],
+                          call_site, start)
+    kind, counter, addr, tid = [], [], [], []
+    call_site = [] if entry_size == ENTRY_SIZE_V2 else None
+    unpacker = _ENTRY_V2 if entry_size == ENTRY_SIZE_V2 else _ENTRY
+    for fields in unpacker.iter_unpack(view):
+        word0 = fields[0]
+        kind.append(KIND_RET if word0 & _KIND_BIT else KIND_CALL)
+        counter.append(word0 & COUNTER_MASK)
+        addr.append(fields[1])
+        tid.append(fields[2])
+        if call_site is not None:
+            call_site.append(fields[3])
+    return LogColumns(kind, counter, addr, tid, call_site, start)
+
+
+def _decode_entries(buf, version, start, count):
+    """Decode `count` consecutive entries beginning at index `start`.
+
+    Object materialisation over the columnar fast path — kept for the
+    consumers that genuinely want :class:`LogEntry` objects
+    (:meth:`SharedLog.iter_chunks`, :class:`LogStream` iteration).
+    """
+    return decode_columns(buf, version, start, count).entries()
 
 
 class SharedLog:
@@ -152,7 +273,30 @@ class SharedLog:
             )
         self._entry_size = _ENTRY_SIZES[version]
         self._capacity = header[4]
-        self._reservations = itertools.count(self.tail)
+        # Header words as a flat u64 view: flags/tail reads on the hot
+        # path cost one index, not a struct unpack.
+        self._words = (
+            memoryview(buf)[: (len(buf) // 8) * 8].cast("Q")
+            if _NATIVE_WORDS
+            else None
+        )
+        # Mirrors of the flags word: batched writers poll these per
+        # staged event, and a plain list index is measurably cheaper
+        # than a memoryview index (or any bit arithmetic) on that path.
+        # _measures_mirror holds the pre-shifted event-mask bits —
+        # ``mirror[kind]`` is truthy iff the mask admits that kind.
+        # Both kept in sync by _set_word.
+        self._flags_mirror = [header[1]]
+        self._measures_mirror = [
+            header[1] & FLAG_MASK_CALLS,
+            header[1] & FLAG_MASK_RETS,
+        ]
+        # The tail: the paper's single atomic fetch-and-add, modelled
+        # by an integer bumped inside a two-bytecode critical section
+        # (shared by per-event and block reservation, so blocks stay
+        # contiguous under concurrency).
+        self._tail_lock = threading.Lock()
+        self._next_free = self.tail
         self.dropped = 0
 
     # ------------------------------------------------------------------
@@ -220,10 +364,20 @@ class SharedLog:
     # Header accessors
 
     def _word(self, index):
+        if self._words is not None:
+            return self._words[index]
         return struct.unpack_from("<Q", self._buf, index * 8)[0]
 
     def _set_word(self, index, value):
-        struct.pack_into("<Q", self._buf, index * 8, value)
+        if self._words is not None:
+            self._words[index] = value
+        else:
+            struct.pack_into("<Q", self._buf, index * 8, value)
+        if index == 1:
+            self._flags_mirror[0] = value
+            mirror = self._measures_mirror
+            mirror[0] = value & FLAG_MASK_CALLS
+            mirror[1] = value & FLAG_MASK_RETS
 
     @property
     def flags(self):
@@ -303,11 +457,51 @@ class SharedLog:
 
     def try_reserve(self):
         """Fetch-and-add on the tail; ``None`` once the log is full."""
-        index = next(self._reservations)
+        with self._tail_lock:
+            index = self._next_free
+            self._next_free = index + 1
         if index >= self._capacity:
             self.dropped += 1
             return None
         return index
+
+    def reserve_block(self, n):
+        """One fetch-and-add reserves `n` consecutive slots.
+
+        Returns ``(start, granted)``: the first reserved index and how
+        many of the `n` slots actually exist.  When the block straddles
+        the capacity boundary ``granted < n`` — the tail of the block
+        was reserved past the end and is *surrendered*: those slots
+        were never writable, and the caller owns counting whatever
+        events they would have carried as dropped
+        (:class:`ThreadLogWriter` does exactly that at flush).  A block
+        reserved entirely past capacity returns ``granted == 0``.
+
+        Unlike :meth:`try_reserve`, this method does not touch
+        :attr:`dropped` itself: a block is reserved *per flush*, not
+        per event, so only the caller knows how many events the
+        surrendered slots represent.
+        """
+        if n < 1:
+            raise ValueError(f"block size must be positive: {n}")
+        with self._tail_lock:
+            start = self._next_free
+            self._next_free = start + n
+        if start >= self._capacity:
+            return start, 0
+        return start, min(n, self._capacity - start)
+
+    def write_block(self, start, granted, raw):
+        """Blit `granted` pre-packed entries into slots
+        ``[start, start + granted)`` — the commit half of
+        :meth:`reserve_block`.  `raw` must hold at least
+        ``granted * entry_size`` bytes in the log's entry layout."""
+        if not granted:
+            return
+        entry_size = self._entry_size
+        offset = HEADER_SIZE + start * entry_size
+        span = granted * entry_size
+        self._buf[offset : offset + span] = raw[:span]
 
     def write_entry(self, index, kind, counter, addr, tid, call_site=0):
         """Fill a previously reserved slot."""
@@ -340,12 +534,7 @@ class SharedLog:
     def tail_or_live(self):
         """Entries written: live reservation counter or stored tail,
         whichever has advanced further."""
-        return max(self._next_reservation(), self.tail)
-
-    def _next_reservation(self):
-        # Peek at the itertools counter without consuming it.
-        probe = self._reservations.__reduce__()[1][0]
-        return probe
+        return max(self._next_free, self.tail)
 
     def entry(self, index):
         """Decode entry `index` (layout chosen by the header version)."""
@@ -381,14 +570,214 @@ class SharedLog:
                 self._buf, self.version, start, min(chunk_size, total - start)
             )
 
+    def iter_column_chunks(self, chunk_size=DEFAULT_CHUNK_ENTRIES):
+        """Yield :class:`LogColumns` spans of at most `chunk_size`.
+
+        The analyzer's bulk-ingestion path: no :class:`LogEntry`
+        objects are built — each span is one vectorised decode.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive: {chunk_size}")
+        total = min(self.tail_or_live(), self._capacity)
+        for start in range(0, total, chunk_size):
+            yield decode_columns(
+                self._buf, self.version, start, min(chunk_size, total - start)
+            )
+
+    def columns(self):
+        """The whole log decoded as one :class:`LogColumns` span."""
+        return decode_columns(
+            self._buf,
+            self.version,
+            0,
+            min(self.tail_or_live(), self._capacity),
+        )
+
     def _store_tail(self):
-        self._set_word(5, min(self._next_reservation(), self._capacity))
+        self._set_word(5, min(self._next_free, self._capacity))
 
     def __repr__(self):
         return (
             f"SharedLog(entries={len(self)}/{self._capacity}, "
             f"active={self.active}, dropped={self.dropped})"
         )
+
+
+class ThreadLogWriter:
+    """A per-thread batched writer over one :class:`SharedLog`.
+
+    The injected code's amortised hot path: :attr:`append` — a closure
+    specialised at construction so every per-event load is a cell
+    variable or a default-argument constant, never an attribute chain —
+    stages each entry as its final packed bytes (one C-level
+    ``Struct.pack`` call), and each `block` of entries commits with one
+    :meth:`SharedLog.reserve_block` fetch-and-add plus a single
+    ``b"".join`` blit instead of a reservation and a ``pack_into`` per
+    event.
+
+    The contract, matching ``docs/log-format.md``:
+
+    * **one writer per thread** — the staging buffer is not shared, so
+      per-thread event order is preserved exactly; global interleaving
+      becomes per-block, which is within the format's "only per-thread
+      order is meaningful" rule;
+    * ``ACTIVE`` and the event mask are honoured *at staging time*
+      (the hooks check ACTIVE, :attr:`append` checks the mask): a flag
+      flipped between a block's staging and its flush affects later
+      events only, and already-staged events are always committed;
+    * drop accounting is exact but deferred: events staged into a
+      block whose reservation straddles (or lies past) the capacity
+      boundary are counted on :attr:`dropped` — and added to the log's
+      own counter — at flush, when the surrendered tail slots are
+      known.
+
+    Call :meth:`flush` (or :meth:`close`, or leave a ``with`` block)
+    when the thread is done so the final partial block commits.
+    """
+
+    __slots__ = (
+        "log",
+        "block",
+        "flushed",
+        "dropped",
+        "blocks_flushed",
+        "append",
+        "_staged",
+    )
+
+    def __init__(self, log, block=DEFAULT_WRITER_BLOCK):
+        if block < 1:
+            raise ValueError(f"block size must be positive: {block}")
+        self.log = log
+        self.block = block
+        self.flushed = 0  # entries committed to the log
+        self.dropped = 0  # staged events lost to surrendered slots
+        self.blocks_flushed = 0
+        staged = self._staged = []
+        v2 = log.entry_size == ENTRY_SIZE_V2
+        # The staging closure.  Every name it touches per event is a
+        # cell variable or a default-arg constant; the mask check is a
+        # single index into the log's *measures mirror* (a two-slot
+        # list of pre-shifted mask bits, kept current by _set_word) —
+        # KIND_CALL is 0, KIND_RET is 1.  Each event is staged as its
+        # final packed bytes: one C-level Struct.pack here makes flush
+        # a near-free ``b"".join`` (measurably cheaper than staging
+        # tuples and bulk-packing the block).  `room` is a countdown
+        # cell: it reaches 0 exactly when `block` events have been
+        # staged since the last closure-triggered flush (an external
+        # flush only makes the next block smaller, which the format
+        # permits — block boundaries carry no meaning).
+        meas = log._measures_mirror
+        flush = self.flush
+        room = block
+        if v2:
+
+            def append(kind, counter, addr, tid, call_site=0,
+                       _mask=COUNTER_MASK, _kbit=_KIND_BIT,
+                       _stage=staged.append, _pack=_ENTRY_V2.pack):
+                """Stage one event; False when the mask filters it out.
+                True means *accepted* — commitment (or a capacity
+                drop) happens at flush."""
+                nonlocal room
+                if not meas[kind]:
+                    return False
+                _stage(_pack(counter & _mask | (kind and _kbit),
+                             addr, tid, call_site))
+                room -= 1
+                if not room:
+                    flush()
+                    room = block
+                return True
+
+        else:
+
+            def append(kind, counter, addr, tid, call_site=0,
+                       _mask=COUNTER_MASK, _kbit=_KIND_BIT,
+                       _stage=staged.append, _pack=_ENTRY.pack):
+                """Stage one event; False when the mask filters it out.
+                True means *accepted* — commitment (or a capacity
+                drop) happens at flush."""
+                nonlocal room
+                if not meas[kind]:
+                    return False
+                _stage(_pack(counter & _mask | (kind and _kbit),
+                             addr, tid))
+                room -= 1
+                if not room:
+                    flush()
+                    room = block
+                return True
+
+        self.append = append
+
+    @property
+    def pending(self):
+        """Entries staged but not yet committed."""
+        return len(self._staged)
+
+    def flush(self):
+        """Commit the staged entries as one reserved block.
+
+        Returns the number of entries committed; the difference to
+        what was staged is the exact count of events dropped because
+        their slots were surrendered past the capacity boundary.
+        """
+        staged = self._staged
+        count = len(staged)
+        if not count:
+            return 0
+        log = self.log
+        start, granted = log.reserve_block(count)
+        if granted:
+            raw = b"".join(
+                staged if granted == count else staged[:granted]
+            )
+            log.write_block(start, granted, raw)
+            self.flushed += granted
+        staged.clear()
+        surrendered = count - granted
+        if surrendered:
+            self.dropped += surrendered
+            log.dropped += surrendered
+        self.blocks_flushed += 1
+        return granted
+
+    def close(self):
+        self.flush()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.flush()
+        return False
+
+    def __repr__(self):
+        return (
+            f"ThreadLogWriter(block={self.block}, "
+            f"pending={len(self._staged)}, "
+            f"flushed={self.flushed}, dropped={self.dropped})"
+        )
+
+
+def open_log(path, mmap_threshold=DEFAULT_MMAP_THRESHOLD,
+             chunk_size=DEFAULT_CHUNK_ENTRIES):
+    """Open a persisted log read-optimally for its size.
+
+    Files at or above `mmap_threshold` bytes come back as a
+    mmap-backed :class:`LogStream` (the kernel pages entries in as
+    they are decoded — nothing is slurped); smaller files are loaded
+    whole as a :class:`SharedLog`, which is cheaper than a mapping for
+    logs that fit comfortably in memory.  Pass ``mmap_threshold=0`` to
+    always stream, or ``float("inf")`` to always load.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        size = 0
+    if size >= mmap_threshold:
+        return LogStream.open(path, chunk_size)
+    return SharedLog.load(path)
 
 
 class LogStream:
@@ -486,6 +875,10 @@ class LogStream:
         return bool(self.flags & FLAG_MULTITHREAD)
 
     @property
+    def active(self):
+        return bool(self.flags & FLAG_ACTIVE)
+
+    @property
     def entry_size(self):
         return self._entry_size
 
@@ -511,6 +904,30 @@ class LogStream:
     # `iter_chunks` so SharedLog and LogStream are interchangeable to
     # the analyzer's ingestion loop.
     iter_chunks = chunks
+
+    def column_chunks(self, chunk_size=None):
+        """Yield :class:`LogColumns` spans of at most `chunk_size` —
+        the vectorised counterpart of :meth:`chunks`."""
+        chunk_size = chunk_size or self.chunk_size
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive: {chunk_size}")
+        for start in range(0, self._count, chunk_size):
+            # copy=True: the columns must not pin the mmap — callers may
+            # hold them (analyzer shards do) after the stream closes.
+            yield decode_columns(
+                self._buf,
+                self._version,
+                start,
+                min(chunk_size, self._count - start),
+                copy=True,
+            )
+
+    # Interchangeable with SharedLog for the analyzer's column path.
+    iter_column_chunks = column_chunks
+
+    def columns(self):
+        """The whole stream decoded as one :class:`LogColumns` span."""
+        return decode_columns(self._buf, self._version, 0, self._count, copy=True)
 
     def __iter__(self):
         for chunk in self.chunks():

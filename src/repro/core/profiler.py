@@ -66,6 +66,7 @@ class TEEPerf:
         name="a.out",
         aslr_seed=1,
         monitor=None,
+        writer_block=0,
     ):
         """A profiler for workloads on the simulated machine.
 
@@ -73,7 +74,9 @@ class TEEPerf:
         the profiler itself stays platform-independent.  Passing a
         :class:`repro.monitor.Monitor` attaches live samplers for the
         recorder, counter, TEE cost model and (after ``analyze``) the
-        pipeline stats.
+        pipeline stats.  ``writer_block > 0`` routes events through
+        per-thread batched writers (default: per-event appends, which
+        keep simulated runs byte-deterministic).
         """
         machine = machine or Machine(cores=cores)
         env = make_env(machine, platform)
@@ -86,6 +89,7 @@ class TEEPerf:
                 capacity=capacity,
                 aslr_seed=aslr_seed,
                 monitor=monitor,
+                writer_block=writer_block,
             )
 
         return cls(
@@ -99,12 +103,22 @@ class TEEPerf:
     @classmethod
     def live(
         cls, capacity=DEFAULT_CAPACITY, select=None, name="a.out",
-        monitor=None,
+        monitor=None, writer_block=None,
     ):
-        """A profiler for real (unsimulated) Python code."""
+        """A profiler for real (unsimulated) Python code.
+
+        `writer_block` sizes the per-thread batched writers (``0``
+        forces per-event appends; default:
+        :data:`repro.core.log.DEFAULT_WRITER_BLOCK`).
+        """
+        kwargs = {}
+        if writer_block is not None:
+            kwargs["writer_block"] = writer_block
 
         def factory(program):
-            return LiveRecorder(program, capacity=capacity, monitor=monitor)
+            return LiveRecorder(
+                program, capacity=capacity, monitor=monitor, **kwargs
+            )
 
         return cls(factory, Instrumenter(name, select=select), monitor=monitor)
 

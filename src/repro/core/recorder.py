@@ -22,7 +22,7 @@ should not increase the TEE's memory, which is usually limited").
 from repro.core.counter import ThreadCounter, VirtualCounter
 from repro.core.errors import RecorderError
 from repro.core.instrument import LiveHooks, SimHooks
-from repro.core.log import SharedLog, VERSION
+from repro.core.log import DEFAULT_WRITER_BLOCK, SharedLog, VERSION
 from repro.core.stats import PipelineStats
 
 DEFAULT_CAPACITY = 1 << 20  # entries
@@ -39,14 +39,27 @@ class _RecorderBase:
     ``stop`` so the series capture the terminal state.
     """
 
-    def __init__(self, program, capacity, pid, version=VERSION, monitor=None):
+    def __init__(
+        self,
+        program,
+        capacity,
+        pid,
+        version=VERSION,
+        monitor=None,
+        writer_block=0,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
+        if writer_block < 0:
+            raise ValueError(
+                f"writer_block must be >= 0: {writer_block}"
+            )
         self.program = program
         self.capacity = capacity
         self.pid = pid
         self.version = version
         self.monitor = monitor
+        self.writer_block = writer_block
         self.log = None
         self.loaded = None
         self.hooks = None
@@ -78,6 +91,9 @@ class _RecorderBase:
             raise RecorderError("recorder not started")
         self.log.set_active(False)
         self.program.hooks.disarm()
+        # Staged-but-unflushed blocks commit before the tail is stored:
+        # events accepted at staging time are never lost to teardown.
+        self.hooks.flush()
         self._stop_counter()
         self.log._store_tail()
         self._started = False
@@ -96,6 +112,9 @@ class _RecorderBase:
         the application runs — §II-B)."""
         self._require_started()
         self.log.set_active(False)
+        # Committing staged blocks here keeps a pause -> inspect cycle
+        # honest: everything accepted so far is visible in the log.
+        self.hooks.flush()
 
     def resume(self):
         """Re-activate tracing."""
@@ -106,6 +125,8 @@ class _RecorderBase:
         """Write the entire log to persistent storage for the analyzer."""
         if self.log is None:
             raise RecorderError("nothing recorded yet")
+        if self.hooks is not None:
+            self.hooks.flush()
         self.log.dump(path)
 
     def events_recorded(self):
@@ -118,10 +139,14 @@ class _RecorderBase:
         """Recorder-side pipeline counters, ready for the analyzer to
         extend: what reached the log, and what was lost *before*
         analysis even starts (events dropped when the log's
-        reservation counter overflowed)."""
+        reservation counter overflowed, including staged events whose
+        block straddled the capacity boundary at flush)."""
+        pool = getattr(self.hooks, "pool", None)
         return PipelineStats(
             entries_recorded=self.events_recorded(),
             entries_dropped=self.events_dropped(),
+            blocks_flushed=pool.blocks_flushed() if pool else 0,
+            writer_block=self.writer_block,
         )
 
     def __enter__(self):
@@ -173,8 +198,14 @@ class Recorder(_RecorderBase):
         aslr_seed=1,
         version=VERSION,
         monitor=None,
+        writer_block=0,
     ):
-        super().__init__(program, capacity, pid, version, monitor)
+        # Simulation defaults to the per-event path (writer_block=0):
+        # regenerated figures stay byte-deterministic regardless of
+        # batching.  Pass writer_block>0 to exercise the batched path.
+        super().__init__(
+            program, capacity, pid, version, monitor, writer_block
+        )
         self.machine = machine
         self.env = env
         self.counter = counter or VirtualCounter(machine)
@@ -201,6 +232,7 @@ class Recorder(_RecorderBase):
             self.counter,
             self.machine,
             self.env.costs.instrument_event_cycles,
+            writer_block=self.writer_block,
         )
 
 
@@ -223,8 +255,13 @@ class LiveRecorder(_RecorderBase):
         counter=None,
         version=VERSION,
         monitor=None,
+        writer_block=DEFAULT_WRITER_BLOCK,
     ):
-        super().__init__(program, capacity, pid, version, monitor)
+        # Live mode defaults to batched per-thread writers: real wall
+        # clock is on the line, so the amortised path is the default.
+        super().__init__(
+            program, capacity, pid, version, monitor, writer_block
+        )
         self.counter = counter or ThreadCounter()
         self._saved_interval = None
 
@@ -244,4 +281,6 @@ class LiveRecorder(_RecorderBase):
             self._saved_interval = None
 
     def _make_hooks(self):
-        return LiveHooks(self.log, self.counter)
+        return LiveHooks(
+            self.log, self.counter, writer_block=self.writer_block
+        )

@@ -38,6 +38,9 @@ class PipelineStats:
     frames_truncated:
         Calls closed at the thread's last observed counter value
         because their return never made it into the log.
+    blocks_flushed:
+        Batched-writer blocks committed to the log (0 when the
+        recorder ran the per-event append path).
     chunks_processed:
         Fixed-size ingestion chunks decoded (1 for a batch pass).
     shards_analyzed:
@@ -46,6 +49,9 @@ class PipelineStats:
         Worker-pool width the shards ran under (1 = serial).
     chunk_size:
         Entries per ingestion chunk (0 = unchunked batch read).
+    writer_block:
+        Entries per batched-writer staging block (0 = per-event
+        appends; see :class:`repro.core.log.ThreadLogWriter`).
     counter_span:
         Ticks between the smallest and largest counter value seen;
         the denominator of the ingest rate.
@@ -59,10 +65,12 @@ class PipelineStats:
     entries_dropped: int = 0
     entries_dismissed: int = 0
     frames_truncated: int = 0
+    blocks_flushed: int = 0
     chunks_processed: int = 0
     shards_analyzed: int = 0
     jobs: int = 1
     chunk_size: int = 0
+    writer_block: int = 0
     counter_span: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -91,11 +99,12 @@ class PipelineStats:
     def merge(self, other):
         """Add `other`'s counters into this object (in place).
 
-        ``jobs`` and ``chunk_size`` are configuration, not counters:
-        the merged object keeps the wider/larger of the two.
+        ``jobs``, ``chunk_size`` and ``writer_block`` are
+        configuration, not counters: the merged object keeps the
+        wider/larger of the two.
         """
         for f in fields(self):
-            if f.name in ("jobs", "chunk_size"):
+            if f.name in ("jobs", "chunk_size", "writer_block"):
                 setattr(
                     self, f.name, max(getattr(self, f.name), getattr(other, f.name))
                 )
@@ -135,6 +144,12 @@ class PipelineStats:
             f"  entries dismissed: {self.entries_dismissed}"
             "   (unmatched returns)",
             f"  frames truncated:  {self.frames_truncated}",
+            f"  blocks flushed:    {self.blocks_flushed}"
+            + (
+                f"   ({self.writer_block} entries/block)"
+                if self.writer_block
+                else ""
+            ),
             f"  chunks processed:  {self.chunks_processed}"
             + (f"   ({self.chunk_size} entries/chunk)" if self.chunk_size else ""),
             f"  shards analyzed:   {self.shards_analyzed}"
