@@ -1,27 +1,57 @@
-"""Analyzer scaling — the streaming pipeline's throughput story.
+"""Analyzer scaling — reconstruction engines and true multi-core jobs.
 
 The ROADMAP's north star needs stage 3 to keep up with logs far larger
-than memory and with many threads.  This benchmark builds a
-multi-thread log of >= 500k entries, then measures analyzer throughput
-(entries/second) through three paths:
+than memory and with many threads.  PR 3 made *decode* columnar; this
+benchmark measures the other half of the hot path — stack
+reconstruction — across the engine × jobs matrix:
 
-* ``batch``       — the original single-pass oracle (`analyze_batch`);
-* ``stream j=1``  — chunked ingestion, serial shard reconstruction;
-* ``stream j=4``  — chunked ingestion, 4-worker shard pool.
+* ``python j=1``  — the sequential per-entry oracle loop;
+* ``vector j=1``  — the whole-shard numpy kernel
+  (:mod:`repro.core.reconstruct`), single worker;
+* ``vector j=4``  — the same kernel with shards fanned out to a
+  ``ProcessPoolExecutor`` (packed column bytes to each worker, so the
+  GIL stops mattering);
+* ``vector j=4 (mmap)`` — ditto over an mmap-backed on-disk stream.
 
-Two honesty notes baked into the output: reconstruction is pure
-Python, so under the GIL ``jobs=4`` buys concurrency (shards in
-flight), not parallel speedup — the win it demonstrates is that
-sharded results merge into byte-identical output while ingestion stays
-O(chunk) in memory; and the differential guarantee itself is asserted
-at the bottom of the test.
+Two floors gate the perf-smoke job (standalone run:
+``python benchmarks/bench_analyzer_scaling.py [--quick]``, artefact in
+``benchmarks/out/BENCH_analyze.json``, non-zero exit on a miss):
+
+* **vector >= 4x python** single-threaded on the 512k-entry clean log
+  — enforced everywhere;
+* **jobs=4 >= 1.8x jobs=1** through the process pool, measured on the
+  sequential engine (whose per-shard work dwarfs worker spawn — the
+  GIL-removal claim) — enforced only where ``os.cpu_count() >= 4`` (a
+  single-core container cannot physically scale; the JSON records the
+  measurement either way).
+
+The differential guarantee is asserted outside the timed region: every
+cell of the matrix must produce field-for-field identical records.
 """
 
+import argparse
+import json
+import os
+import pathlib
+import sys
 import time
 
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    _src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
 from repro.core import Analyzer, KIND_CALL, KIND_RET, LogStream, SharedLog
-from repro.fex import ResultTable
 from repro.symbols import BinaryImage
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: acceptance floors (ISSUE 4): vectorised reconstruction >= 4x the
+#: sequential loop single-threaded; the process pool >= 1.8x from
+#: jobs=1 to jobs=4 (enforced on hosts with >= POOL_MIN_CPUS cores).
+VECTOR_FLOOR = 4.0
+POOL_FLOOR = 1.8
+POOL_MIN_CPUS = 4
 
 THREADS = 8
 FRAMES_PER_THREAD = 32_000  # call+ret pairs: 8 * 32k * 2 = 512k entries
@@ -36,7 +66,7 @@ def build_image():
 
 
 def build_log(image):
-    """A >= 500k-entry log: nested call trees on every thread."""
+    """A >= 500k-entry clean log: nested call trees on every thread."""
     addrs = [sym.addr for sym in image.symtab]
     log = SharedLog.create(
         THREADS * FRAMES_PER_THREAD * 2, profiler_addr=image.profiler_addr
@@ -59,63 +89,179 @@ def build_log(image):
     return log
 
 
-def timed(fn):
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
+def _best_of(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
 
 
-def test_analyzer_scaling(emit, benchmark, tmp_path):
+def run_matrix(analyzer, log, stream_path, repeats):
+    """One row per (engine, jobs) cell: name -> (analysis, seconds)."""
+    cells = []
+    cells.append(
+        ("python j=1", *_best_of(
+            lambda: analyzer.analyze(log, engine="python"), repeats
+        ))
+    )
+    cells.append(
+        ("vector j=1", *_best_of(
+            lambda: analyzer.analyze(log, engine="vector"), repeats
+        ))
+    )
+    cells.append(
+        ("python j=4 (pool)", *_best_of(
+            lambda: analyzer.analyze(log, engine="python", jobs=4), repeats
+        ))
+    )
+    cells.append(
+        ("vector j=4", *_best_of(
+            lambda: analyzer.analyze(log, engine="vector", jobs=4), repeats
+        ))
+    )
+    if stream_path is not None:
+        cells.append(
+            ("vector j=4 (mmap)", *_best_of(
+                lambda: analyzer.analyze(
+                    LogStream.open(str(stream_path)), engine="vector",
+                    jobs=4,
+                ),
+                repeats,
+            ))
+        )
+    return cells
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Reconstruction engine x jobs scaling benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: single repeat per cell",
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.quick else 3
+
     image = build_image()
     log = build_log(image)
     entries = len(log)
     assert entries >= 500_000
 
-    path = tmp_path / "scaling.teeperf"
-    log.dump(str(path))
+    OUT_DIR.mkdir(exist_ok=True)
+    stream_path = OUT_DIR / "scaling.teeperf"
+    log.dump(str(stream_path))
 
     analyzer = Analyzer(image)
+    cells = run_matrix(analyzer, log, stream_path, repeats)
+    stream_path.unlink()
 
-    def measure():
-        rows = []
-        batch, t = timed(lambda: analyzer.analyze_batch(log))
-        rows.append(("batch (oracle)", t, batch))
-        serial, t = timed(lambda: analyzer.analyze(log, jobs=1))
-        rows.append(("stream jobs=1", t, serial))
-        parallel, t = timed(lambda: analyzer.analyze(log, jobs=4))
-        rows.append(("stream jobs=4", t, parallel))
-        disk, t = timed(
-            lambda: analyzer.analyze(LogStream.open(str(path)), jobs=4)
+    times = {name: elapsed for name, _, elapsed in cells}
+    vector_speedup = times["python j=1"] / times["vector j=1"]
+    # Pool scaling is measured on the *sequential* engine, where
+    # per-shard work dwarfs worker spawn — that is the GIL-removal
+    # claim.  (The vector kernel finishes the whole log faster than a
+    # pool can start; its jobs=4 cells are reported for completeness.)
+    pool_scaling = times["python j=1"] / times["python j=4 (pool)"]
+    cpus = os.cpu_count() or 1
+    enforce_pool = cpus >= POOL_MIN_CPUS
+
+    payload = {
+        "benchmark": "analyze_engines",
+        "quick": args.quick,
+        "entries": entries,
+        "threads": THREADS,
+        "cpu_count": cpus,
+        "cells": [
+            {
+                "name": name,
+                "seconds": elapsed,
+                "entries_per_sec": entries / elapsed,
+                "engine": analysis.pipeline.engine,
+                "shards_vectorised": analysis.pipeline.shards_vectorised,
+                "shards_fallback": analysis.pipeline.shards_fallback,
+                "cache_hit_rate": analysis.pipeline.cache_hit_rate,
+            }
+            for name, analysis, elapsed in cells
+        ],
+        "vector_speedup": vector_speedup,
+        "vector_floor": VECTOR_FLOOR,
+        "pool_scaling": pool_scaling,
+        "pool_floor": POOL_FLOOR,
+        "pool_floor_enforced": enforce_pool,
+    }
+    out = OUT_DIR / "BENCH_analyze.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for name, analysis, elapsed in cells:
+        stats = analysis.pipeline
+        print(
+            f"{name:<18} {elapsed:>7.3f}s  {entries / elapsed:>12,.0f} en/s"
+            f"  vec={stats.shards_vectorised} fb={stats.shards_fallback}"
+            f"  cache {100 * stats.cache_hit_rate:.1f}%"
         )
-        rows.append(("stream jobs=4 (mmap)", t, disk))
-        return rows
+    print(
+        f"vector vs python: {vector_speedup:.2f}x (floor {VECTOR_FLOOR}x); "
+        f"pool j=1->j=4: {pool_scaling:.2f}x (floor {POOL_FLOOR}x, "
+        f"{'enforced' if enforce_pool else f'reported only: {cpus} cpu'})"
+    )
+    print(f"wrote {out}")
 
-    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Correctness outside the timed region: every cell's profile must
+    # be field-for-field identical (the clean log also means the
+    # vector engine must never have fallen back).
+    reference = cells[0][1]
+    for name, analysis, _ in cells[1:]:
+        assert analysis.records == reference.records, name
+        assert analysis.unmatched_returns == reference.unmatched_returns
+        assert analysis.meta == reference.meta, name
+        if analysis.pipeline.engine == "vector":
+            assert analysis.pipeline.shards_fallback == 0, name
+            assert analysis.pipeline.shards_vectorised == THREADS, name
+        assert analysis.pipeline.cache_hit_rate > 0.99, name
+
+    failed = []
+    if vector_speedup < VECTOR_FLOOR:
+        failed.append(
+            f"vector engine {vector_speedup:.2f}x < {VECTOR_FLOOR}x"
+        )
+    if enforce_pool and pool_scaling < POOL_FLOOR:
+        failed.append(f"pool scaling {pool_scaling:.2f}x < {POOL_FLOOR}x")
+    if failed:
+        print("FLOOR MISSED: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+# ======================================================================
+# Pytest half: the floors under pytest plus the emit artefact.
+
+
+def test_analyzer_engine_matrix(emit):
+    from repro.fex import ResultTable
+
+    assert main(["--quick"]) == 0
+    payload = json.loads((OUT_DIR / "BENCH_analyze.json").read_text())
+    assert payload["vector_speedup"] >= VECTOR_FLOOR
 
     table = ResultTable(
-        f"Analyzer scaling — {entries:,} entries, {THREADS} threads",
-        ["path", "seconds", "entries/s", "chunks", "cache hit %"],
+        f"Analyzer engines — {payload['entries']:,} entries, "
+        f"{payload['threads']} threads",
+        ["cell", "seconds", "entries/s", "vectorised", "cache hit %"],
     )
-    for name, elapsed, analysis in rows:
-        stats = analysis.pipeline
+    for cell in payload["cells"]:
         table.add_row(
-            name,
-            f"{elapsed:.2f}",
-            f"{entries / elapsed:,.0f}",
-            stats.chunks_processed,
-            f"{100 * stats.cache_hit_rate:.1f}",
+            cell["name"],
+            f"{cell['seconds']:.3f}",
+            f"{cell['entries_per_sec']:,.0f}",
+            cell["shards_vectorised"],
+            f"{100 * cell['cache_hit_rate']:.1f}",
         )
     emit("analyzer_scaling.txt", table.render())
 
-    # The scaling story must never cost correctness: all four paths
-    # produce identical profiles.
-    reference = rows[0][2]
-    for name, _, analysis in rows[1:]:
-        assert analysis.records == reference.records, name
-        assert analysis.unmatched_returns == reference.unmatched_returns
-        assert analysis.meta == reference.meta
-    stats = rows[2][2].pipeline
-    assert stats.entries_ingested == entries
-    assert stats.shards_analyzed == THREADS
-    assert stats.jobs == 4
-    assert stats.cache_hit_rate > 0.99  # 48 symbols, 512k resolutions
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,7 +93,8 @@ def cmd_analyze(args):
         )
         return 1
     analysis = Analyzer(image).analyze(
-        args.log, jobs=args.jobs, chunk_size=args.chunk_size
+        args.log, jobs=args.jobs, chunk_size=args.chunk_size,
+        engine=args.engine,
     )
     if args.format == "report":
         print(analysis.report(top=args.top))
@@ -352,6 +353,13 @@ def build_parser():
         type=int,
         default=None,
         help="entries decoded per ingestion chunk (default 8192)",
+    )
+    analyze.add_argument(
+        "--engine",
+        choices=["auto", "vector", "python"],
+        default="auto",
+        help="stack-reconstruction kernel: vectorised numpy passes, "
+        "the sequential loop, or auto (vector when numpy is present)",
     )
     analyze.add_argument(
         "--stats",

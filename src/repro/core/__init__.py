@@ -13,6 +13,11 @@
 
 from repro.core.analyzer import Analysis, Analyzer, CallRecord, MethodStats
 from repro.core.diff import AnalysisDiff, MethodDelta
+from repro.core.reconstruct import (
+    RecordColumns,
+    reconstruct_python,
+    reconstruct_vector,
+)
 from repro.core.export import (
     to_callgrind,
     to_gprof,
@@ -90,8 +95,11 @@ __all__ = [
     "PerfCounterClock",
     "PipelineStats",
     "QuerySession",
+    "RecordColumns",
     "Recorder",
     "RecorderError",
+    "reconstruct_python",
+    "reconstruct_vector",
     "SharedLog",
     "TEEPerf",
     "TEEPerfError",

@@ -35,9 +35,8 @@ Robustness rules, matching §II-B:
 * a return with no matching frame at all is counted and dismissed.
 """
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from itertools import repeat
 
 try:
     import numpy as _np
@@ -47,30 +46,33 @@ except ImportError:  # pragma: no cover - numpy is a hard dep in-tree
 from repro.core.errors import AnalyzerError
 from repro.core.log import (
     DEFAULT_CHUNK_ENTRIES,
-    KIND_CALL,
     LogStream,
     SharedLog,
     open_log,
+)
+from repro.core.reconstruct import (
+    ENGINES,
+    PROCESS_POOL_MIN_ENTRIES,
+    CallRecord,
+    RecordColumns,
+    ShardOutcome,
+    _pool_init,
+    _pool_run,
+    pack_shard,
+    reconstruct_python,
+    run_shard,
 )
 from repro.core.stats import PipelineStats
 from repro.frame import Frame
 from repro.symbols.symtab import CachedResolver
 
-
-@dataclass(frozen=True)
-class CallRecord:
-    """One completed (or truncated) method invocation."""
-
-    method: str
-    tid: int
-    enter: int
-    exit: int
-    inclusive: int
-    exclusive: int
-    depth: int
-    caller: str
-    path: tuple
-    truncated: bool = False
+__all__ = [
+    "Analysis",
+    "Analyzer",
+    "CallRecord",
+    "MethodStats",
+    "RecordColumns",
+]
 
 
 @dataclass
@@ -102,22 +104,95 @@ class MethodStats:
 
 
 class Analysis:
-    """The result object: records, aggregates, frames and reports."""
+    """The result object: records, aggregates, frames and reports.
+
+    ``records`` may arrive as a plain :class:`CallRecord` list (the
+    sequential engines) or as a columnar
+    :class:`~repro.core.reconstruct.RecordColumns` (the vector
+    engine).  Either way the public surface is identical; with
+    columns, record objects and the per-method aggregation are built
+    lazily, and the bulk consumers (``folded()``,
+    ``records_frame()``, thread/total aggregates) read the arrays
+    directly without ever materialising records.
+    """
 
     def __init__(self, records, unmatched_returns, tick_ns, meta,
                  locations=None, pipeline=None):
-        self.records = records
+        if isinstance(records, RecordColumns):
+            self.columns = records
+            self._records = None
+        else:
+            self.columns = None
+            self._records = records
         self.unmatched_returns = unmatched_returns
         self.tick_ns = tick_ns
         self.meta = meta
         self.locations = locations or {}
         self.pipeline = pipeline
-        self._stats = {}
-        for record in records:
-            stats = self._stats.get(record.method)
-            if stats is None:
-                stats = self._stats[record.method] = MethodStats(record.method)
-            stats.add(record)
+        self._stats_cache = None
+
+    @property
+    def records(self):
+        """The :class:`CallRecord` list (materialised on first use
+        when the analysis is columnar)."""
+        if self._records is None:
+            self._records = self.columns.records()
+        return self._records
+
+    @property
+    def _stats(self):
+        if self._stats_cache is None:
+            if self.columns is not None:
+                self._stats_cache = self._stats_from_columns()
+            else:
+                self._stats_cache = stats = {}
+                for record in self._records:
+                    per = stats.get(record.method)
+                    if per is None:
+                        per = stats[record.method] = MethodStats(record.method)
+                    per.add(record)
+        return self._stats_cache
+
+    def _stats_from_columns(self):
+        """Columnar twin of the per-record aggregation loop: bincount
+        the sums, scatter the min/max, one unique pass for the thread
+        sets — same values, same (first-appearance) dict order."""
+        cols = self.columns
+        mids = cols.method_id
+        n_methods = len(cols.methods)
+        if not len(mids):
+            return {}
+        calls = _np.bincount(mids, minlength=n_methods)
+        incl = _np.zeros(n_methods, dtype=_np.int64)
+        _np.add.at(incl, mids, cols.inclusive)
+        excl = _np.zeros(n_methods, dtype=_np.int64)
+        _np.add.at(excl, mids, cols.exclusive)
+        info = _np.iinfo(_np.int64)
+        mins = _np.full(n_methods, info.max, dtype=_np.int64)
+        _np.minimum.at(mins, mids, cols.inclusive)
+        maxs = _np.full(n_methods, info.min, dtype=_np.int64)
+        _np.maximum.at(maxs, mids, cols.inclusive)
+        threads = {}
+        pairs = _np.unique(
+            _np.stack((mids, cols.tid.astype(_np.int64)), axis=1), axis=0
+        )
+        for mid, tid in pairs.tolist():
+            threads.setdefault(mid, set()).add(tid)
+        uniq, first = _np.unique(mids, return_index=True)
+        stats = {}
+        for j in _np.argsort(first, kind="stable").tolist():
+            mid = int(uniq[j])
+            name = cols.methods[mid]
+            stats[name] = MethodStats(
+                method=name,
+                calls=int(calls[mid]),
+                inclusive=int(incl[mid]),
+                exclusive=int(excl[mid]),
+                min_inclusive=int(mins[mid]),
+                max_inclusive=int(maxs[mid]),
+                threads=threads.get(mid, set()),
+            )
+        return stats
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -138,6 +213,12 @@ class Analysis:
 
     def threads(self):
         """Thread ids observed, in first-appearance order."""
+        if self.columns is not None:
+            uniq, first = _np.unique(self.columns.tid, return_index=True)
+            return [
+                int(uniq[j])
+                for j in _np.argsort(first, kind="stable").tolist()
+            ]
         seen, out = set(), []
         for record in self.records:
             if record.tid not in seen:
@@ -147,9 +228,13 @@ class Analysis:
 
     def total_exclusive(self):
         """Total attributed ticks (sums to total traced time)."""
+        if self.columns is not None:
+            return int(self.columns.exclusive.sum())
         return sum(r.exclusive for r in self.records)
 
     def truncated_calls(self):
+        if self.columns is not None:
+            return int(self.columns.truncated.sum())
         return sum(1 for r in self.records if r.truncated)
 
     def exclusive_fraction(self, name):
@@ -165,6 +250,19 @@ class Analysis:
         This is the Flame-Graph input — each invocation contributes its
         *exclusive* ticks to its full call path, so widths nest exactly.
         """
+        if self.columns is not None:
+            cols = self.columns
+            mask = cols.exclusive > 0
+            pids = cols.path_id[mask]
+            if not len(pids):
+                return {}
+            sums = _np.zeros(len(cols.paths), dtype=_np.int64)
+            _np.add.at(sums, pids, cols.exclusive[mask])
+            uniq, first = _np.unique(pids, return_index=True)
+            return {
+                cols.path_tuple(int(uniq[j])): int(sums[uniq[j]])
+                for j in _np.argsort(first, kind="stable").tolist()
+            }
         folded = {}
         for record in self.records:
             if record.exclusive <= 0:
@@ -176,6 +274,25 @@ class Analysis:
     # Frames (the declarative query interface builds on these)
 
     def records_frame(self):
+        if self.columns is not None:
+            cols = self.columns
+            methods = cols.methods
+            return Frame(
+                {
+                    "method": [methods[m] for m in cols.method_id.tolist()],
+                    "thread": cols.tid.tolist(),
+                    "caller": [
+                        methods[c] if c >= 0 else None
+                        for c in cols.caller_id.tolist()
+                    ],
+                    "depth": cols.depth.tolist(),
+                    "enter": cols.enter.tolist(),
+                    "exit": cols.exit.tolist(),
+                    "inclusive": cols.inclusive.tolist(),
+                    "exclusive": cols.exclusive.tolist(),
+                    "truncated": cols.truncated.tolist(),
+                }
+            )
         return Frame.from_records(
             (
                 {
@@ -257,17 +374,6 @@ class Analysis:
         return "\n".join(lines)
 
 
-class _OpenFrame:
-    __slots__ = ("addr", "method", "enter", "child_ticks", "call_site")
-
-    def __init__(self, addr, method, enter, call_site=0):
-        self.addr = addr
-        self.method = method
-        self.enter = enter
-        self.child_ticks = 0
-        self.call_site = call_site
-
-
 class Analyzer:
     """Turns a log (+ the binary image) into an :class:`Analysis`.
 
@@ -286,7 +392,8 @@ class Analyzer:
         self.tick_ns = tick_ns
         self.cache_size = cache_size
 
-    def analyze(self, log, jobs=1, chunk_size=None, stats=None):
+    def analyze(self, log, jobs=1, chunk_size=None, stats=None,
+                engine="auto"):
         """Streaming analysis: chunked ingestion, sharded reconstruction.
 
         `log` may be a :class:`SharedLog`, a :class:`LogStream`, raw
@@ -295,17 +402,28 @@ class Analyzer:
         sets the worker-pool width for per-thread shards; `stats` is
         an optional recorder-seeded :class:`PipelineStats` to extend —
         the resulting counters land on ``analysis.pipeline`` either
-        way.  Output is byte-for-byte identical to
-        :meth:`analyze_batch`.
+        way.  `engine` picks the reconstruction kernel:
+
+        * ``"vector"`` — the whole-shard numpy kernel
+          (:func:`~repro.core.reconstruct.reconstruct_vector`);
+          anomalous shards transparently fall back to the sequential
+          loop, so the output is always the oracle's;
+        * ``"python"`` — the sequential loop for every shard;
+        * ``"auto"`` (default) — ``"vector"`` when numpy is present.
+
+        Output is field-for-field identical to :meth:`analyze_batch`
+        whatever the engine, jobs or chunk size.
         """
         if jobs < 1:
             raise AnalyzerError(f"jobs must be positive: {jobs}")
+        engine = self._resolve_engine(engine)
         chunk_size = chunk_size or DEFAULT_CHUNK_ENTRIES
         opened = not isinstance(log, (SharedLog, LogStream))
         log = self._coerce(log)
         stats = stats if stats is not None else PipelineStats()
         stats.jobs = jobs
         stats.chunk_size = chunk_size
+        stats.engine = engine
 
         try:
             # Ingestion: decode fixed-size *column* chunks (one
@@ -323,7 +441,7 @@ class Analyzer:
                     self._shard_columns(cols, per_thread)
             stats.counter_span = (hi - lo) if lo is not None else 0
 
-            return self._finish_columns(log, per_thread, jobs, stats)
+            return self._finish_columns(log, per_thread, jobs, stats, engine)
         finally:
             if opened and isinstance(log, LogStream):
                 log.close()
@@ -335,6 +453,7 @@ class Analyzer:
         log = self._coerce(log)
         stats = stats if stats is not None else PipelineStats()
         stats.jobs = 1
+        stats.engine = "python"
         stats.chunks_processed += 1
         per_thread = {}
         lo = hi = None
@@ -410,6 +529,20 @@ class Analyzer:
             )
 
     @staticmethod
+    def _resolve_engine(engine):
+        """Validate the knob and resolve ``auto`` to a real engine."""
+        if engine not in ENGINES:
+            raise AnalyzerError(
+                f"unknown engine {engine!r} (choose from "
+                f"{', '.join(ENGINES)})"
+            )
+        if engine == "auto":
+            return "vector" if _np is not None else "python"
+        if engine == "vector" and _np is None:
+            raise AnalyzerError("engine='vector' requires numpy")
+        return engine
+
+    @staticmethod
     def _concat_segments(segments):
         """Flatten a shard's segments into four plain-int lists
         (``call_sites`` is ``None`` for v1 logs)."""
@@ -433,24 +566,98 @@ class Analyzer:
                 )
         return kinds, counters, addrs, call_sites
 
-    def _finish_columns(self, log, per_thread, jobs, stats):
+    @staticmethod
+    def _concat_segment_arrays(segments):
+        """Flatten a shard's segments into four numpy arrays — the
+        vector kernel's (and the shard packer's) input shape."""
+        if len(segments) == 1:
+            kind, counter, addr, call_site = segments[0]
+            return (
+                _np.asarray(kind),
+                _np.asarray(counter),
+                _np.asarray(addr),
+                _np.asarray(call_site) if call_site is not None else None,
+            )
+        has_cs = segments[0][3] is not None
+        return (
+            _np.concatenate([s[0] for s in segments]),
+            _np.concatenate([s[1] for s in segments]),
+            _np.concatenate([s[2] for s in segments]),
+            _np.concatenate([s[3] for s in segments]) if has_cs else None,
+        )
+
+    def _finish_columns(self, log, per_thread, jobs, stats,
+                        engine="python"):
         """Column-shard counterpart of :meth:`_finish`."""
         offset = log.profiler_addr - self.image.profiler_addr
-        cache = CachedResolver(self.image.symtab, maxsize=self.cache_size)
         shards = list(per_thread.items())
         stats.shards_analyzed = len(shards)
 
+        # Big multi-shard runs go to a process pool: shards travel as
+        # packed column bytes, workers symbolise against their own
+        # cache, and the GIL stops mattering.  Small runs stay on
+        # threads, sharing one in-process cache (whose counters tiny
+        # profiles' tests — and users — can reason about exactly).
+        if (
+            jobs > 1
+            and len(shards) > 1
+            and _np is not None
+            and stats.entries_ingested >= PROCESS_POOL_MIN_ENTRIES
+        ):
+            outcomes = self._run_shards_pooled(shards, jobs, offset, engine)
+            if outcomes is not None:
+                return self._merge(log, outcomes, None, stats)
+
+        cache = CachedResolver(self.image.symtab, maxsize=self.cache_size)
+        columnar = engine == "vector"
+
         def run(shard):
             tid, segments = shard
-            kinds, counters, addrs, call_sites = self._concat_segments(
-                segments
-            )
-            return self._reconstruct_columns(
-                tid, kinds, counters, addrs, call_sites, offset, cache
+            if columnar:
+                kinds, counters, addrs, call_sites = (
+                    self._concat_segment_arrays(segments)
+                )
+            else:
+                kinds, counters, addrs, call_sites = self._concat_segments(
+                    segments
+                )
+            return run_shard(
+                tid, kinds, counters, addrs, call_sites, offset, cache,
+                engine, columnar,
             )
 
-        results = self._run_shards(run, shards, jobs)
-        return self._merge(log, results, cache, stats)
+        outcomes = self._run_shards(run, shards, jobs)
+        return self._merge(log, outcomes, cache, stats)
+
+    def _run_shards_pooled(self, shards, jobs, offset, engine):
+        """Fan packed shards out to a :class:`ProcessPoolExecutor`.
+
+        Each worker gets the symbol table once (through the pool
+        initializer) and builds a private :class:`CachedResolver`; a
+        shard crosses the process boundary as one packed byte string.
+        Returns ``None`` when a pool cannot be used here (no usable
+        multiprocessing primitives — e.g. a sandbox without
+        semaphores), in which case the caller takes the thread path.
+        """
+        payloads = []
+        for tid, segments in shards:
+            kinds, counters, addrs, call_sites = (
+                self._concat_segment_arrays(segments)
+            )
+            payloads.append(
+                pack_shard(tid, kinds, counters, addrs, call_sites)
+            )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(shards)),
+                initializer=_pool_init,
+                initargs=(
+                    self.image.symtab, offset, engine, self.cache_size
+                ),
+            ) as pool:
+                return list(pool.map(_pool_run, payloads))
+        except Exception:
+            return None
 
     def _finish(self, log, per_thread, jobs, stats):
         """Reconstruct every shard (serially or on a pool) and merge."""
@@ -461,10 +668,15 @@ class Analyzer:
 
         def run(shard):
             tid, entries = shard
-            return self._reconstruct_shard(tid, entries, offset, cache)
+            records, unmatched, mismatches = self._reconstruct_shard(
+                tid, entries, offset, cache
+            )
+            return ShardOutcome(
+                records=records, unmatched=unmatched, mismatches=mismatches
+            )
 
-        results = self._run_shards(run, shards, jobs)
-        return self._merge(log, results, cache, stats)
+        outcomes = self._run_shards(run, shards, jobs)
+        return self._merge(log, outcomes, cache, stats)
 
     @staticmethod
     def _run_shards(run, shards, jobs):
@@ -475,20 +687,42 @@ class Analyzer:
                 return list(pool.map(run, shards))
         return [run(shard) for shard in shards]
 
-    def _merge(self, log, results, cache, stats):
+    def _merge(self, log, outcomes, cache, stats):
         # Merge: shard results concatenate in thread first-appearance
         # order, which is exactly the order the batch path produced.
-        records = []
         unmatched = 0
         mismatches = 0
-        for shard_records, shard_unmatched, shard_mismatches in results:
-            records.extend(shard_records)
-            unmatched += shard_unmatched
-            mismatches += shard_mismatches
+        synthetic_hits = 0
+        for outcome in outcomes:
+            unmatched += outcome.unmatched
+            mismatches += outcome.mismatches
+            synthetic_hits += outcome.synthetic_hits
+            if outcome.vectorised:
+                stats.shards_vectorised += 1
+            elif stats.engine == "vector":
+                stats.shards_fallback += 1
+        columnar = bool(outcomes) and outcomes[0].columns is not None
+        if columnar:
+            records = RecordColumns.concat([o.columns for o in outcomes])
+            stats.frames_truncated += int(records.truncated.sum())
+        else:
+            records = []
+            for outcome in outcomes:
+                records.extend(outcome.records)
+            stats.frames_truncated += sum(1 for r in records if r.truncated)
         stats.entries_dismissed += unmatched
-        stats.frames_truncated += sum(1 for r in records if r.truncated)
-        stats.cache_hits += cache.hits
-        stats.cache_misses += cache.misses
+        if cache is not None:
+            # In-process pools share `cache`; the vector kernel's
+            # unique-address resolves count the per-call resolutions
+            # it *skipped* as hits (the oracle would have answered
+            # them from the LRU), keeping the hit-rate meaningful.
+            stats.cache_hits += cache.hits + synthetic_hits
+            stats.cache_misses += cache.misses
+        else:
+            # Pooled workers each carried a private cache and reported
+            # their own traffic on the way back.
+            stats.cache_hits += sum(o.hits for o in outcomes)
+            stats.cache_misses += sum(o.misses for o in outcomes)
 
         meta = {
             "events": len(log),
@@ -529,128 +763,25 @@ class Analyzer:
         ``(records, unmatched, callsite_mismatches)`` so shards can run
         concurrently without sharing mutable state (the resolution
         cache is the one shared structure, and it locks internally).
+        The loop itself lives in
+        :func:`repro.core.reconstruct.reconstruct_python` — the
+        differential oracle the vector engine is tested against.
         """
-        stack = []
-        records = []
-        unmatched = 0
-        mismatches = 0
-        last_counter = entries[-1].counter if entries else 0
-
-        def close(frame, at, truncated):
-            inclusive = max(0, at - frame.enter)
-            exclusive = max(0, inclusive - frame.child_ticks)
-            if stack:
-                stack[-1].child_ticks += inclusive
-            records.append(
-                CallRecord(
-                    method=frame.method,
-                    tid=tid,
-                    enter=frame.enter,
-                    exit=at,
-                    inclusive=inclusive,
-                    exclusive=exclusive,
-                    depth=len(stack),
-                    caller=stack[-1].method if stack else None,
-                    path=tuple(f.method for f in stack) + (frame.method,),
-                    truncated=truncated,
-                )
-            )
-
-        for entry in entries:
-            if entry.is_call:
-                # v2 logs carry the call site; cross-check it against
-                # the stack-derived caller (a log-integrity diagnostic).
-                if entry.call_site and stack:
-                    expected = self._resolve(entry.call_site, offset, cache)
-                    if expected != stack[-1].method:
-                        mismatches += 1
-                stack.append(
-                    _OpenFrame(
-                        entry.addr,
-                        self._resolve(entry.addr, offset, cache),
-                        entry.counter,
-                        entry.call_site,
-                    )
-                )
-                continue
-            # A return: match against the open stack.
-            if stack and stack[-1].addr == entry.addr:
-                close(stack.pop(), entry.counter, truncated=False)
-            elif any(f.addr == entry.addr for f in stack):
-                while stack[-1].addr != entry.addr:
-                    close(stack.pop(), entry.counter, truncated=True)
-                close(stack.pop(), entry.counter, truncated=False)
-            else:
-                unmatched += 1
-        while stack:
-            close(stack.pop(), last_counter, truncated=True)
-        return records, unmatched, mismatches
+        return reconstruct_python(
+            tid,
+            [e.kind for e in entries],
+            [e.counter for e in entries],
+            [e.addr for e in entries],
+            [e.call_site for e in entries],
+            offset,
+            cache,
+        )
 
     def _reconstruct_columns(
         self, tid, kinds, counters, addrs, call_sites, offset, cache
     ):
-        """Column-input twin of :meth:`_reconstruct_shard`.
-
-        Consumes the analyzer's columnar shards (parallel plain-int
-        lists) directly — no :class:`~repro.core.log.LogEntry`
-        objects between decode and stack reconstruction.  The record
-        semantics are kept deliberately identical to the entry-based
-        oracle above; ``tests/core/test_streaming.py`` and
-        ``tests/core/test_writer.py`` enforce the equivalence.
-        """
-        stack = []
-        records = []
-        unmatched = 0
-        mismatches = 0
-        last_counter = counters[-1] if counters else 0
-
-        def close(frame, at, truncated):
-            inclusive = max(0, at - frame.enter)
-            exclusive = max(0, inclusive - frame.child_ticks)
-            if stack:
-                stack[-1].child_ticks += inclusive
-            records.append(
-                CallRecord(
-                    method=frame.method,
-                    tid=tid,
-                    enter=frame.enter,
-                    exit=at,
-                    inclusive=inclusive,
-                    exclusive=exclusive,
-                    depth=len(stack),
-                    caller=stack[-1].method if stack else None,
-                    path=tuple(f.method for f in stack) + (frame.method,),
-                    truncated=truncated,
-                )
-            )
-
-        if call_sites is None:
-            call_sites = repeat(0)
-        for kind, counter, addr, call_site in zip(
-            kinds, counters, addrs, call_sites
-        ):
-            if kind == KIND_CALL:
-                if call_site and stack:
-                    expected = self._resolve(call_site, offset, cache)
-                    if expected != stack[-1].method:
-                        mismatches += 1
-                stack.append(
-                    _OpenFrame(
-                        addr,
-                        self._resolve(addr, offset, cache),
-                        counter,
-                        call_site,
-                    )
-                )
-                continue
-            if stack and stack[-1].addr == addr:
-                close(stack.pop(), counter, truncated=False)
-            elif any(f.addr == addr for f in stack):
-                while stack[-1].addr != addr:
-                    close(stack.pop(), counter, truncated=True)
-                close(stack.pop(), counter, truncated=False)
-            else:
-                unmatched += 1
-        while stack:
-            close(stack.pop(), last_counter, truncated=True)
-        return records, unmatched, mismatches
+        """Column-input twin of :meth:`_reconstruct_shard` (kept as
+        the historical name; delegates to the oracle loop)."""
+        return reconstruct_python(
+            tid, kinds, counters, addrs, call_sites, offset, cache
+        )

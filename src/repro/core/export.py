@@ -259,6 +259,16 @@ def to_metrics(analysis, prefix="teeperf"):
             pipeline.shards_analyzed,
         )
         metric(
+            "shards_vectorised_total", "counter",
+            "Shards reconstructed by the vector engine's array passes.",
+            pipeline.shards_vectorised,
+        )
+        metric(
+            "shards_fallback_total", "counter",
+            "Anomalous shards that fell back to the sequential loop.",
+            pipeline.shards_fallback,
+        )
+        metric(
             "ingest_rate_entries_per_tick", "gauge",
             "Entries ingested per software-counter tick.",
             f"{pipeline.ingest_rate:.6f}",

@@ -13,6 +13,11 @@ of the analyzer; ours is bigger only because it writes the SVG itself.
 import html
 import zlib
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dep in-tree
+    _np = None
+
 
 class FlameGraph:
     """A renderable flame graph built from folded stacks."""
@@ -34,7 +39,41 @@ class FlameGraph:
 
     @classmethod
     def from_analysis(cls, analysis, title="TEE-Perf Flame Graph"):
+        columns = getattr(analysis, "columns", None)
+        if columns is not None and len(columns) and _np is not None:
+            return cls._from_columns(columns, title)
         return cls(analysis.folded(), title=title)
+
+    @classmethod
+    def _from_columns(cls, cols, title):
+        """Build the node tree straight from a columnar analysis.
+
+        The path table *is* the tree (parents precede children), so
+        each unique call path becomes one node in a single sweep and
+        the per-path exclusive ticks arrive via one scatter-add — no
+        path tuples, no record objects, no re-sorting of folded keys
+        (node children render sorted either way).
+        """
+        mask = cols.exclusive > 0
+        if not mask.any():
+            raise ValueError("empty profile: nothing to draw")
+        self = cls.__new__(cls)
+        self.title = title
+        self.palette = None
+        self.root = root = _Node("all")
+        methods = cols.methods
+        nodes = []
+        for parent, mid in cols.paths:
+            parent_node = nodes[parent] if parent >= 0 else root
+            nodes.append(parent_node.child(methods[mid]))
+        sums = _np.zeros(len(cols.paths), dtype=_np.int64)
+        _np.add.at(sums, cols.path_id[mask], cols.exclusive[mask])
+        for pid, ticks in enumerate(sums.tolist()):
+            if ticks > 0:
+                nodes[pid].self_ticks += ticks
+        root.finalise()
+        _prune_empty(root)
+        return self
 
     # ------------------------------------------------------------------
 
@@ -149,6 +188,18 @@ class _Node:
             lines.append(";".join(path) + f" {self.self_ticks}")
         for name in sorted(self.children):
             self.children[name].fold(path, lines)
+
+
+def _prune_empty(node):
+    """Drop zero-total subtrees (paths whose every invocation had no
+    exclusive time), matching the folded-dict construction exactly."""
+    node.children = {
+        name: child
+        for name, child in node.children.items()
+        if child.total > 0
+    }
+    for child in node.children.values():
+        _prune_empty(child)
 
 
 def _color(name):

@@ -169,6 +169,23 @@ class LogColumns:
                 out.append(col.tolist())
         return out
 
+    def as_arrays(self):
+        """The columns as numpy ``uint64`` arrays (converting
+        list-backed spans); the vector reconstruction engine's input
+        shape.  ``call_site`` stays ``None`` for v1 spans.  Raises
+        when numpy is unavailable — callers gate on the engine.
+        """
+        if _np is None:
+            raise LogFormatError("as_arrays() requires numpy")
+        out = []
+        for col in (self.kind, self.counter, self.addr, self.tid,
+                    self.call_site):
+            if col is None:
+                out.append(None)
+            else:
+                out.append(_np.asarray(col, dtype=_np.uint64))
+        return out
+
     def counter_bounds(self):
         """(min, max) counter value in the span; ``None`` when empty."""
         if not len(self.kind):

@@ -216,12 +216,14 @@ class TEEPerf:
     # ------------------------------------------------------------------
     # Stage 3: analyze
 
-    def analyze(self, log=None, jobs=1, chunk_size=None):
+    def analyze(self, log=None, jobs=1, chunk_size=None, engine="auto"):
         """Analyze the last recording (or an explicit log/path).
 
-        `jobs` widens the analyzer's per-thread shard pool; the
-        resulting ``analysis.pipeline`` carries the recorder's counters
-        (events dropped at record time) merged with the analyzer's.
+        `jobs` widens the analyzer's per-thread shard pool; `engine`
+        picks the reconstruction kernel (see
+        :meth:`~repro.core.analyzer.Analyzer.analyze`); the resulting
+        ``analysis.pipeline`` carries the recorder's counters (events
+        dropped at record time) merged with the analyzer's.
         """
         if self.program is None:
             if not self._instrumenter.program.functions:
@@ -232,7 +234,8 @@ class TEEPerf:
         stats = recorder.pipeline_stats() if recorder is not None else None
         analyzer = Analyzer(self.program.image, tick_ns=self._tick_ns())
         self._analysis = analyzer.analyze(
-            source, jobs=jobs, chunk_size=chunk_size, stats=stats
+            source, jobs=jobs, chunk_size=chunk_size, stats=stats,
+            engine=engine,
         )
         if self.monitor is not None and self._analysis.pipeline is not None:
             from repro.monitor import PipelineSampler

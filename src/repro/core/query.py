@@ -17,8 +17,23 @@ class QuerySession:
 
     def __init__(self, analysis):
         self.analysis = analysis
-        self.records = analysis.records_frame()
-        self.methods = analysis.methods_frame()
+        self._records_frame = None
+        self._methods_frame = None
+
+    @property
+    def records(self):
+        """The per-invocation frame (built on first use — canned
+        queries that touch only one frame pay for one)."""
+        if self._records_frame is None:
+            self._records_frame = self.analysis.records_frame()
+        return self._records_frame
+
+    @property
+    def methods(self):
+        """The per-method aggregate frame (built on first use)."""
+        if self._methods_frame is None:
+            self._methods_frame = self.analysis.methods_frame()
+        return self._methods_frame
 
     # ------------------------------------------------------------------
     # Canned queries from the paper's motivation

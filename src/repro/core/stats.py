@@ -58,6 +58,14 @@ class PipelineStats:
     cache_hits / cache_misses:
         Symbol-resolution LRU traffic (see
         :class:`repro.symbols.CachedResolver`).
+    shards_vectorised / shards_fallback:
+        Shards the vector engine reconstructed in whole-array passes
+        vs. shards whose anomalies (unmatched returns, cross-frame
+        closes, truncated tails) forced the sequential fallback.
+        Both stay 0 under ``engine="python"``.
+    engine:
+        The resolved reconstruction engine (``"vector"`` or
+        ``"python"``; ``""`` before analysis has run).
     """
 
     entries_recorded: int = 0
@@ -74,6 +82,9 @@ class PipelineStats:
     counter_span: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    shards_vectorised: int = 0
+    shards_fallback: int = 0
+    engine: str = ""
 
     # ------------------------------------------------------------------
     # Derived rates
@@ -104,7 +115,9 @@ class PipelineStats:
         wider/larger of the two.
         """
         for f in fields(self):
-            if f.name in ("jobs", "chunk_size", "writer_block"):
+            if f.name == "engine":
+                self.engine = self.engine or other.engine
+            elif f.name in ("jobs", "chunk_size", "writer_block"):
                 setattr(
                     self, f.name, max(getattr(self, f.name), getattr(other, f.name))
                 )
@@ -153,7 +166,10 @@ class PipelineStats:
             f"  chunks processed:  {self.chunks_processed}"
             + (f"   ({self.chunk_size} entries/chunk)" if self.chunk_size else ""),
             f"  shards analyzed:   {self.shards_analyzed}"
-            f"   (jobs={self.jobs})",
+            f"   (jobs={self.jobs})"
+            + (f" (engine={self.engine})" if self.engine else ""),
+            f"  shards vectorised: {self.shards_vectorised}"
+            f"   ({self.shards_fallback} fell back)",
             f"  ingest rate:       {self.ingest_rate:.3f} entries/tick",
             f"  symbol cache:      {100 * self.cache_hit_rate:.1f}% hits "
             f"({self.cache_hits} hits, {self.cache_misses} misses)",

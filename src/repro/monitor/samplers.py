@@ -194,10 +194,18 @@ class PipelineSampler(Sampler):
              "Calls closed at the thread's last observed counter."),
             ("chunks_processed", "Fixed-size ingestion chunks decoded."),
             ("shards_analyzed", "Per-thread shards reconstructed."),
+            ("shards_vectorised",
+             "Shards reconstructed by the vector engine's array passes."),
+            ("shards_fallback",
+             "Anomalous shards that fell back to the sequential loop."),
         ):
             registry.counter(
                 f"pipeline_{field}_total", help_text
             ).set_total(getattr(stats, field))
+        registry.gauge(
+            "pipeline_vectorised",
+            "1 when the resolved reconstruction engine is 'vector'.",
+        ).set(1 if stats.engine == "vector" else 0)
         registry.gauge(
             "pipeline_cache_hit_rate",
             "Fraction of symbol resolutions served from the LRU.",

@@ -1,0 +1,341 @@
+"""The vectorised reconstruction engine vs the sequential oracle.
+
+The contract under test: whatever the engine, jobs count or transport
+(in-process threads, packed-shard process pool), ``Analyzer.analyze``
+produces field-for-field identical profiles — and the vector engine
+only keeps a shard when its whole-array pairing is provably the
+oracle's replay, falling back transparently otherwise.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Analyzer,
+    AnalyzerError,
+    KIND_CALL,
+    KIND_RET,
+    PipelineStats,
+    QuerySession,
+    RecordColumns,
+    SharedLog,
+    to_json,
+    to_metrics,
+)
+from repro.core.reconstruct import pack_shard, unpack_shard
+from repro.monitor import MetricRegistry, PipelineSampler
+
+FUNCTIONS = ("main", "work", "leaf", "spin", "idle")
+
+
+@pytest.fixture
+def image():
+    from repro.symbols import BinaryImage
+
+    img = BinaryImage("app")
+    for name in FUNCTIONS:
+        img.add_function(name, size=64)
+    return img
+
+
+def build_log(image, events):
+    log = SharedLog.create(
+        max(len(events), 1) + 8, profiler_addr=image.profiler_addr
+    )
+    for kind, fn_index, counter, tid in events:
+        addr = image.symtab.by_name(FUNCTIONS[fn_index]).addr
+        log.append(kind, counter, addr, tid)
+    return log
+
+
+def assert_identical(image, events):
+    analyzer = Analyzer(image)
+    log = build_log(image, events)
+    vector = analyzer.analyze(log, engine="vector")
+    python = analyzer.analyze(log, engine="python")
+    assert vector.records == python.records
+    assert vector.unmatched_returns == python.unmatched_returns
+    assert vector.meta == python.meta
+    assert vector.folded() == python.folded()
+    assert vector.threads() == python.threads()
+    assert (
+        list(vector.records_frame().rows())
+        == list(python.records_frame().rows())
+    )
+    assert [
+        (s.method, s.calls, s.inclusive, s.exclusive, s.min_inclusive,
+         s.max_inclusive, s.threads)
+        for s in vector.methods()
+    ] == [
+        (s.method, s.calls, s.inclusive, s.exclusive, s.min_inclusive,
+         s.max_inclusive, s.threads)
+        for s in python.methods()
+    ]
+    return vector, python
+
+
+# ----------------------------------------------------------------------
+# The differential property
+
+
+# Arbitrary event soup: unmatched returns, interleaved (cross-frame)
+# closes, truncated tails and dropped-event gaps all arise naturally
+# from unconstrained kind/function choices.
+event_soup = st.lists(
+    st.tuples(
+        st.sampled_from([KIND_CALL, KIND_RET]),
+        st.integers(0, len(FUNCTIONS) - 1),
+        st.integers(1, 2),  # tids
+    ),
+    max_size=60,
+)
+
+
+@settings(deadline=None, max_examples=120)
+@given(event_soup)
+def test_vector_matches_oracle_on_anomalous_shards(ops):
+    from repro.symbols import BinaryImage
+
+    img = BinaryImage("app")
+    for name in FUNCTIONS:
+        img.add_function(name, size=64)
+    events = [
+        (kind, fn, 10 * i, tid) for i, (kind, fn, tid) in enumerate(ops)
+    ]
+    assert_identical(img, events)
+
+
+# Guided walks: mostly clean nesting so the vector path itself (not
+# just its fallback) is exercised, with occasional injected anomalies.
+guided_walk = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, len(FUNCTIONS) - 1)),
+    max_size=80,
+)
+
+
+@settings(deadline=None, max_examples=120)
+@given(guided_walk, st.booleans())
+def test_vector_matches_oracle_on_guided_walks(walk, close_all):
+    from repro.symbols import BinaryImage
+
+    img = BinaryImage("app")
+    for name in FUNCTIONS:
+        img.add_function(name, size=64)
+    events = []
+    stack = []
+    counter = 0
+    for action, fn in walk:
+        counter += 10
+        if action <= 4 and len(stack) < 8:
+            stack.append(fn)
+            events.append((KIND_CALL, fn, counter, 1))
+        elif action <= 7 and stack:
+            events.append((KIND_RET, stack.pop(), counter, 1))
+        elif action == 8 and stack:
+            # Cross-frame close: return to the bottom of the stack.
+            events.append((KIND_RET, stack[0], counter, 1))
+            stack = []
+        else:
+            # Unmatched return (or a no-op when the stack is empty).
+            events.append((KIND_RET, fn, counter, 1))
+    if close_all:
+        while stack:
+            counter += 10
+            events.append((KIND_RET, stack.pop(), counter, 1))
+    assert_identical(img, events)
+
+
+def test_clean_shards_take_the_vector_path(image):
+    events = [
+        (KIND_CALL, 0, 0, 1),
+        (KIND_CALL, 1, 10, 1),
+        (KIND_RET, 1, 30, 1),
+        (KIND_CALL, 1, 40, 1),
+        (KIND_CALL, 2, 50, 1),
+        (KIND_RET, 2, 60, 1),
+        (KIND_RET, 1, 70, 1),
+        (KIND_RET, 0, 100, 1),
+    ]
+    vector, python = assert_identical(image, events)
+    assert vector.pipeline.engine == "vector"
+    assert vector.pipeline.shards_vectorised == 1
+    assert vector.pipeline.shards_fallback == 0
+    assert python.pipeline.engine == "python"
+    assert python.pipeline.shards_vectorised == 0
+
+
+def test_anomalous_shards_fall_back(image):
+    events = [
+        (KIND_RET, 2, 5, 1),  # unmatched
+        (KIND_CALL, 0, 10, 1),
+        (KIND_RET, 0, 20, 1),
+        (KIND_CALL, 1, 0, 2),  # truncated tail on tid 2
+    ]
+    vector, _ = assert_identical(image, events)
+    assert vector.pipeline.shards_vectorised == 0
+    assert vector.pipeline.shards_fallback == 2
+    # Fallback shards still merge into a columnar analysis.
+    assert isinstance(vector.columns, RecordColumns)
+
+
+def test_engine_python_forces_the_sequential_loop(image):
+    events = [(KIND_CALL, 0, 0, 1), (KIND_RET, 0, 50, 1)]
+    analyzer = Analyzer(image)
+    analysis = analyzer.analyze(build_log(image, events), engine="python")
+    assert analysis.pipeline.engine == "python"
+    assert analysis.pipeline.shards_vectorised == 0
+    assert analysis.pipeline.shards_fallback == 0
+    # The python engine keeps the record-list representation.
+    assert analysis.columns is None
+    assert analysis.records[0].method == "main"
+
+
+def test_unknown_engine_rejected(image):
+    analyzer = Analyzer(image)
+    with pytest.raises(AnalyzerError):
+        analyzer.analyze(build_log(image, []), engine="simd")
+
+
+# ----------------------------------------------------------------------
+# The columnar record set
+
+
+def test_record_columns_lazy_materialisation(image):
+    events = [
+        (KIND_CALL, 0, 0, 1),
+        (KIND_CALL, 1, 10, 1),
+        (KIND_RET, 1, 30, 1),
+        (KIND_RET, 0, 100, 1),
+    ]
+    analysis = Analyzer(image).analyze(build_log(image, events))
+    assert analysis.columns is not None
+    assert analysis._records is None
+    # Bulk consumers never materialise records...
+    analysis.folded()
+    analysis.records_frame()
+    analysis.methods()
+    assert analysis.threads() == [1]
+    assert analysis._records is None
+    # ...and the lazy property builds (and caches) them on demand.
+    records = analysis.records
+    assert [r.method for r in records] == ["work", "main"]
+    assert analysis.records is records
+
+
+def test_path_tuples_are_interned(image):
+    # The same call path, entered many times, on both engines.
+    events = []
+    for i in range(4):
+        base = 100 * i
+        events += [
+            (KIND_CALL, 0, base, 1),
+            (KIND_CALL, 1, base + 10, 1),
+            (KIND_RET, 1, base + 20, 1),
+            (KIND_RET, 0, base + 30, 1),
+        ]
+    analyzer = Analyzer(image)
+    for engine in ("vector", "python"):
+        analysis = analyzer.analyze(build_log(image, events), engine=engine)
+        inner = [r for r in analysis.records if r.method == "work"]
+        assert len(inner) == 4
+        first = inner[0].path
+        assert first == ("main", "work")
+        for record in inner[1:]:
+            assert record.path is first, engine
+
+
+def test_pack_unpack_shard_roundtrip():
+    np = pytest.importorskip("numpy")
+    kinds = np.array([0, 0, 1, 1], dtype=np.uint64)
+    counters = np.array([5, 10, 20, 40], dtype=np.uint64)
+    addrs = np.array([7, 8, 8, 7], dtype=np.uint64)
+    sites = np.array([0, 7, 0, 0], dtype=np.uint64)
+    tid, k, c, a, s = unpack_shard(
+        pack_shard(42, kinds, counters, addrs, sites)
+    )
+    assert tid == 42
+    assert k.tolist() == kinds.tolist()
+    assert c.tolist() == counters.tolist()
+    assert a.tolist() == addrs.tolist()
+    assert s.tolist() == sites.tolist()
+    tid, k, c, a, s = unpack_shard(
+        pack_shard(7, kinds, counters, addrs, None)
+    )
+    assert tid == 7 and s is None
+
+
+def test_process_pool_path_matches(image, monkeypatch):
+    # Force the pool for a small log by dropping the entry threshold.
+    monkeypatch.setattr(
+        "repro.core.analyzer.PROCESS_POOL_MIN_ENTRIES", 1
+    )
+    events = []
+    for tid in (1, 2, 3):
+        for i in range(3):
+            base = 100 * i + tid
+            events += [
+                (KIND_CALL, 0, base, tid),
+                (KIND_CALL, 1, base + 10, tid),
+                (KIND_RET, 1, base + 20, tid),
+                (KIND_RET, 0, base + 30, tid),
+            ]
+    analyzer = Analyzer(image)
+    log = build_log(image, events)
+    serial = analyzer.analyze(log, engine="vector")
+    for engine in ("vector", "python"):
+        pooled = analyzer.analyze(log, jobs=4, engine=engine)
+        assert pooled.records == serial.records
+        assert pooled.unmatched_returns == serial.unmatched_returns
+        assert pooled.meta == serial.meta
+        # Workers report their private cache traffic back.
+        assert (
+            pooled.pipeline.cache_hits + pooled.pipeline.cache_misses > 0
+        )
+
+
+# ----------------------------------------------------------------------
+# Observability: the new counters travel everywhere stats do
+
+
+def test_engine_counters_exported(image):
+    events = [(KIND_CALL, 0, 0, 1), (KIND_RET, 0, 50, 1)]
+    analysis = Analyzer(image).analyze(
+        build_log(image, events), engine="vector"
+    )
+    stats = analysis.pipeline
+
+    payload = json.loads(to_json(analysis))["pipeline"]
+    assert payload["engine"] == "vector"
+    assert payload["shards_vectorised"] == 1
+    assert payload["shards_fallback"] == 0
+    assert PipelineStats.from_dict(payload) == stats
+
+    metrics = to_metrics(analysis)
+    assert "teeperf_shards_vectorised_total 1" in metrics
+    assert "teeperf_shards_fallback_total 0" in metrics
+
+    report = stats.report()
+    assert "(engine=vector)" in report
+    assert "shards vectorised: 1" in report
+
+    registry = MetricRegistry()
+    PipelineSampler(stats).sample(registry)
+    assert registry.value("pipeline_shards_vectorised_total") == 1
+    assert registry.value("pipeline_shards_fallback_total") == 0
+    assert registry.value("pipeline_vectorised") == 1
+
+
+def test_query_session_frames_are_lazy(image):
+    events = [(KIND_CALL, 0, 0, 1), (KIND_RET, 0, 50, 1)]
+    analysis = Analyzer(image).analyze(build_log(image, events))
+    session = QuerySession(analysis)
+    assert session._records_frame is None
+    assert session._methods_frame is None
+    session.hottest(1)  # touches only the methods frame
+    assert session._records_frame is None
+    assert session._methods_frame is not None
+    assert len(session.records) == 1  # now the records frame builds
+    assert session._records_frame is not None
