@@ -13,7 +13,8 @@ compares what each profiler reports against the ground truth (50/50):
 
 import pytest
 
-from repro.core import Instrumenter, TEEPerf, symbol
+from repro.api import TEEPerf
+from repro.core import Instrumenter, symbol
 from repro.fex import ResultTable
 from repro.machine import Machine
 from repro.perfsim import PerfSim

@@ -11,7 +11,8 @@ dynamically disabled — reporting events logged, log bytes and runtime.
 
 import pytest
 
-from repro.core import ENTRY_SIZE, TEEPerf
+from repro.api import TEEPerf
+from repro.core import ENTRY_SIZE
 from repro.fex import ResultTable
 from repro.machine import Machine
 from repro.phoenix import StringMatch

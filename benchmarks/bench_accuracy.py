@@ -10,7 +10,8 @@ profiler's per-method share of runtime against the truth.
 
 import pytest
 
-from repro.core import Instrumenter, TEEPerf, symbol
+from repro.api import TEEPerf
+from repro.core import Instrumenter, symbol
 from repro.fex import ResultTable
 from repro.machine import Machine
 from repro.perfsim import PerfSim

@@ -41,7 +41,8 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
     if _src.is_dir() and str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
-from repro.core import Analyzer, KIND_CALL, KIND_RET, LogStream, SharedLog
+from repro.api import Analyzer, SharedLog
+from repro.core import KIND_CALL, KIND_RET, LogStream
 from repro.symbols import BinaryImage
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"

@@ -12,7 +12,8 @@ ground truth.
 
 import pytest
 
-from repro.core import TEEPerf, symbol
+from repro.api import TEEPerf
+from repro.core import symbol
 from repro.core.counter import VirtualCounter
 from repro.core.recorder import Recorder
 from repro.fex import ResultTable

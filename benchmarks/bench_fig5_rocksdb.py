@@ -10,7 +10,7 @@ graph (SVG + folded stacks), and asserts the paper's finding: the run
 
 import pytest
 
-from repro.core import FlameGraph
+from repro.api import FlameGraph
 from repro.kvstore import DB, DbBench
 from repro.kvstore.profiled import profile_db_bench
 from repro.machine import Machine

@@ -10,7 +10,7 @@ after the optimisation.
 
 import pytest
 
-from repro.core import FlameGraph
+from repro.api import FlameGraph
 from repro.fex import ResultTable
 from repro.spdk import profile_spdk_perf
 

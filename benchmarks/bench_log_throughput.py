@@ -35,7 +35,8 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
     if _src.is_dir() and str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
-from repro.core import KIND_CALL, KIND_RET, SharedLog, ThreadLogWriter
+from repro.api import SharedLog
+from repro.core import KIND_CALL, KIND_RET, ThreadLogWriter
 from repro.core.log import (
     COUNTER_MASK,
     ENTRY_SIZE_V2,

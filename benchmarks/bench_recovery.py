@@ -1,0 +1,246 @@
+"""Crash-recovery benchmark: the fault matrix and salvage throughput.
+
+Three measurements, mirroring docs/log-format.md's recovery contract:
+
+* **fault matrix** — a :class:`~repro.faults.CrashingWriter` dies at
+  every commit phase and at a sweep of crash points; recovery must
+  bring back **100%** of the CRC-sealed segments every single time
+  (the hard floor this benchmark exits non-zero on);
+* **salvage throughput** — MB/s through :func:`recover_log` for a
+  truncated sealed image and a flipped-byte image (CRC sweep cost
+  included), so regressions in the salvage path are visible;
+* **sealing overhead** — batched write path with and without the CRC
+  seal journal; sealed recording must keep at least
+  :data:`SEAL_FLOOR` of the unsealed throughput.
+
+Results land in ``benchmarks/out/BENCH_recovery.json``; CI runs
+``--quick`` as the recovery-smoke job.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    _src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.api import SharedLog, recover_log
+from repro.core import KIND_CALL, ThreadLogWriter
+from repro.core.log import HEADER_SIZE
+from repro.faults import CRASH_PHASES, CrashingWriter, FaultInjector, \
+    InjectedCrash, crashed_snapshot
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Hard floor: fraction of sealed segments recovered across the whole
+#: fault matrix.  This is the paper-level promise — a committed,
+#: CRC-verified block survives any crash — so the floor is 1.0.
+MATRIX_FLOOR = 1.0
+
+#: Sealed recording must retain at least this fraction of the
+#: unsealed batched write throughput (CRC32 per committed block).
+SEAL_FLOOR = 0.5
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_fault_matrix(block, crash_points):
+    """Every phase x every crash point: recovered/sealed must be 1.0."""
+    runs = 0
+    segments_sealed = segments_recovered = 0
+    quarantined_reported = quarantined_counted = 0
+    for phase in CRASH_PHASES:
+        for crash_flush in range(1, crash_points + 1):
+            capacity = block * (crash_points + 2)
+            log = SharedLog.create(capacity, sealed=True)
+            writer = CrashingWriter(
+                log, block=block, phase=phase, crash_flush=crash_flush
+            )
+            try:
+                for i in range(block * (crash_points + 1)):
+                    writer.append(KIND_CALL, i, 0x400000, 1)
+                writer.flush()
+            except InjectedCrash:
+                pass
+            assert writer.crashed
+            _, report = recover_log(crashed_snapshot(log))
+            runs += 1
+            segments_sealed += report.segments_sealed
+            segments_recovered += report.segments_recovered
+            quarantined_reported += len(report.quarantined)
+            quarantined_counted += report.entries_quarantined
+            if report.entries_quarantined != sum(
+                q.count for q in report.quarantined
+            ):
+                raise AssertionError(
+                    f"silent drop at phase={phase} flush={crash_flush}"
+                )
+    return {
+        "crash_runs": runs,
+        "phases": list(CRASH_PHASES),
+        "segments_sealed": segments_sealed,
+        "segments_recovered": segments_recovered,
+        "recovered_fraction": (
+            segments_recovered / segments_sealed if segments_sealed else 1.0
+        ),
+        "entries_quarantined": quarantined_counted,
+        "quarantined_ranges": quarantined_reported,
+        "floor": MATRIX_FLOOR,
+    }
+
+
+def _sealed_image(n_entries, block):
+    log = SharedLog.create(n_entries, sealed=True)
+    with ThreadLogWriter(log, block=block) as writer:
+        for i in range(n_entries):
+            writer.append(KIND_CALL, i, 0x400000 + i, 1 + i % 4)
+    log._store_tail()
+    log.seal_remainder()
+    return log.to_bytes(), log.entry_size
+
+
+def bench_salvage(n_entries, block, repeats):
+    """MB/s through recover_log for truncated and flipped images."""
+    data, entry_size = _sealed_image(n_entries, block)
+    truncated = data[: HEADER_SIZE + (n_entries * 3 // 4) * entry_size + 5]
+    flipped, _ = FaultInjector(7).flip(data, n=8, lo=HEADER_SIZE)
+
+    results = {}
+    for name, image in (("truncated", truncated), ("flipped", flipped)):
+        sink = []
+
+        def salvage(image=image):
+            sink.append(recover_log(image)[1])
+
+        elapsed = _best_of(salvage, repeats)
+        report = sink[-1]
+        results[name] = {
+            "image_bytes": len(image),
+            "mb_per_sec": len(image) / elapsed / 1e6,
+            "entries_salvaged": report.entries_salvaged,
+            "entries_quarantined": report.entries_quarantined,
+            "crc_failures": report.crc_failures,
+            "salvaged_fraction": report.entries_salvaged / n_entries,
+        }
+    return results
+
+
+def bench_seal_overhead(n_events, repeats):
+    """events/sec, batched writer: sealed vs unsealed recording."""
+
+    def run(sealed):
+        def body():
+            log = SharedLog.create(n_events, sealed=sealed)
+            with ThreadLogWriter(log) as writer:
+                append = writer.append
+                for i in range(n_events):
+                    append(KIND_CALL, i, 0x400000, 7)
+            log._store_tail()
+            if sealed:
+                log.seal_remainder()
+
+        return body
+
+    t_plain = _best_of(run(False), repeats)
+    t_sealed = _best_of(run(True), repeats)
+    return {
+        "events": n_events,
+        "unsealed_events_per_sec": n_events / t_plain,
+        "sealed_events_per_sec": n_events / t_sealed,
+        "retained_fraction": t_plain / t_sealed,
+        "floor": SEAL_FLOOR,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Crash-recovery fault matrix and salvage benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: fewer entries, fewer repeats",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        crash_points, salvage_entries, write_events, repeats = 4, 65_536, 50_000, 3
+    else:
+        crash_points, salvage_entries, write_events, repeats = 8, 262_144, 200_000, 5
+
+    matrix = bench_fault_matrix(block=16, crash_points=crash_points)
+    salvage = bench_salvage(salvage_entries, block=256, repeats=repeats)
+    overhead = bench_seal_overhead(write_events, repeats)
+
+    payload = {
+        "benchmark": "recovery",
+        "quick": args.quick,
+        "fault_matrix": matrix,
+        "salvage": salvage,
+        "seal_overhead": overhead,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    out = OUT_DIR / "BENCH_recovery.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"matrix : {matrix['crash_runs']} crashes, "
+        f"{matrix['segments_recovered']}/{matrix['segments_sealed']} "
+        f"sealed segments recovered "
+        f"({matrix['recovered_fraction']:.0%}, floor "
+        f"{MATRIX_FLOOR:.0%})"
+    )
+    for name, row in salvage.items():
+        print(
+            f"salvage: {name:<9} {row['mb_per_sec']:>8.1f} MB/s, "
+            f"{row['entries_salvaged']:,} salvaged / "
+            f"{row['entries_quarantined']:,} quarantined "
+            f"({row['crc_failures']} CRC failures)"
+        )
+    print(
+        f"sealing: {overhead['unsealed_events_per_sec']:>12,.0f} ev/s "
+        f"unsealed vs {overhead['sealed_events_per_sec']:>12,.0f} "
+        f"sealed -> {overhead['retained_fraction']:.2f}x retained "
+        f"(floor {SEAL_FLOOR}x)"
+    )
+    print(f"wrote {out}")
+
+    failed = []
+    if matrix["recovered_fraction"] < MATRIX_FLOOR:
+        failed.append(
+            f"fault matrix recovered "
+            f"{matrix['recovered_fraction']:.2%} < {MATRIX_FLOOR:.0%}"
+        )
+    if overhead["retained_fraction"] < SEAL_FLOOR:
+        failed.append(
+            f"sealed write path retained "
+            f"{overhead['retained_fraction']:.2f}x < {SEAL_FLOOR}x"
+        )
+    if failed:
+        for reason in failed:
+            print(f"FLOOR MISSED: {reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_fault_matrix_floor():
+    """The in-tree quick run: the 100% floor enforced under pytest too,
+    and the JSON artifact refreshed."""
+    assert main(["--quick"]) == 0
+    payload = json.loads((OUT_DIR / "BENCH_recovery.json").read_text())
+    assert payload["fault_matrix"]["recovered_fraction"] == 1.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,8 @@ the contention hides (a method whose worst invocation dwarfs its mean).
 Run:  python examples/query_interface.py
 """
 
-from repro.core import TEEPerf, symbol
+from repro.api import TEEPerf
+from repro.core import symbol
 from repro.machine import SimLock
 from repro.tee import SGX_V1
 

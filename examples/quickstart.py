@@ -17,7 +17,7 @@ import pathlib
 import sys
 import threading
 
-from repro.core import TEEPerf
+from repro.api import TEEPerf
 
 THIS_MODULE = sys.modules[__name__]
 OUT = pathlib.Path(__file__).parent / "out"

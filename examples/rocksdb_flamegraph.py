@@ -13,7 +13,8 @@ Run:  python examples/rocksdb_flamegraph.py
 
 import pathlib
 
-from repro.core import FlameGraph, QuerySession
+from repro.api import FlameGraph
+from repro.core import QuerySession
 from repro.kvstore.profiled import profile_db_bench
 from repro.tee import SGX_V1
 

@@ -16,7 +16,8 @@ Run:  python examples/spdk_optimization.py
 
 import pathlib
 
-from repro.core import AnalysisDiff, FlameGraph
+from repro.api import FlameGraph
+from repro.core import AnalysisDiff
 from repro.spdk import profile_spdk_perf, run_spdk_perf
 from repro.tee import NATIVE, SGX_V1
 

@@ -9,6 +9,16 @@ TrustZone, SEV, Keystone), a Linux-perf-style sampling baseline, the
 Phoenix 2.0 workloads, an LSM key-value store with a db_bench driver,
 and a user-space NVMe (SPDK-style) storage stack.
 
+The supported entry point is :mod:`repro.api` (see docs/api.md)::
+
+    from repro.api import TEEPerf
+
+    perf = TEEPerf.simulated(cores=8)
+
+The headline names are also reachable straight off the package —
+``repro.TEEPerf``, ``repro.Analyzer`` — loaded lazily so that
+``import repro`` stays cheap.
+
 The four paper stages map to::
 
     repro.core.instrument   # stage 1: the "compiler" pass
@@ -20,6 +30,39 @@ with :class:`repro.core.profiler.TEEPerf` as the facade tying them
 together.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+#: Names served lazily from :mod:`repro.api` (PEP 562).
+_API_NAMES = (
+    "Analysis",
+    "AnalyzeOptions",
+    "Analyzer",
+    "FlameGraph",
+    "LiveRecorder",
+    "Profiler",
+    "RecordOptions",
+    "Recorder",
+    "RecoveryReport",
+    "SharedLog",
+    "TEEPerf",
+    "open_log",
+    "recover_log",
+    "run_teeperf",
+)
+
+__all__ = ["__version__", "api", *_API_NAMES]
+
+
+def __getattr__(name):
+    if name == "api" or name in _API_NAMES:
+        import importlib
+
+        api = importlib.import_module("repro.api")
+        return api if name == "api" else getattr(api, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,89 @@
+"""The public API of the TEE-Perf reproduction, in one place.
+
+Everything a user of the profiler needs sits behind this module::
+
+    from repro.api import TEEPerf, AnalyzeOptions
+
+    perf = TEEPerf.simulated(cores=8)
+    perf.compile_instance(workload)
+    perf.record(workload.run)
+    print(perf.analyze(options=AnalyzeOptions(jobs=4)).report())
+
+The facade is a *names* contract, not a new layer: every symbol here
+is the same object as its home module's, so isinstance checks and
+monkeypatching keep working.  The home modules remain importable —
+``repro.core.analyzer.Analyzer`` is fine forever — but the package
+re-exports (``from repro.core import TEEPerf``) are deprecated in
+favour of this module and emit :class:`DeprecationWarning`.
+
+What belongs here:
+
+* the four-stage pipeline — :class:`TEEPerf` (alias
+  :data:`Profiler`), :class:`Recorder`, :class:`LiveRecorder`,
+  :class:`Analyzer`, :class:`Analysis`, :class:`FlameGraph`,
+  :class:`QuerySession`;
+* the log and its persistence — :class:`SharedLog`,
+  :func:`open_log`;
+* crash recovery — :func:`recover_log`, :func:`repair_tails`,
+  :class:`RecoveryReport`, :class:`QuarantinedRange`;
+* configuration — :class:`RecordOptions`, :class:`AnalyzeOptions`;
+* instrumentation markers — :func:`symbol`, :func:`no_instrument`;
+* counters and errors — :class:`PipelineStats` and the exception
+  hierarchy rooted at :class:`TEEPerfError`;
+* the evaluation driver — :func:`run_teeperf`.
+"""
+
+from repro.core.analyzer import Analysis, Analyzer
+from repro.core.errors import (
+    AnalyzerError,
+    LogFormatError,
+    RecorderError,
+    RecoveryError,
+    TEEPerfError,
+)
+from repro.core.flamegraph import FlameGraph
+from repro.core.instrument import no_instrument, symbol
+from repro.core.log import SharedLog, open_log
+from repro.core.options import AnalyzeOptions, RecordOptions
+from repro.core.profiler import TEEPerf
+from repro.core.query import QuerySession
+from repro.core.recorder import LiveRecorder, Recorder
+from repro.core.recovery import (
+    QuarantinedRange,
+    RecoveryReport,
+    recover_log,
+    repair_tails,
+)
+from repro.core.stats import PipelineStats
+from repro.phoenix.runner import run_teeperf
+
+#: The profiler facade under its generic name.
+Profiler = TEEPerf
+
+__all__ = [
+    "Analysis",
+    "AnalyzeOptions",
+    "Analyzer",
+    "AnalyzerError",
+    "FlameGraph",
+    "LiveRecorder",
+    "LogFormatError",
+    "PipelineStats",
+    "Profiler",
+    "QuarantinedRange",
+    "QuerySession",
+    "RecordOptions",
+    "Recorder",
+    "RecorderError",
+    "RecoveryError",
+    "RecoveryReport",
+    "SharedLog",
+    "TEEPerf",
+    "TEEPerfError",
+    "no_instrument",
+    "open_log",
+    "recover_log",
+    "repair_tails",
+    "run_teeperf",
+    "symbol",
+]

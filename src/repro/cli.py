@@ -3,6 +3,7 @@
 Offline utilities around the log format and the visualizer::
 
     tee-perf inspect <run.teeperf>          # header + entry statistics
+    tee-perf recover <run.teeperf> -o salvaged.teeperf
     tee-perf flamegraph <stacks.folded> -o out.svg
     tee-perf demo [--platform sgx-v1] [-o DIR]
 
@@ -26,20 +27,27 @@ import threading
 import time
 from collections import Counter
 
-from repro.core import (
-    AnalysisDiff,
-    Analyzer,
-    FlameGraph,
-    TEEPerf,
-    open_log,
-    symbol,
+from repro.core.analyzer import Analyzer
+from repro.core.diff import AnalysisDiff
+from repro.core.errors import LogFormatError, RecoveryError
+from repro.core.export import (
     to_callgrind,
     to_gprof,
     to_json,
     to_metrics,
     to_speedscope,
 )
-from repro.core.log import KIND_CALL, LogStream
+from repro.core.flamegraph import FlameGraph
+from repro.core.instrument import symbol
+from repro.core.log import KIND_CALL, LogStream, open_log
+from repro.core.options import (
+    add_analyze_arguments,
+    add_record_arguments,
+    analyze_options_from_args,
+    record_options_from_args,
+)
+from repro.core.profiler import TEEPerf
+from repro.core.recovery import recover_log
 from repro.symbols import BinaryImage
 from repro.tee import platform_by_name
 
@@ -92,10 +100,15 @@ def cmd_analyze(args):
             file=sys.stderr,
         )
         return 1
-    analysis = Analyzer(image).analyze(
-        args.log, jobs=args.jobs, chunk_size=args.chunk_size,
-        engine=args.engine,
-    )
+    try:
+        analysis = Analyzer(image).analyze(
+            args.log, options=analyze_options_from_args(args)
+        )
+    except RecoveryError as exc:
+        print(f"strict recovery refused the log: {exc}", file=sys.stderr)
+        if exc.report is not None:
+            print(exc.report.report(), file=sys.stderr)
+        return 1
     if args.format == "report":
         print(analysis.report(top=args.top))
     elif args.format == "gprof":
@@ -113,6 +126,31 @@ def cmd_analyze(args):
     if args.stats:
         print()
         print(analysis.pipeline.report())
+    if analysis.recovery is not None and not analysis.recovery.ok:
+        # stderr: --format metrics/folded/json stdout must stay parseable.
+        print(analysis.recovery.report(), file=sys.stderr)
+    return 0
+
+
+def cmd_recover(args):
+    """Salvage a damaged log into a clean one, with a full report."""
+    try:
+        salvaged, report = recover_log(args.log, repair=args.repair_tails)
+    except LogFormatError as exc:
+        print(f"cannot recover: {exc}", file=sys.stderr)
+        return 1
+    output = args.output or f"{args.log}.recovered"
+    salvaged.dump(output)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.report())
+        print(f"\nwrote {output} ({len(salvaged)} entries)")
+    if args.strict and not report.ok:
+        print("recover --strict: log was damaged", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -190,7 +228,8 @@ class _DemoApp:
 def cmd_demo(args):
     platform = platform_by_name(args.platform)
     perf = TEEPerf.simulated(
-        platform=platform, name="demo", writer_block=args.writer_block
+        platform=platform, name="demo",
+        record=record_options_from_args(args),
     )
     app = _DemoApp(perf.env)
     perf.compile_instance(app)
@@ -255,10 +294,9 @@ def cmd_monitor(args):
 
     perf = TEEPerf.simulated(
         platform=platform,
-        capacity=args.capacity,
         name=workload_cls.NAME,
         monitor=monitor,
-        writer_block=args.writer_block,
+        record=record_options_from_args(args),
     )
     workload = workload_cls(perf.machine, perf.env, **params)
     perf.compile_instance(workload)
@@ -342,31 +380,39 @@ def build_parser():
         default="report",
     )
     analyze.add_argument("--top", type=int, default=20)
-    analyze.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker-pool width for per-thread shard analysis",
-    )
-    analyze.add_argument(
-        "--chunk-size",
-        type=int,
-        default=None,
-        help="entries decoded per ingestion chunk (default 8192)",
-    )
-    analyze.add_argument(
-        "--engine",
-        choices=["auto", "vector", "python"],
-        default="auto",
-        help="stack-reconstruction kernel: vectorised numpy passes, "
-        "the sequential loop, or auto (vector when numpy is present)",
-    )
+    add_analyze_arguments(analyze)
     analyze.add_argument(
         "--stats",
         action="store_true",
         help="print the pipeline counters after the output",
     )
     analyze.set_defaults(fn=cmd_analyze)
+
+    recover = sub.add_parser(
+        "recover", help="salvage a damaged or truncated log"
+    )
+    recover.add_argument("log", help="path to a damaged .teeperf log")
+    recover.add_argument(
+        "-o", "--output",
+        help="where to write the salvaged log "
+        "(default: <log>.recovered)",
+    )
+    recover.add_argument(
+        "--repair-tails",
+        action="store_true",
+        help="balance unmatched CALL/RET tails in the salvaged log",
+    )
+    recover.add_argument(
+        "--json",
+        action="store_true",
+        help="print the salvage report as JSON instead of text",
+    )
+    recover.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when anything was quarantined",
+    )
+    recover.set_defaults(fn=cmd_recover)
 
     diff = sub.add_parser(
         "diff", help="compare two runs (before vs after a change)"
@@ -391,12 +437,7 @@ def build_parser():
     demo = sub.add_parser("demo", help="run a small simulated profile")
     demo.add_argument("--platform", default="sgx-v1")
     demo.add_argument("-o", "--output", default="tee-perf-demo")
-    demo.add_argument(
-        "--writer-block",
-        type=int,
-        default=0,
-        help="per-thread batched-writer block size (0 = per-event)",
-    )
+    add_record_arguments(demo)
     demo.set_defaults(fn=cmd_demo)
 
     mon = sub.add_parser(
@@ -425,12 +466,6 @@ def build_parser():
         "--rules", help="alert-rules file (see docs/monitoring.md)"
     )
     mon.add_argument(
-        "--capacity",
-        type=int,
-        default=1 << 20,
-        help="shared-log capacity in entries",
-    )
-    mon.add_argument(
         "--duration",
         type=float,
         default=0.0,
@@ -447,12 +482,7 @@ def build_parser():
         metavar="KEY=INT",
         help="workload constructor parameter (repeatable)",
     )
-    mon.add_argument(
-        "--writer-block",
-        type=int,
-        default=0,
-        help="per-thread batched-writer block size (0 = per-event)",
-    )
+    add_record_arguments(mon)
     mon.set_defaults(fn=cmd_monitor)
 
     return parser

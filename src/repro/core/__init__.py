@@ -8,10 +8,17 @@
   offline analyzer and its declarative query interface;
 * stage 4 — :mod:`repro.core.flamegraph`: Flame Graph output.
 
-:class:`TEEPerf` ties the stages together.
+:class:`~repro.core.profiler.TEEPerf` ties the stages together.
+
+The user-facing classes — TEEPerf, Analyzer, Recorder, LiveRecorder,
+SharedLog, FlameGraph, open_log — now live behind :mod:`repro.api`;
+importing them from this package still works but emits a
+:class:`DeprecationWarning` naming the replacement.  The supporting
+cast (constants, column codecs, counters, exporters, markers) keeps
+its home here.
 """
 
-from repro.core.analyzer import Analysis, Analyzer, CallRecord, MethodStats
+from repro.core.analyzer import Analysis, CallRecord, MethodStats
 from repro.core.diff import AnalysisDiff, MethodDelta
 from repro.core.reconstruct import (
     RecordColumns,
@@ -35,9 +42,10 @@ from repro.core.errors import (
     AnalyzerError,
     LogFormatError,
     RecorderError,
+    RecoveryError,
     TEEPerfError,
 )
-from repro.core.flamegraph import FlameGraph, fold_stacks
+from repro.core.flamegraph import fold_stacks
 from repro.core.instrument import (
     Instrumenter,
     InstrumentedProgram,
@@ -55,14 +63,40 @@ from repro.core.log import (
     LogColumns,
     LogEntry,
     LogStream,
-    SharedLog,
     ThreadLogWriter,
     decode_columns,
-    open_log,
 )
-from repro.core.profiler import TEEPerf
 from repro.core.query import QuerySession
-from repro.core.recorder import LiveRecorder, Recorder
+
+#: Deprecated package re-exports: name -> home module.
+_DEPRECATED = {
+    "Analyzer": "repro.core.analyzer",
+    "FlameGraph": "repro.core.flamegraph",
+    "LiveRecorder": "repro.core.recorder",
+    "Recorder": "repro.core.recorder",
+    "SharedLog": "repro.core.log",
+    "TEEPerf": "repro.core.profiler",
+    "open_log": "repro.core.log",
+}
+
+
+def __getattr__(name):
+    home = _DEPRECATED.get(name)
+    if home is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"importing {name!r} from repro.core is deprecated; use "
+        f"repro.api.{name} (or {home}.{name}) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(home), name)
+
 
 __all__ = [
     "Analysis",
@@ -98,6 +132,7 @@ __all__ = [
     "RecordColumns",
     "Recorder",
     "RecorderError",
+    "RecoveryError",
     "reconstruct_python",
     "reconstruct_vector",
     "SharedLog",

@@ -50,6 +50,12 @@ from repro.core.log import (
     SharedLog,
     open_log,
 )
+from repro.core.recovery import (
+    RECOVER_MODES,
+    recover_log,
+    recovery_stats,
+    require_clean,
+)
 from repro.core.reconstruct import (
     ENGINES,
     PROCESS_POOL_MIN_ENTRIES,
@@ -129,6 +135,9 @@ class Analysis:
         self.meta = meta
         self.locations = locations or {}
         self.pipeline = pipeline
+        # The RecoveryReport when analysis ran with recover="auto" /
+        # "strict" (None when the log was trusted as-is).
+        self.recovery = None
         self._stats_cache = None
 
     @property
@@ -393,7 +402,7 @@ class Analyzer:
         self.cache_size = cache_size
 
     def analyze(self, log, jobs=1, chunk_size=None, stats=None,
-                engine="auto"):
+                engine="auto", recover="off", options=None):
         """Streaming analysis: chunked ingestion, sharded reconstruction.
 
         `log` may be a :class:`SharedLog`, a :class:`LogStream`, raw
@@ -411,19 +420,48 @@ class Analyzer:
         * ``"python"`` — the sequential loop for every shard;
         * ``"auto"`` (default) — ``"vector"`` when numpy is present.
 
+        `recover` handles damaged logs: ``"off"`` trusts the input,
+        ``"auto"`` salvages it first (sealed segments verified by
+        CRC, torn/unsealed regions quarantined — the report lands on
+        ``analysis.recovery`` and its counters on the pipeline
+        stats), ``"strict"`` additionally raises
+        :class:`~repro.core.errors.RecoveryError` when anything was
+        quarantined.
+
+        An :class:`~repro.core.options.AnalyzeOptions` passed as
+        `options` supplies jobs/chunk_size/engine/recover in one
+        object and takes precedence over the individual kwargs.
+
         Output is field-for-field identical to :meth:`analyze_batch`
         whatever the engine, jobs or chunk size.
         """
+        if options is not None:
+            jobs = options.jobs
+            chunk_size = options.chunk_size
+            engine = options.engine
+            recover = options.recover
         if jobs < 1:
             raise AnalyzerError(f"jobs must be positive: {jobs}")
+        if recover not in RECOVER_MODES:
+            raise AnalyzerError(
+                f"unknown recover mode {recover!r} (choose from "
+                f"{', '.join(RECOVER_MODES)})"
+            )
         engine = self._resolve_engine(engine)
         chunk_size = chunk_size or DEFAULT_CHUNK_ENTRIES
+        recovery_report = None
+        if recover != "off":
+            log, recovery_report = recover_log(log)
+            if recover == "strict":
+                require_clean(recovery_report)
         opened = not isinstance(log, (SharedLog, LogStream))
         log = self._coerce(log)
         stats = stats if stats is not None else PipelineStats()
         stats.jobs = jobs
         stats.chunk_size = chunk_size
         stats.engine = engine
+        if recovery_report is not None:
+            recovery_stats(recovery_report, stats)
 
         try:
             # Ingestion: decode fixed-size *column* chunks (one
@@ -441,7 +479,11 @@ class Analyzer:
                     self._shard_columns(cols, per_thread)
             stats.counter_span = (hi - lo) if lo is not None else 0
 
-            return self._finish_columns(log, per_thread, jobs, stats, engine)
+            analysis = self._finish_columns(
+                log, per_thread, jobs, stats, engine
+            )
+            analysis.recovery = recovery_report
+            return analysis
         finally:
             if opened and isinstance(log, LogStream):
                 log.close()

@@ -15,3 +15,16 @@ class RecorderError(TEEPerfError):
 
 class AnalyzerError(TEEPerfError):
     """The analyzer could not make sense of its input."""
+
+
+class RecoveryError(TEEPerfError):
+    """Log salvage failed, or strict recovery found damage.
+
+    Carries the :class:`repro.core.recovery.RecoveryReport` (when one
+    was produced) on :attr:`report`, so callers can inspect exactly
+    what was quarantined before the raise.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report

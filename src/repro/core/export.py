@@ -269,6 +269,26 @@ def to_metrics(analysis, prefix="teeperf"):
             pipeline.shards_fallback,
         )
         metric(
+            "segments_sealed_total", "counter",
+            "Sealed writer blocks (CRC seal records) observed.",
+            pipeline.segments_sealed,
+        )
+        metric(
+            "entries_salvaged_total", "counter",
+            "Entries recovery rebuilt from a damaged log.",
+            pipeline.entries_salvaged,
+        )
+        metric(
+            "entries_quarantined_total", "counter",
+            "Entries recovery set aside (torn/truncated/unsealed/CRC).",
+            pipeline.entries_quarantined,
+        )
+        metric(
+            "crc_failures_total", "counter",
+            "Sealed segments whose CRC32 no longer matched.",
+            pipeline.crc_failures,
+        )
+        metric(
             "ingest_rate_entries_per_tick", "gauge",
             "Entries ingested per software-counter tick.",
             f"{pipeline.ingest_rate:.6f}",

@@ -13,7 +13,7 @@ header followed by fixed-size 24-byte entries::
     4  log size (max entries)
     5  tail index (next free entry)
     6  address of profiler function
-    7  reserved
+    7  seal watermark (sealed logs; else reserved/zero)
 
 Entries are reserved with a fetch-and-add on the tail, so writers never
 contend on a lock; reservations past the maximum size are *dropped* and
@@ -36,6 +36,20 @@ gates recording and may be flipped while the application runs, which is
 how dynamic de-/activation and selective phases work without adding a
 critical section to the hot path.
 
+Crash consistency — *sealed segments* (opt-in via
+``SharedLog.create(sealed=True)``, flag bit 4): every committed block
+may be *sealed*, which records ``(start, count, crc32)`` in a seal
+journal and advances the header's monotonic *seal watermark* (word 7)
+over the contiguous sealed prefix.  A reader of a crashed snapshot can
+then distinguish committed regions (covered by a CRC-verified seal, or
+under the watermark) from in-flight ones (reserved but never sealed)
+and torn ones (partial trailing bytes).  The journal is persisted as a
+trailer after the entry array (``"TPSEAL\\0\\0"`` magic, record count,
+then 24-byte ``(start, count, crc)`` records) and parsed tolerantly:
+a truncated or garbage trailer never makes a log unreadable — salvage
+is :mod:`repro.core.recovery`'s job.  Sealing is off by default so
+unsealed images stay byte-for-byte what they always were.
+
 Reading has a columnar fast path: :func:`decode_columns` turns a span
 of raw entries into :class:`LogColumns` — one array per field
 (kind/counter/addr/tid/call-site), decoded with a single vectorised
@@ -48,6 +62,7 @@ import os
 import struct
 import sys
 import threading
+import zlib
 from dataclasses import dataclass
 
 # memoryview.cast only knows native formats; the log is little-endian,
@@ -80,6 +95,9 @@ FLAG_MULTITHREAD = 1 << 1
 # Event mask: which events are measured (both set by default).
 FLAG_MASK_CALLS = 1 << 2
 FLAG_MASK_RETS = 1 << 3
+# Sealed segments: committed blocks carry CRC32 seal records and header
+# word 7 is the monotonic seal watermark (see module docstring).
+FLAG_SEALED = 1 << 4
 
 _VERSION_SHIFT = 16
 
@@ -92,6 +110,92 @@ COUNTER_MASK = _KIND_BIT - 1
 _HEADER = struct.Struct("<8Q")
 _ENTRY = struct.Struct("<3Q")
 _ENTRY_V2 = struct.Struct("<4Q")
+
+# The seal journal: a trailer after the entry array.  Header is the
+# magic word plus a record count; each record is (start, count, crc32)
+# over the raw bytes of entries [start, start + count).
+SEAL_MAGIC = int.from_bytes(b"TPSEAL\x00\x00", "little")
+_SEAL_HEADER = struct.Struct("<2Q")
+_SEAL_RECORD = struct.Struct("<3Q")
+SEAL_RECORD_SIZE = _SEAL_RECORD.size
+
+
+@dataclass(frozen=True)
+class SealRecord:
+    """One sealed segment: `count` entries at index `start`, with the
+    CRC32 of their raw bytes as committed."""
+
+    start: int
+    count: int
+    crc: int
+
+    @property
+    def end(self):
+        return self.start + self.count
+
+
+def _validate_header(buf):
+    """Parse and validate the 64-byte header, raising
+    :class:`LogFormatError` with byte-offset context on damage."""
+    if len(buf) < HEADER_SIZE:
+        raise LogFormatError(
+            f"log header is truncated: buffer holds {len(buf)} bytes, "
+            f"the header needs {HEADER_SIZE} (offset 0)"
+        )
+    header = _HEADER.unpack_from(buf, 0)
+    if header[0] != MAGIC:
+        raise LogFormatError(
+            f"bad magic at offset 0: 0x{header[0]:016x} "
+            f"(expected {bytes(MAGIC.to_bytes(8, 'little'))!r}) — "
+            f"not a TEE-Perf log"
+        )
+    version = (header[1] >> _VERSION_SHIFT) & 0xFFFF
+    if version not in _ENTRY_SIZES:
+        raise LogFormatError(
+            f"unsupported log version {version} in header word 1 "
+            f"(offset 8; known versions: {sorted(_ENTRY_SIZES)})"
+        )
+    return header
+
+
+def _merge_intervals(intervals):
+    """Coalesce (start, end) half-open intervals into a sorted,
+    non-overlapping list."""
+    merged = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _parse_seal_journal(buf, array_end, capacity):
+    """Parse the seal-journal trailer at `array_end`, tolerantly.
+
+    Damage never raises: a missing, truncated or garbage journal
+    yields whatever prefix of records still parses and bounds-checks
+    (each must describe a non-empty segment inside the entry array).
+    Deciding whether a parsed record's CRC still matches the data is
+    :mod:`repro.core.recovery`'s job.
+    """
+    view = memoryview(buf)
+    if len(view) < array_end + _SEAL_HEADER.size:
+        return []
+    magic, count = _SEAL_HEADER.unpack_from(view, array_end)
+    if magic != SEAL_MAGIC:
+        return []
+    fit = (len(view) - array_end - _SEAL_HEADER.size) // SEAL_RECORD_SIZE
+    records = []
+    offset = array_end + _SEAL_HEADER.size
+    for _ in range(min(count, fit)):
+        start, n, crc = _SEAL_RECORD.unpack_from(view, offset)
+        offset += SEAL_RECORD_SIZE
+        if n < 1 or start + n > capacity or crc >> 32:
+            break  # garbage record: the rest of the journal is suspect
+        records.append(SealRecord(start, n, crc))
+    return records
 
 # Entries decoded per ingestion chunk.  8192 v2 entries are 256 KiB of
 # raw log — big enough to amortise the struct dispatch, small enough
@@ -274,22 +378,27 @@ class SharedLog:
     """
 
     def __init__(self, buf):
-        if len(buf) < HEADER_SIZE:
-            raise LogFormatError(
-                f"buffer of {len(buf)} bytes is smaller than the header"
-            )
+        header = _validate_header(buf)
         self._buf = buf
-        header = _HEADER.unpack_from(buf, 0)
-        if header[0] != MAGIC:
-            raise LogFormatError("bad magic: not a TEE-Perf log")
         version = (header[1] >> _VERSION_SHIFT) & 0xFFFF
-        if version not in _ENTRY_SIZES:
-            raise LogFormatError(
-                f"unsupported log version {version} "
-                f"(known: {sorted(_ENTRY_SIZES)})"
-            )
         self._entry_size = _ENTRY_SIZES[version]
         self._capacity = header[4]
+        # Where the entry array ends (and a seal journal, if any,
+        # begins).  A truncated image may stop short of it; complete
+        # entries actually present clip every read path so a damaged
+        # file never turns into a bare struct/ValueError mid-decode.
+        self._array_end = min(
+            len(buf), HEADER_SIZE + self._capacity * self._entry_size
+        )
+        self._present = (self._array_end - HEADER_SIZE) // self._entry_size
+        self._seals = (
+            _parse_seal_journal(buf, self._array_end, self._capacity)
+            if header[1] & FLAG_SEALED
+            else []
+        )
+        self._sealed_intervals = _merge_intervals(
+            (r.start, r.end) for r in self._seals
+        )
         # Header words as a flat u64 view: flags/tail reads on the hot
         # path cost one index, not a struct unpack.
         self._words = (
@@ -328,8 +437,16 @@ class SharedLog:
         shm_base=0x7F00_0000_0000,
         multithread=True,
         version=VERSION,
+        sealed=False,
     ):
-        """Allocate and initialise a log for `capacity` entries."""
+        """Allocate and initialise a log for `capacity` entries.
+
+        ``sealed=True`` enables crash-consistent sealed segments:
+        batched writers seal each committed block, the recorder seals
+        the remainder at stop, and the image gains a CRC journal
+        trailer.  Off by default — unsealed images stay byte-identical
+        to what every earlier reader expects.
+        """
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
         if version not in _ENTRY_SIZES:
@@ -341,6 +458,8 @@ class SharedLog:
         flags = FLAG_MASK_CALLS | FLAG_MASK_RETS
         if multithread:
             flags |= FLAG_MULTITHREAD
+        if sealed:
+            flags |= FLAG_SEALED
         _HEADER.pack_into(
             buf,
             0,
@@ -351,7 +470,7 @@ class SharedLog:
             capacity,
             0,  # tail
             profiler_addr,
-            0,  # reserved
+            0,  # seal watermark
         )
         return cls(buf)
 
@@ -368,14 +487,29 @@ class SharedLog:
 
     def dump(self, path):
         """Persist the log (what the recorder wrapper does after a run)."""
-        self._store_tail()
         with open(path, "wb") as fh:
-            fh.write(bytes(self._buf))
+            fh.write(self.to_bytes())
 
     def to_bytes(self):
-        """The full log image, header synchronised."""
+        """The full log image, header synchronised.
+
+        Sealed logs append the seal-journal trailer after the entry
+        array; unsealed images are byte-identical to what they always
+        were.
+        """
         self._store_tail()
-        return bytes(self._buf)
+        if not self.sealed:
+            return bytes(self._buf)
+        return bytes(self._buf[: self._array_end]) + self._journal_bytes()
+
+    def _journal_bytes(self):
+        """The seal journal serialised as the image trailer."""
+        seals = self._seals
+        parts = [_SEAL_HEADER.pack(SEAL_MAGIC, len(seals))]
+        parts.extend(
+            _SEAL_RECORD.pack(r.start, r.count, r.crc) for r in seals
+        )
+        return b"".join(parts)
 
     # ------------------------------------------------------------------
     # Header accessors
@@ -470,6 +604,82 @@ class SharedLog:
         self._set_word(1, word)
 
     # ------------------------------------------------------------------
+    # Sealing (crash consistency)
+
+    @property
+    def sealed(self):
+        """Whether this log records sealed segments (flag bit 4)."""
+        return bool(self.flags & FLAG_SEALED)
+
+    @property
+    def seals(self):
+        """The seal journal: :class:`SealRecord` per sealed segment."""
+        return list(self._seals)
+
+    @property
+    def seal_watermark(self):
+        """Entries in the contiguous sealed prefix (header word 7).
+
+        Monotonic: a reader may treat entries below the watermark as
+        committed without consulting the journal, even when a crash
+        (or a truncation that ate the trailer) lost the CRC records.
+        """
+        return self._word(7)
+
+    def _crc_block(self, start, count):
+        offset = HEADER_SIZE + start * self._entry_size
+        span = count * self._entry_size
+        return zlib.crc32(memoryview(self._buf)[offset : offset + span])
+
+    def seal(self, start, count):
+        """Seal `count` committed entries at index `start`.
+
+        Records their CRC32 in the journal and advances the watermark
+        if the contiguous sealed prefix grew.  Returns the new
+        :class:`SealRecord`.
+        """
+        if not self.sealed:
+            raise LogFormatError(
+                "seal() on a log created without sealed=True"
+            )
+        if count < 1 or start < 0 or start + count > self._capacity:
+            raise ValueError(
+                f"seal [{start}, {start + count}) outside the entry "
+                f"array [0, {self._capacity})"
+            )
+        record = SealRecord(start, count, self._crc_block(start, count))
+        self._seals.append(record)
+        self._sealed_intervals = _merge_intervals(
+            self._sealed_intervals + [(start, record.end)]
+        )
+        first = self._sealed_intervals[0]
+        if first[0] == 0 and first[1] > self._word(7):
+            self._set_word(7, first[1])
+        return record
+
+    def seal_remainder(self):
+        """Seal every committed-but-unsealed gap in ``[0, entries)``.
+
+        The recorder's stop/pause hook: per-event appends never seal
+        on the hot path, so one call here leaves a cleanly finished
+        log fully sealed — and a crashed run, which never gets here,
+        leaves its in-flight regions unsealed for recovery to
+        quarantine.  Returns the number of new seal records.
+        """
+        end = len(self)
+        gaps = []
+        cursor = 0
+        for s, e in self._sealed_intervals:
+            if cursor < min(s, end):
+                gaps.append((cursor, min(s, end)))
+            cursor = max(cursor, e)
+        if cursor < end:
+            gaps.append((cursor, end))
+        for s, e in gaps:
+            self.seal(s, e - s)
+        return len(gaps)
+
+    # ------------------------------------------------------------------
     # Appending (the injected code's hot path)
 
     def try_reserve(self):
@@ -546,7 +756,14 @@ class SharedLog:
     # Reading (the analyzer's side)
 
     def __len__(self):
-        return min(self.tail_or_live(), self._capacity)
+        return self._readable()
+
+    def _readable(self):
+        """Complete entries a reader may decode: the live tail,
+        clipped by capacity (the dismissal rule) and by the complete
+        entries actually present in the buffer (a truncated or
+        mid-write image may be short of its own tail)."""
+        return min(self.tail_or_live(), self._capacity, self._present)
 
     def tail_or_live(self):
         """Entries written: live reservation counter or stored tail,
@@ -555,7 +772,7 @@ class SharedLog:
 
     def entry(self, index):
         """Decode entry `index` (layout chosen by the header version)."""
-        if index >= min(self.tail_or_live(), self._capacity):
+        if index >= self._readable():
             raise IndexError(f"entry {index} past end of log")
         offset = HEADER_SIZE + index * self._entry_size
         call_site = 0
@@ -569,7 +786,7 @@ class SharedLog:
         return LogEntry(kind, word0 & COUNTER_MASK, addr, tid, call_site)
 
     def __iter__(self):
-        for index in range(min(self.tail_or_live(), self._capacity)):
+        for index in range(self._readable()):
             yield self.entry(index)
 
     def iter_chunks(self, chunk_size=DEFAULT_CHUNK_ENTRIES):
@@ -581,7 +798,7 @@ class SharedLog:
         """
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive: {chunk_size}")
-        total = min(self.tail_or_live(), self._capacity)
+        total = self._readable()
         for start in range(0, total, chunk_size):
             yield _decode_entries(
                 self._buf, self.version, start, min(chunk_size, total - start)
@@ -595,7 +812,7 @@ class SharedLog:
         """
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive: {chunk_size}")
-        total = min(self.tail_or_live(), self._capacity)
+        total = self._readable()
         for start in range(0, total, chunk_size):
             yield decode_columns(
                 self._buf, self.version, start, min(chunk_size, total - start)
@@ -603,12 +820,7 @@ class SharedLog:
 
     def columns(self):
         """The whole log decoded as one :class:`LogColumns` span."""
-        return decode_columns(
-            self._buf,
-            self.version,
-            0,
-            min(self.tail_or_live(), self._capacity),
-        )
+        return decode_columns(self._buf, self.version, 0, self._readable())
 
     def _store_tail(self):
         self._set_word(5, min(self._next_free, self._capacity))
@@ -750,6 +962,8 @@ class ThreadLogWriter:
                 staged if granted == count else staged[:granted]
             )
             log.write_block(start, granted, raw)
+            if log.sealed:
+                log.seal(start, granted)
             self.flushed += granted
         staged.clear()
         surrendered = count - granted
@@ -815,19 +1029,8 @@ class LogStream:
     def __init__(self, buf, chunk_size=DEFAULT_CHUNK_ENTRIES, closer=None):
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive: {chunk_size}")
-        if len(buf) < HEADER_SIZE:
-            raise LogFormatError(
-                f"buffer of {len(buf)} bytes is smaller than the header"
-            )
-        header = _HEADER.unpack_from(buf, 0)
-        if header[0] != MAGIC:
-            raise LogFormatError("bad magic: not a TEE-Perf log")
+        header = _validate_header(buf)
         version = (header[1] >> _VERSION_SHIFT) & 0xFFFF
-        if version not in _ENTRY_SIZES:
-            raise LogFormatError(
-                f"unsupported log version {version} "
-                f"(known: {sorted(_ENTRY_SIZES)})"
-            )
         self._buf = buf
         self._header = header
         self._version = version
@@ -839,6 +1042,14 @@ class LogStream:
         # (a snapshot taken mid-write may be short).
         in_buffer = (len(buf) - HEADER_SIZE) // self._entry_size
         self._count = min(header[5], header[4], in_buffer)
+        array_end = min(
+            len(buf), HEADER_SIZE + header[4] * self._entry_size
+        )
+        self._seals = (
+            _parse_seal_journal(buf, array_end, header[4])
+            if header[1] & FLAG_SEALED
+            else []
+        )
 
     @classmethod
     def open(cls, path, chunk_size=DEFAULT_CHUNK_ENTRIES):
@@ -898,6 +1109,19 @@ class LogStream:
     @property
     def entry_size(self):
         return self._entry_size
+
+    @property
+    def sealed(self):
+        return bool(self.flags & FLAG_SEALED)
+
+    @property
+    def seals(self):
+        """The seal journal parsed from the image trailer."""
+        return list(self._seals)
+
+    @property
+    def seal_watermark(self):
+        return self._header[7]
 
     # ------------------------------------------------------------------
     # Reading

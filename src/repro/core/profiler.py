@@ -2,7 +2,7 @@
 
 Typical simulated-mode use (the evaluation's configuration)::
 
-    from repro.core import TEEPerf
+    from repro.api import TEEPerf
     from repro.tee import SGX_V1
 
     perf = TEEPerf.simulated(platform=SGX_V1, cores=8)
@@ -67,6 +67,8 @@ class TEEPerf:
         aslr_seed=1,
         monitor=None,
         writer_block=0,
+        sealed=False,
+        record=None,
     ):
         """A profiler for workloads on the simulated machine.
 
@@ -76,7 +78,11 @@ class TEEPerf:
         recorder, counter, TEE cost model and (after ``analyze``) the
         pipeline stats.  ``writer_block > 0`` routes events through
         per-thread batched writers (default: per-event appends, which
-        keep simulated runs byte-deterministic).
+        keep simulated runs byte-deterministic); ``sealed=True``
+        records crash-consistent sealed segments.  A
+        :class:`repro.core.options.RecordOptions` passed as `record`
+        configures all of that in one object (and wins over the
+        individual kwargs).
         """
         machine = machine or Machine(cores=cores)
         env = make_env(machine, platform)
@@ -90,6 +96,8 @@ class TEEPerf:
                 aslr_seed=aslr_seed,
                 monitor=monitor,
                 writer_block=writer_block,
+                sealed=sealed,
+                options=record,
             )
 
         return cls(
@@ -103,13 +111,14 @@ class TEEPerf:
     @classmethod
     def live(
         cls, capacity=DEFAULT_CAPACITY, select=None, name="a.out",
-        monitor=None, writer_block=None,
+        monitor=None, writer_block=None, sealed=False, record=None,
     ):
         """A profiler for real (unsimulated) Python code.
 
         `writer_block` sizes the per-thread batched writers (``0``
         forces per-event appends; default:
-        :data:`repro.core.log.DEFAULT_WRITER_BLOCK`).
+        :data:`repro.core.log.DEFAULT_WRITER_BLOCK`).  `sealed` and
+        `record` mirror :meth:`simulated`.
         """
         kwargs = {}
         if writer_block is not None:
@@ -117,7 +126,8 @@ class TEEPerf:
 
         def factory(program):
             return LiveRecorder(
-                program, capacity=capacity, monitor=monitor, **kwargs
+                program, capacity=capacity, monitor=monitor,
+                sealed=sealed, options=record, **kwargs
             )
 
         return cls(factory, Instrumenter(name, select=select), monitor=monitor)
@@ -216,12 +226,16 @@ class TEEPerf:
     # ------------------------------------------------------------------
     # Stage 3: analyze
 
-    def analyze(self, log=None, jobs=1, chunk_size=None, engine="auto"):
+    def analyze(self, log=None, jobs=1, chunk_size=None, engine="auto",
+                recover="off", options=None):
         """Analyze the last recording (or an explicit log/path).
 
         `jobs` widens the analyzer's per-thread shard pool; `engine`
-        picks the reconstruction kernel (see
-        :meth:`~repro.core.analyzer.Analyzer.analyze`); the resulting
+        picks the reconstruction kernel; `recover` salvages a damaged
+        log first (``"auto"``) or refuses damage (``"strict"``) — see
+        :meth:`~repro.core.analyzer.Analyzer.analyze`.  An
+        :class:`~repro.core.options.AnalyzeOptions` passed as
+        `options` wins over the individual kwargs.  The resulting
         ``analysis.pipeline`` carries the recorder's counters (events
         dropped at record time) merged with the analyzer's.
         """
@@ -235,7 +249,7 @@ class TEEPerf:
         analyzer = Analyzer(self.program.image, tick_ns=self._tick_ns())
         self._analysis = analyzer.analyze(
             source, jobs=jobs, chunk_size=chunk_size, stats=stats,
-            engine=engine,
+            engine=engine, recover=recover, options=options,
         )
         if self.monitor is not None and self._analysis.pipeline is not None:
             from repro.monitor import PipelineSampler

@@ -47,7 +47,18 @@ class _RecorderBase:
         version=VERSION,
         monitor=None,
         writer_block=0,
+        sealed=False,
+        options=None,
     ):
+        # A RecordOptions object is the one-stop configuration: when
+        # given, it supplies capacity/pid/version/writer_block/sealed
+        # and the event mask, overriding the individual kwargs.
+        if options is not None:
+            capacity = options.capacity
+            pid = options.pid
+            version = options.version
+            writer_block = options.writer_block
+            sealed = options.sealed
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
         if writer_block < 0:
@@ -60,6 +71,8 @@ class _RecorderBase:
         self.version = version
         self.monitor = monitor
         self.writer_block = writer_block
+        self.sealed = sealed
+        self.options = options
         self.log = None
         self.loaded = None
         self.hooks = None
@@ -75,7 +88,14 @@ class _RecorderBase:
             pid=self.pid,
             profiler_addr=self.loaded.profiler_addr,
             version=self.version,
+            sealed=self.sealed,
         )
+        if self.options is not None and not (
+            self.options.calls and self.options.rets
+        ):
+            self.log.set_event_mask(
+                calls=self.options.calls, rets=self.options.rets
+            )
         self._start_counter()
         self.hooks = self._make_hooks()
         self.program.hooks.arm(self.hooks, self.loaded.offset)
@@ -96,6 +116,11 @@ class _RecorderBase:
         self.hooks.flush()
         self._stop_counter()
         self.log._store_tail()
+        # A clean stop leaves the whole committed extent sealed: any
+        # region still unsealed in a snapshot therefore belongs to a
+        # run that crashed, which is exactly what recovery quarantines.
+        if self.log.sealed:
+            self.log.seal_remainder()
         self._started = False
         if self.monitor is not None:
             self.monitor.poll_once()
@@ -115,6 +140,9 @@ class _RecorderBase:
         # Committing staged blocks here keeps a pause -> inspect cycle
         # honest: everything accepted so far is visible in the log.
         self.hooks.flush()
+        if self.log.sealed:
+            self.log._store_tail()
+            self.log.seal_remainder()
 
     def resume(self):
         """Re-activate tracing."""
@@ -199,12 +227,15 @@ class Recorder(_RecorderBase):
         version=VERSION,
         monitor=None,
         writer_block=0,
+        sealed=False,
+        options=None,
     ):
         # Simulation defaults to the per-event path (writer_block=0):
         # regenerated figures stay byte-deterministic regardless of
         # batching.  Pass writer_block>0 to exercise the batched path.
         super().__init__(
-            program, capacity, pid, version, monitor, writer_block
+            program, capacity, pid, version, monitor, writer_block,
+            sealed, options,
         )
         self.machine = machine
         self.env = env
@@ -256,11 +287,14 @@ class LiveRecorder(_RecorderBase):
         version=VERSION,
         monitor=None,
         writer_block=DEFAULT_WRITER_BLOCK,
+        sealed=False,
+        options=None,
     ):
         # Live mode defaults to batched per-thread writers: real wall
         # clock is on the line, so the amortised path is the default.
         super().__init__(
-            program, capacity, pid, version, monitor, writer_block
+            program, capacity, pid, version, monitor, writer_block,
+            sealed, options,
         )
         self.counter = counter or ThreadCounter()
         self._saved_interval = None

@@ -63,6 +63,18 @@ class PipelineStats:
         vs. shards whose anomalies (unmatched returns, cross-frame
         closes, truncated tails) forced the sequential fallback.
         Both stay 0 under ``engine="python"``.
+    segments_sealed:
+        Seal records observed: committed writer blocks carrying a
+        CRC32 in the log's seal journal (0 for unsealed logs and when
+        no recovery pass ran).
+    entries_salvaged / entries_quarantined:
+        Recovery's verdict on a damaged log — entries rebuilt into
+        the salvaged log vs. entries set aside with a reason code
+        (torn, truncated, unsealed, CRC mismatch).  Quarantined
+        entries are reported, never silently dropped (see
+        :mod:`repro.core.recovery`).
+    crc_failures:
+        Sealed segments whose CRC32 no longer matched their bytes.
     engine:
         The resolved reconstruction engine (``"vector"`` or
         ``"python"``; ``""`` before analysis has run).
@@ -84,6 +96,10 @@ class PipelineStats:
     cache_misses: int = 0
     shards_vectorised: int = 0
     shards_fallback: int = 0
+    segments_sealed: int = 0
+    entries_salvaged: int = 0
+    entries_quarantined: int = 0
+    crc_failures: int = 0
     engine: str = ""
 
     # ------------------------------------------------------------------
@@ -170,6 +186,10 @@ class PipelineStats:
             + (f" (engine={self.engine})" if self.engine else ""),
             f"  shards vectorised: {self.shards_vectorised}"
             f"   ({self.shards_fallback} fell back)",
+            f"  recovery:          {self.entries_salvaged} salvaged, "
+            f"{self.entries_quarantined} quarantined "
+            f"({self.segments_sealed} sealed segments, "
+            f"{self.crc_failures} CRC failures)",
             f"  ingest rate:       {self.ingest_rate:.3f} entries/tick",
             f"  symbol cache:      {100 * self.cache_hit_rate:.1f}% hits "
             f"({self.cache_hits} hits, {self.cache_misses} misses)",

@@ -7,7 +7,7 @@ ACTIVE flag is exactly the mechanism §II-B provides for this), then
 records the 80 %-reads mixed phase and returns the analysis.
 """
 
-from repro.core import TEEPerf
+from repro.core.profiler import TEEPerf
 from repro.kvstore.compaction import Compactor
 from repro.kvstore.db import DB
 from repro.kvstore.db_bench import DbBench

@@ -123,6 +123,16 @@ class RecorderSampler(Sampler):
             "recorder_active",
             "Whether tracing is currently active (the log's flag).",
         ).set(1 if log is not None and log.active else 0)
+        if log is not None and getattr(log, "sealed", False):
+            registry.counter(
+                "recorder_segments_sealed_total",
+                "Sealed writer blocks committed with a CRC record.",
+            ).set_total(len(log.seals))
+            registry.counter(
+                "recorder_seal_watermark",
+                "Entries in the contiguous sealed prefix (header "
+                "word 7).",
+            ).set_total(log.seal_watermark)
 
 
 class TeeCostSampler(Sampler):
@@ -198,6 +208,15 @@ class PipelineSampler(Sampler):
              "Shards reconstructed by the vector engine's array passes."),
             ("shards_fallback",
              "Anomalous shards that fell back to the sequential loop."),
+            ("segments_sealed",
+             "Sealed writer blocks (CRC seal records) observed."),
+            ("entries_salvaged",
+             "Entries recovery rebuilt from a damaged log."),
+            ("entries_quarantined",
+             "Entries recovery set aside "
+             "(torn/truncated/unsealed/CRC)."),
+            ("crc_failures",
+             "Sealed segments whose CRC32 no longer matched."),
         ):
             registry.counter(
                 f"pipeline_{field}_total", help_text

@@ -9,7 +9,8 @@ from the dataset seed.
 
 from dataclasses import dataclass
 
-from repro.core import Instrumenter, TEEPerf
+from repro.core.instrument import Instrumenter
+from repro.core.profiler import TEEPerf
 from repro.machine import Machine
 from repro.perfsim import PerfSim
 from repro.tee import SGX_V1, make_env
@@ -72,11 +73,16 @@ def run_baseline(workload_cls, platform=SGX_V1, seed=0, cores=DEFAULT_CORES,
 
 
 def run_teeperf(workload_cls, platform=SGX_V1, seed=0, cores=DEFAULT_CORES,
-                capacity=1 << 21, monitor=None, **params):
+                capacity=1 << 21, monitor=None, record=None, analyze=None,
+                **params):
     """The workload under TEE-Perf (instrumentation + recorder).
 
     Pass a :class:`repro.monitor.Monitor` to sample the run live
-    (recorder, counter, TEE cost model, then pipeline stats)."""
+    (recorder, counter, TEE cost model, then pipeline stats).
+    `record` (:class:`repro.core.options.RecordOptions`) configures
+    the recorder — capacity, batched writers, sealing — and wins over
+    `capacity`; `analyze` (:class:`~repro.core.options.AnalyzeOptions`)
+    configures the analysis pass."""
     machine = Machine(cores=cores)
     perf = TEEPerf.simulated(
         platform=platform,
@@ -84,11 +90,12 @@ def run_teeperf(workload_cls, platform=SGX_V1, seed=0, cores=DEFAULT_CORES,
         capacity=capacity,
         name=workload_cls.NAME,
         monitor=monitor,
+        record=record,
     )
     workload = _build(workload_cls, machine, perf.env, seed, params)
     perf.compile_instance(workload)
     result = perf.record(workload.run)
-    analysis = perf.analyze()
+    analysis = perf.analyze(options=analyze)
     return RunResult(
         workload_cls.NAME,
         "teeperf",

@@ -6,7 +6,7 @@ same tool under TEE-Perf and returns the analysis behind the Figure 6
 flame graphs.
 """
 
-from repro.core import TEEPerf
+from repro.core.profiler import TEEPerf
 from repro.machine import Machine
 from repro.spdk.driver import NvmeController, NvmeNamespace, NvmeQpair, SpdkEnv
 from repro.spdk.perf_tool import SpdkPerf

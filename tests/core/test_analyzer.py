@@ -4,7 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Analyzer, KIND_CALL, KIND_RET, SharedLog
+from repro.api import Analyzer, SharedLog
+from repro.core import KIND_CALL, KIND_RET
 from repro.core.errors import AnalyzerError
 from repro.symbols import BinaryImage, mangle
 

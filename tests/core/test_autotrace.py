@@ -6,7 +6,7 @@ import types
 
 import pytest
 
-from repro.core import TEEPerf
+from repro.api import TEEPerf
 from repro.core.errors import TEEPerfError
 
 

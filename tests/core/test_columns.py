@@ -8,14 +8,8 @@ the mapping (columns are copies there, so ``close`` always succeeds).
 
 import pytest
 
-from repro.core import (
-    DEFAULT_MMAP_THRESHOLD,
-    KIND_CALL,
-    KIND_RET,
-    LogStream,
-    SharedLog,
-    open_log,
-)
+from repro.api import SharedLog, open_log
+from repro.core import DEFAULT_MMAP_THRESHOLD, KIND_CALL, KIND_RET, LogStream
 from repro.core.log import VERSION_2, decode_columns
 
 

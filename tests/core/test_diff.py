@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import AnalysisDiff, Analyzer, KIND_CALL, KIND_RET, SharedLog
+from repro.api import Analyzer, SharedLog
+from repro.core import AnalysisDiff, KIND_CALL, KIND_RET
 from repro.symbols import BinaryImage
 
 

@@ -4,11 +4,10 @@ import json
 
 import pytest
 
+from repro.api import Analyzer, SharedLog
 from repro.core import (
-    Analyzer,
     KIND_CALL,
     KIND_RET,
-    SharedLog,
     to_callgrind,
     to_gprof,
     to_json,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import FlameGraph
+from repro.api import FlameGraph
 
 
 @pytest.fixture

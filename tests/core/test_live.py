@@ -5,7 +5,7 @@ import types
 
 import pytest
 
-from repro.core import TEEPerf
+from repro.api import TEEPerf
 from repro.core.counter import PerfCounterClock
 from repro.core.recorder import LiveRecorder
 

@@ -4,13 +4,8 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import (
-    ENTRY_SIZE,
-    HEADER_SIZE,
-    KIND_CALL,
-    KIND_RET,
-    SharedLog,
-)
+from repro.api import SharedLog
+from repro.core import ENTRY_SIZE, HEADER_SIZE, KIND_CALL, KIND_RET
 from repro.core.errors import LogFormatError
 from repro.core.log import VERSION
 

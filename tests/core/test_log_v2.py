@@ -5,7 +5,8 @@ import types
 
 import pytest
 
-from repro.core import Analyzer, KIND_CALL, KIND_RET, SharedLog, TEEPerf
+from repro.api import Analyzer, SharedLog, TEEPerf
+from repro.core import KIND_CALL, KIND_RET
 from repro.core.errors import LogFormatError
 from repro.core.log import ENTRY_SIZE_V2, HEADER_SIZE, VERSION_2
 from repro.symbols import BinaryImage

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import TEEPerf, symbol
+from repro.api import TEEPerf
+from repro.core import symbol
 from repro.core.errors import RecorderError, TEEPerfError
 from repro.machine import SimLock
 from repro.tee import NATIVE, SGX_V1

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import TEEPerf, symbol
+from repro.api import TEEPerf
+from repro.core import symbol
 from repro.tee import NATIVE
 
 N_METHODS = 6

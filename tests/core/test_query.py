@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import Analyzer, KIND_CALL, KIND_RET, QuerySession, SharedLog
+from repro.api import Analyzer, SharedLog
+from repro.core import KIND_CALL, KIND_RET, QuerySession
 from repro.core.errors import AnalyzerError
 from repro.symbols import BinaryImage
 

@@ -13,15 +13,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import Analyzer, SharedLog
 from repro.core import (
-    Analyzer,
     AnalyzerError,
     KIND_CALL,
     KIND_RET,
     PipelineStats,
     QuerySession,
     RecordColumns,
-    SharedLog,
     to_json,
     to_metrics,
 )

@@ -13,15 +13,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import (
-    Analyzer,
-    KIND_CALL,
-    KIND_RET,
-    LogStream,
-    PipelineStats,
-    SharedLog,
-    to_json,
-)
+from repro.api import Analyzer, SharedLog
+from repro.core import KIND_CALL, KIND_RET, LogStream, PipelineStats, to_json
 from repro.core.log import VERSION_2
 from repro.symbols import BinaryImage, CachedResolver
 
@@ -261,7 +254,8 @@ def test_empty_log_has_zero_rates(image):
 
 def test_recorder_stats_thread_through_facade():
     """entries_dropped flows recorder -> analyzer -> analysis.pipeline."""
-    from repro.core import TEEPerf, symbol
+    from repro.api import TEEPerf
+    from repro.core import symbol
 
     class App:
         @symbol("app::Main()")

@@ -16,12 +16,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import (
-    KIND_CALL,
-    KIND_RET,
-    SharedLog,
-    ThreadLogWriter,
-)
+from repro.api import SharedLog
+from repro.core import KIND_CALL, KIND_RET, ThreadLogWriter
 from repro.core.log import VERSION_2
 
 
@@ -132,7 +128,8 @@ def test_reserve_block_contract():
 def test_writer_drops_feed_pipeline_stats():
     """Surrendered slots land in the recorder's dropped counter and
     the blocks-flushed observability counter."""
-    from repro.core import TEEPerf, symbol
+    from repro.api import TEEPerf
+    from repro.core import symbol
 
     class App:
         @symbol("app::Main()")
@@ -247,7 +244,8 @@ def test_per_thread_order_preserved_under_concurrency():
 def test_recorder_flush_on_stop_and_persist(tmp_path):
     """Staged blocks are committed by stop and persist — the recorder
     never strands accepted events in a staging buffer."""
-    from repro.core import TEEPerf, symbol
+    from repro.api import TEEPerf
+    from repro.core import symbol
 
     class App:
         @symbol("app::Main()")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import FlameGraph
+from repro.api import FlameGraph
 from repro.kvstore import DB, DbBench, Random, RandomGenerator
 from repro.kvstore.profiled import profile_db_bench
 from repro.machine import Machine

@@ -4,7 +4,8 @@ import time
 
 import pytest
 
-from repro.core import TEEPerf, symbol
+from repro.api import TEEPerf
+from repro.core import symbol
 from repro.monitor import (
     AlertRule,
     CallbackSampler,

@@ -143,7 +143,7 @@ def test_callgraph_mode_produces_folded_stacks():
     assert ("app::Main()", "app::Hot()") in folded
     assert sum(folded.values()) == result.total_samples
     # The flame-graph writer accepts perf's folded stacks directly.
-    from repro.core import FlameGraph
+    from repro.api import FlameGraph
 
     graph = FlameGraph(folded, title="perf -g")
     assert graph.share("app::Hot()") == pytest.approx(0.9, abs=0.06)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import FlameGraph
+from repro.api import FlameGraph
 from repro.machine import Machine
 from repro.spdk import SpdkPerf, profile_spdk_perf, run_spdk_perf
 from repro.tee import NATIVE, SGX_V1, make_env

@@ -41,7 +41,8 @@ def test_flamegraph_rejects_garbage(tmp_path, capsys):
 
 
 def test_inspect_multithreaded_log(tmp_path, capsys):
-    from repro.core import KIND_CALL, KIND_RET, SharedLog
+    from repro.api import SharedLog
+    from repro.core import KIND_CALL, KIND_RET
 
     log = SharedLog.create(16, pid=7)
     log.append(KIND_CALL, 10, 0x400000, 1)
@@ -105,7 +106,7 @@ def test_analyze_jobs_and_stats(tmp_path, capsys):
 
 
 def test_analyze_missing_symtab(tmp_path, capsys):
-    from repro.core import SharedLog
+    from repro.api import SharedLog
 
     log = SharedLog.create(4)
     path = tmp_path / "orphan.teeperf"
