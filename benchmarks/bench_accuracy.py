@@ -6,100 +6,21 @@ The simulator gives us what real hardware never does — an *exact*
 oracle (the zero-cost ghost trace) — so the claim can be measured: run
 one workload with an uneven five-method mix, and compare each
 profiler's per-method share of runtime against the truth.
+
+The mix workload and the three share extractors live in
+:mod:`repro.bench.workloads.accuracy`, shared with the suite's
+``accuracy_error`` benchmark (``python -m repro.bench``).
 """
 
-import pytest
-
-from repro.api import TEEPerf
-from repro.core import Instrumenter, symbol
+from repro.bench.workloads.accuracy import (
+    ACCURACY_CEILING,
+    MIX,
+    max_error,
+    perf_shares,
+    teeperf_shares,
+    truth_shares,
+)
 from repro.fex import ResultTable
-from repro.machine import Machine
-from repro.perfsim import PerfSim
-from repro.tee import SGX_V1, make_env
-
-# Uneven method mix: (cycles per call, calls per round).
-MIX = {
-    "mix::Tiny()": (800, 6),
-    "mix::Small()": (4_000, 3),
-    "mix::Medium()": (22_000, 2),
-    "mix::Large()": (130_000, 1),
-    "mix::Huge()": (470_000, 1),
-}
-ROUNDS = 120
-
-
-class MixWorkload:
-    def __init__(self, env):
-        self.env = env
-
-    @symbol("mix::Main()")
-    def main(self):
-        for _ in range(ROUNDS):
-            for _ in range(MIX["mix::Tiny()"][1]):
-                self.tiny()
-            for _ in range(MIX["mix::Small()"][1]):
-                self.small()
-            for _ in range(MIX["mix::Medium()"][1]):
-                self.medium()
-            self.large()
-            self.huge()
-
-    @symbol("mix::Tiny()")
-    def tiny(self):
-        self.env.compute(MIX["mix::Tiny()"][0])
-
-    @symbol("mix::Small()")
-    def small(self):
-        self.env.compute(MIX["mix::Small()"][0])
-
-    @symbol("mix::Medium()")
-    def medium(self):
-        self.env.compute(MIX["mix::Medium()"][0])
-
-    @symbol("mix::Large()")
-    def large(self):
-        self.env.compute(MIX["mix::Large()"][0])
-
-    @symbol("mix::Huge()")
-    def huge(self):
-        self.env.compute(MIX["mix::Huge()"][0])
-
-
-def truth_shares():
-    total = sum(cycles * calls for cycles, calls in MIX.values())
-    return {
-        name: cycles * calls / total for name, (cycles, calls) in MIX.items()
-    }
-
-
-def teeperf_shares():
-    perf = TEEPerf.simulated(platform=SGX_V1, name="mix")
-    app = MixWorkload(perf.env)
-    perf.compile_instance(app)
-    perf.record(app.main)
-    analysis = perf.analyze()
-    measured = {
-        name: analysis.method(name).exclusive for name in MIX
-    }
-    total = sum(measured.values())
-    return {name: value / total for name, value in measured.items()}
-
-
-def perf_shares():
-    machine = Machine(cores=8)
-    env = make_env(machine, SGX_V1)
-    app = MixWorkload(env)
-    ins = Instrumenter("mix")
-    ins.instrument_instance(app)
-    program = ins.finish()
-    result = PerfSim(env).profile(program, app.main)
-    counted = {name: result.samples.get(name, 0) for name in MIX}
-    total = sum(counted.values()) or 1
-    return {name: value / total for name, value in counted.items()}
-
-
-def max_error(shares, truth):
-    return max(abs(shares[name] - truth[name]) for name in truth)
 
 
 def test_accuracy_against_ground_truth(emit, benchmark):
@@ -127,7 +48,7 @@ def test_accuracy_against_ground_truth(emit, benchmark):
 
     # TEE-Perf tracks the truth to within a point; sampling at ~4 kHz
     # cannot see the sub-period methods reliably.
-    assert tee_err < 0.015
+    assert tee_err < ACCURACY_CEILING
     assert perf_err > tee_err
     # Every method was observed by TEE-Perf, including the tiny one.
     assert all(tee[name] > 0 for name in MIX)

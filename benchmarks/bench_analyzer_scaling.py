@@ -13,7 +13,12 @@ reconstruction — across the engine × jobs matrix:
   GIL stops mattering);
 * ``vector j=4 (mmap)`` — ditto over an mmap-backed on-disk stream.
 
-Two floors gate the perf-smoke job (standalone run:
+The log builder and the matrix timer live in
+:mod:`repro.bench.workloads.analyzer`, shared with the suite's
+``analyzer_vector`` benchmark (``python -m repro.bench``), which gates
+the vector floor with repetitions and confidence intervals.  This
+standalone run keeps the full matrix (the pool and mmap cells the
+suite omits) and two floors (standalone run:
 ``python benchmarks/bench_analyzer_scaling.py [--quick]``, artefact in
 ``benchmarks/out/BENCH_analyze.json``, non-zero exit on a miss):
 
@@ -34,105 +39,25 @@ import json
 import os
 import pathlib
 import sys
-import time
 
 if __name__ == "__main__":  # allow running without PYTHONPATH=src
     _src = pathlib.Path(__file__).resolve().parent.parent / "src"
     if _src.is_dir() and str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
-from repro.api import Analyzer, SharedLog
-from repro.core import KIND_CALL, KIND_RET, LogStream
-from repro.symbols import BinaryImage
+from repro.api import Analyzer
+from repro.bench.workloads.analyzer import (
+    FRAMES_PER_THREAD,
+    POOL_FLOOR,
+    POOL_MIN_CPUS,
+    THREADS,
+    VECTOR_FLOOR,
+    build_image,
+    build_log,
+    run_matrix,
+)
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
-
-#: acceptance floors (ISSUE 4): vectorised reconstruction >= 4x the
-#: sequential loop single-threaded; the process pool >= 1.8x from
-#: jobs=1 to jobs=4 (enforced on hosts with >= POOL_MIN_CPUS cores).
-VECTOR_FLOOR = 4.0
-POOL_FLOOR = 1.8
-POOL_MIN_CPUS = 4
-
-THREADS = 8
-FRAMES_PER_THREAD = 32_000  # call+ret pairs: 8 * 32k * 2 = 512k entries
-FUNCTIONS = 48
-
-
-def build_image():
-    image = BinaryImage("scaling")
-    for i in range(FUNCTIONS):
-        image.add_function(f"app::Fn{i:02d}()", size=64)
-    return image
-
-
-def build_log(image):
-    """A >= 500k-entry clean log: nested call trees on every thread."""
-    addrs = [sym.addr for sym in image.symtab]
-    log = SharedLog.create(
-        THREADS * FRAMES_PER_THREAD * 2, profiler_addr=image.profiler_addr
-    )
-    append = log.append
-    for tid in range(THREADS):
-        counter = tid  # desynchronise threads a little
-        stack = []
-        opened = 0
-        while opened < FRAMES_PER_THREAD or stack:
-            counter += 3
-            # Deterministic open/close pattern: grow to depth 6, drain.
-            if opened < FRAMES_PER_THREAD and len(stack) < 6:
-                addr = addrs[(opened * 7 + tid) % FUNCTIONS]
-                stack.append(addr)
-                append(KIND_CALL, counter, addr, tid)
-                opened += 1
-            else:
-                append(KIND_RET, counter, stack.pop(), tid)
-    return log
-
-
-def _best_of(fn, repeats):
-    best, result = float("inf"), None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return result, best
-
-
-def run_matrix(analyzer, log, stream_path, repeats):
-    """One row per (engine, jobs) cell: name -> (analysis, seconds)."""
-    cells = []
-    cells.append(
-        ("python j=1", *_best_of(
-            lambda: analyzer.analyze(log, engine="python"), repeats
-        ))
-    )
-    cells.append(
-        ("vector j=1", *_best_of(
-            lambda: analyzer.analyze(log, engine="vector"), repeats
-        ))
-    )
-    cells.append(
-        ("python j=4 (pool)", *_best_of(
-            lambda: analyzer.analyze(log, engine="python", jobs=4), repeats
-        ))
-    )
-    cells.append(
-        ("vector j=4", *_best_of(
-            lambda: analyzer.analyze(log, engine="vector", jobs=4), repeats
-        ))
-    )
-    if stream_path is not None:
-        cells.append(
-            ("vector j=4 (mmap)", *_best_of(
-                lambda: analyzer.analyze(
-                    LogStream.open(str(stream_path)), engine="vector",
-                    jobs=4,
-                ),
-                repeats,
-            ))
-        )
-    return cells
 
 
 def main(argv=None):
@@ -148,7 +73,8 @@ def main(argv=None):
     repeats = 1 if args.quick else 3
 
     image = build_image()
-    log = build_log(image)
+    log = build_log(image, threads=THREADS,
+                    frames_per_thread=FRAMES_PER_THREAD)
     entries = len(log)
     assert entries >= 500_000
 

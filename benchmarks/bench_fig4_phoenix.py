@@ -11,7 +11,7 @@ Paper values: string_match 5.7x, linear_regression 0.92x (TEE-Perf
 
 import pytest
 
-from conftest import runs
+from repro.bench import runs
 from repro.fex import ResultTable, geomean, repeat
 from repro.phoenix import (
     FIGURE4_WORKLOADS,

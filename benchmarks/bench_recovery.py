@@ -13,154 +13,32 @@ Three measurements, mirroring docs/log-format.md's recovery contract:
   seal journal; sealed recording must keep at least
   :data:`SEAL_FLOOR` of the unsealed throughput.
 
-Results land in ``benchmarks/out/BENCH_recovery.json``; CI runs
-``--quick`` as the recovery-smoke job.
+The measurement cores live in :mod:`repro.bench.workloads.recovery`,
+shared with the suite's ``recovery_matrix`` and ``seal_overhead``
+benchmarks (``python -m repro.bench``), which add repetitions and
+CI-based gates.  Results land in ``benchmarks/out/BENCH_recovery.json``;
+CI runs ``--quick`` as the recovery-smoke job.
 """
 
 import argparse
 import json
 import pathlib
 import sys
-import time
 
 if __name__ == "__main__":  # allow running without PYTHONPATH=src
     _src = pathlib.Path(__file__).resolve().parent.parent / "src"
     if _src.is_dir() and str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
-from repro.api import SharedLog, recover_log
-from repro.core import KIND_CALL, ThreadLogWriter
-from repro.core.log import HEADER_SIZE
-from repro.faults import CRASH_PHASES, CrashingWriter, FaultInjector, \
-    InjectedCrash, crashed_snapshot
+from repro.bench.workloads.recovery import (
+    MATRIX_FLOOR,
+    SEAL_FLOOR,
+    bench_fault_matrix,
+    bench_salvage,
+    bench_seal_overhead,
+)
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
-
-#: Hard floor: fraction of sealed segments recovered across the whole
-#: fault matrix.  This is the paper-level promise — a committed,
-#: CRC-verified block survives any crash — so the floor is 1.0.
-MATRIX_FLOOR = 1.0
-
-#: Sealed recording must retain at least this fraction of the
-#: unsealed batched write throughput (CRC32 per committed block).
-SEAL_FLOOR = 0.5
-
-
-def _best_of(fn, repeats):
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def bench_fault_matrix(block, crash_points):
-    """Every phase x every crash point: recovered/sealed must be 1.0."""
-    runs = 0
-    segments_sealed = segments_recovered = 0
-    quarantined_reported = quarantined_counted = 0
-    for phase in CRASH_PHASES:
-        for crash_flush in range(1, crash_points + 1):
-            capacity = block * (crash_points + 2)
-            log = SharedLog.create(capacity, sealed=True)
-            writer = CrashingWriter(
-                log, block=block, phase=phase, crash_flush=crash_flush
-            )
-            try:
-                for i in range(block * (crash_points + 1)):
-                    writer.append(KIND_CALL, i, 0x400000, 1)
-                writer.flush()
-            except InjectedCrash:
-                pass
-            assert writer.crashed
-            _, report = recover_log(crashed_snapshot(log))
-            runs += 1
-            segments_sealed += report.segments_sealed
-            segments_recovered += report.segments_recovered
-            quarantined_reported += len(report.quarantined)
-            quarantined_counted += report.entries_quarantined
-            if report.entries_quarantined != sum(
-                q.count for q in report.quarantined
-            ):
-                raise AssertionError(
-                    f"silent drop at phase={phase} flush={crash_flush}"
-                )
-    return {
-        "crash_runs": runs,
-        "phases": list(CRASH_PHASES),
-        "segments_sealed": segments_sealed,
-        "segments_recovered": segments_recovered,
-        "recovered_fraction": (
-            segments_recovered / segments_sealed if segments_sealed else 1.0
-        ),
-        "entries_quarantined": quarantined_counted,
-        "quarantined_ranges": quarantined_reported,
-        "floor": MATRIX_FLOOR,
-    }
-
-
-def _sealed_image(n_entries, block):
-    log = SharedLog.create(n_entries, sealed=True)
-    with ThreadLogWriter(log, block=block) as writer:
-        for i in range(n_entries):
-            writer.append(KIND_CALL, i, 0x400000 + i, 1 + i % 4)
-    log._store_tail()
-    log.seal_remainder()
-    return log.to_bytes(), log.entry_size
-
-
-def bench_salvage(n_entries, block, repeats):
-    """MB/s through recover_log for truncated and flipped images."""
-    data, entry_size = _sealed_image(n_entries, block)
-    truncated = data[: HEADER_SIZE + (n_entries * 3 // 4) * entry_size + 5]
-    flipped, _ = FaultInjector(7).flip(data, n=8, lo=HEADER_SIZE)
-
-    results = {}
-    for name, image in (("truncated", truncated), ("flipped", flipped)):
-        sink = []
-
-        def salvage(image=image):
-            sink.append(recover_log(image)[1])
-
-        elapsed = _best_of(salvage, repeats)
-        report = sink[-1]
-        results[name] = {
-            "image_bytes": len(image),
-            "mb_per_sec": len(image) / elapsed / 1e6,
-            "entries_salvaged": report.entries_salvaged,
-            "entries_quarantined": report.entries_quarantined,
-            "crc_failures": report.crc_failures,
-            "salvaged_fraction": report.entries_salvaged / n_entries,
-        }
-    return results
-
-
-def bench_seal_overhead(n_events, repeats):
-    """events/sec, batched writer: sealed vs unsealed recording."""
-
-    def run(sealed):
-        def body():
-            log = SharedLog.create(n_events, sealed=sealed)
-            with ThreadLogWriter(log) as writer:
-                append = writer.append
-                for i in range(n_events):
-                    append(KIND_CALL, i, 0x400000, 7)
-            log._store_tail()
-            if sealed:
-                log.seal_remainder()
-
-        return body
-
-    t_plain = _best_of(run(False), repeats)
-    t_sealed = _best_of(run(True), repeats)
-    return {
-        "events": n_events,
-        "unsealed_events_per_sec": n_events / t_plain,
-        "sealed_events_per_sec": n_events / t_sealed,
-        "retained_fraction": t_plain / t_sealed,
-        "floor": SEAL_FLOOR,
-    }
 
 
 def main(argv=None):

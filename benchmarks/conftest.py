@@ -2,22 +2,28 @@
 
 Every benchmark prints the paper-style table/series it reproduces *and*
 writes it to ``benchmarks/out/`` so the artefacts survive without
-``pytest -s``.  ``REPRO_RUNS`` scales the number of repeated runs per
-measurement (the paper uses 10; default here is 3 to keep the harness
-fast — results are deterministic per seed, so spread comes only from
-dataset seeds).
+``pytest -s``.  The timer and quick-mode plumbing lives in
+:mod:`repro.bench.timing` — ``runs`` is re-exported here for the
+benchmarks that predate the suite; ``REPRO_RUNS`` scales the number of
+repeated runs per measurement (the paper uses 10; default here is 3 to
+keep the harness fast — results are deterministic per seed, so spread
+comes only from dataset seeds).
 """
 
-import os
 import pathlib
+import sys
+
+# Let `pytest benchmarks/` work without PYTHONPATH=src: the bench
+# modules import repro.* (and this conftest imports repro.bench).
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 import pytest
 
+from repro.bench.timing import runs  # noqa: F401  (re-export)
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
-
-
-def runs():
-    return int(os.environ.get("REPRO_RUNS", "3"))
 
 
 @pytest.fixture(scope="session")

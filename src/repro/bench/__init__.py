@@ -1,0 +1,73 @@
+"""``repro.bench`` — the statistically rigorous benchmark harness.
+
+The MooBench/Cloudprofiler-style measurement layer (ROADMAP item 5):
+every performance claim this repository publishes flows through one
+pipeline — warmup detection, repeated measurement, robust statistics,
+distribution-aware regression gates, and a single consolidated
+``benchmarks/out/BENCH_suite.json`` artifact.  See
+docs/benchmarking.md for the methodology and the schema.
+
+Layout:
+
+* :mod:`~repro.bench.timing` — the shared timer / quick-mode plumbing
+  (``best_of``, ``runs``) the standalone scripts and
+  ``benchmarks/conftest.py`` import;
+* :mod:`~repro.bench.stats` — median/MAD/bootstrap-CI summaries,
+  permutation-invariant by construction;
+* :mod:`~repro.bench.harness` — warmup + repetition orchestration
+  (:class:`Benchmark`, :class:`HarnessConfig`, :func:`run_benchmark`);
+* :mod:`~repro.bench.gates` — floor/ceiling/baseline gates that judge
+  confidence intervals, not single runs;
+* :mod:`~repro.bench.suite` — the schema-versioned suite emitter and
+  environment fingerprint;
+* :mod:`~repro.bench.workloads` — the measurement cores shared with
+  the ``benchmarks/bench_*.py`` scripts;
+* :mod:`~repro.bench.ports` / :mod:`~repro.bench.runner` — the
+  registry and the ``python -m repro.bench`` entry point.
+"""
+
+from repro.bench.gates import (
+    BaselineGate,
+    CeilingGate,
+    FloorGate,
+    Gate,
+    GateVerdict,
+)
+from repro.bench.harness import (
+    BenchResult,
+    Benchmark,
+    HarnessConfig,
+    run_benchmark,
+    steady_state_index,
+)
+from repro.bench.stats import SampleStats, summarize
+from repro.bench.suite import (
+    SCHEMA,
+    default_out_dir,
+    environment_fingerprint,
+    load_suite,
+    write_suite,
+)
+from repro.bench.timing import best_of, runs
+
+__all__ = [
+    "BaselineGate",
+    "BenchResult",
+    "Benchmark",
+    "CeilingGate",
+    "FloorGate",
+    "Gate",
+    "GateVerdict",
+    "HarnessConfig",
+    "SCHEMA",
+    "SampleStats",
+    "best_of",
+    "default_out_dir",
+    "environment_fingerprint",
+    "load_suite",
+    "run_benchmark",
+    "runs",
+    "steady_state_index",
+    "summarize",
+    "write_suite",
+]

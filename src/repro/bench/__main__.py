@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — see :mod:`repro.bench.runner`."""
+
+import sys
+
+from repro.bench.runner import main
+
+sys.exit(main())

@@ -1,0 +1,258 @@
+"""Distribution-aware regression gates.
+
+The pre-harness benchmarks compared a single run against a point
+floor: one scheduler hiccup on a loaded CI host and the build is red
+(or worse — a real regression hides inside the noise and the build is
+green).  A gate here compares *intervals*:
+
+* :class:`FloorGate` / :class:`CeilingGate` in ``mode="ci"`` fail only
+  when the **entire** confidence interval sits on the wrong side of
+  the threshold by more than ``slack`` (default 5%) — i.e. when the
+  regression is statistically confident *and* larger than the
+  cross-host noise the thresholds were calibrated against.  A median
+  on the wrong side with a straddling interval passes, with the
+  ambiguity recorded in the verdict reason.
+* ``mode="exact"`` is for correctness-style invariants ("100% of
+  sealed segments recover") where a single bad sample *is* the
+  failure: every sample must satisfy the threshold.
+* :class:`BaselineGate` compares the current interval against a stored
+  baseline interval (from a previous ``BENCH_suite.json``): it fails
+  only when the intervals are disjoint in the regressing direction
+  *and* the medians differ by more than a relative tolerance — CI
+  overlap, not point floors.
+
+Every gate returns a :class:`GateVerdict` that serialises into the
+suite file, so a red build always says *why* in numbers.
+"""
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BaselineGate",
+    "CeilingGate",
+    "FloorGate",
+    "Gate",
+    "GateVerdict",
+]
+
+
+@dataclass(frozen=True)
+class GateVerdict:
+    """The outcome of one gate evaluation, suite-serialisable."""
+
+    gate: str           # gate name, e.g. "floor>=3.0x"
+    kind: str           # "floor" | "ceiling" | "baseline"
+    passed: bool
+    reason: str         # human explanation with the numbers inline
+    observed: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {
+            "gate": self.gate,
+            "kind": self.kind,
+            "passed": self.passed,
+            "reason": self.reason,
+            "observed": dict(self.observed),
+        }
+
+
+class Gate:
+    """Base interface: ``evaluate(stats, samples, direction)``.
+
+    ``direction`` is the benchmark's metric direction — ``"higher"``
+    (throughput, speedup) or ``"lower"`` (overhead, error).
+    """
+
+    def evaluate(self, stats, samples, direction):
+        raise NotImplementedError
+
+
+class FloorGate(Gate):
+    """The metric must stay at or above ``threshold``.
+
+    ``mode="ci"`` (default): fail only when the whole interval is
+    below ``threshold * (1 - slack)`` — the floors were calibrated on
+    particular hosts, so a confident shortfall *within* the cross-host
+    noise margin is reported in the reason but does not fail the
+    build.  ``mode="exact"``: fail when *any* sample is below the
+    floor, with no slack (correctness invariants).
+    """
+
+    kind = "floor"
+
+    def __init__(self, threshold, mode="ci", name=None, slack=0.05):
+        if mode not in ("ci", "exact"):
+            raise ValueError(f"unknown gate mode: {mode!r}")
+        self.threshold = float(threshold)
+        self.mode = mode
+        self.slack = float(slack)
+        self.name = name or f"floor>={threshold:g}"
+
+    def evaluate(self, stats, samples, direction):
+        t = self.threshold
+        observed = {
+            "threshold": t, "mode": self.mode, "slack": self.slack,
+            "median": stats.median, "ci_low": stats.ci_low,
+            "ci_high": stats.ci_high, "min": stats.min,
+        }
+        if self.mode == "exact":
+            passed = stats.min >= t
+            reason = (
+                f"min sample {stats.min:g} "
+                f"{'>=' if passed else '<'} floor {t:g} (exact)"
+            )
+        else:
+            cutoff = t * (1.0 - self.slack)
+            passed = stats.ci_high >= cutoff
+            if not passed:
+                reason = (
+                    f"entire {stats.ci_level:.0%} CI "
+                    f"[{stats.ci_low:g}, {stats.ci_high:g}] below "
+                    f"floor {t:g} by more than the {self.slack:.0%} "
+                    "noise margin: confident regression"
+                )
+            elif stats.ci_high < t:
+                reason = (
+                    f"CI [{stats.ci_low:g}, {stats.ci_high:g}] below "
+                    f"floor {t:g} but within the {self.slack:.0%} "
+                    "noise margin: host-calibration shortfall, not a "
+                    "regression"
+                )
+            elif stats.median < t:
+                reason = (
+                    f"median {stats.median:g} below floor {t:g} but CI "
+                    f"[{stats.ci_low:g}, {stats.ci_high:g}] straddles "
+                    "it: not a confident regression"
+                )
+            else:
+                reason = (
+                    f"median {stats.median:g} >= floor {t:g} "
+                    f"(CI [{stats.ci_low:g}, {stats.ci_high:g}])"
+                )
+        return GateVerdict(self.name, self.kind, passed, reason, observed)
+
+
+class CeilingGate(Gate):
+    """The metric must stay at or below ``threshold`` (budgets:
+    overhead fractions, error bounds).  Mirror of :class:`FloorGate`:
+    ``mode="ci"`` fails only when ``ci_low > threshold * (1 + slack)``;
+    ``mode="exact"`` fails when any sample exceeds the ceiling, with
+    no slack."""
+
+    kind = "ceiling"
+
+    def __init__(self, threshold, mode="ci", name=None, slack=0.05):
+        if mode not in ("ci", "exact"):
+            raise ValueError(f"unknown gate mode: {mode!r}")
+        self.threshold = float(threshold)
+        self.mode = mode
+        self.slack = float(slack)
+        self.name = name or f"ceiling<={threshold:g}"
+
+    def evaluate(self, stats, samples, direction):
+        t = self.threshold
+        observed = {
+            "threshold": t, "mode": self.mode, "slack": self.slack,
+            "median": stats.median, "ci_low": stats.ci_low,
+            "ci_high": stats.ci_high, "max": stats.max,
+        }
+        if self.mode == "exact":
+            passed = stats.max <= t
+            reason = (
+                f"max sample {stats.max:g} "
+                f"{'<=' if passed else '>'} ceiling {t:g} (exact)"
+            )
+        else:
+            cutoff = t * (1.0 + self.slack)
+            passed = stats.ci_low <= cutoff
+            if not passed:
+                reason = (
+                    f"entire {stats.ci_level:.0%} CI "
+                    f"[{stats.ci_low:g}, {stats.ci_high:g}] above "
+                    f"ceiling {t:g} by more than the {self.slack:.0%} "
+                    "noise margin: confident regression"
+                )
+            elif stats.ci_low > t:
+                reason = (
+                    f"CI [{stats.ci_low:g}, {stats.ci_high:g}] above "
+                    f"ceiling {t:g} but within the {self.slack:.0%} "
+                    "noise margin: host-calibration overshoot, not a "
+                    "regression"
+                )
+            elif stats.median > t:
+                reason = (
+                    f"median {stats.median:g} above ceiling {t:g} but "
+                    f"CI [{stats.ci_low:g}, {stats.ci_high:g}] "
+                    "straddles it: not a confident regression"
+                )
+            else:
+                reason = (
+                    f"median {stats.median:g} <= ceiling {t:g} "
+                    f"(CI [{stats.ci_low:g}, {stats.ci_high:g}])"
+                )
+        return GateVerdict(self.name, self.kind, passed, reason, observed)
+
+
+class BaselineGate(Gate):
+    """Regression check against a stored baseline distribution.
+
+    ``baseline`` is the ``stats`` dict of the same benchmark from a
+    previous suite file.  The gate fails only when **both** hold in
+    the regressing direction (per the benchmark's ``direction``):
+
+    * the current and baseline confidence intervals are disjoint, and
+    * the current median moved by more than ``rel_tol`` relative to
+      the baseline median.
+
+    Overlapping intervals always pass: the two distributions are
+    statistically indistinguishable at the stored level.
+    """
+
+    kind = "baseline"
+
+    def __init__(self, baseline, rel_tol=0.10, name="baseline"):
+        self.baseline = dict(baseline)
+        self.rel_tol = float(rel_tol)
+        self.name = name
+
+    def evaluate(self, stats, samples, direction):
+        base_lo = float(self.baseline["ci_low"])
+        base_hi = float(self.baseline["ci_high"])
+        base_med = float(self.baseline["median"])
+        observed = {
+            "median": stats.median, "ci_low": stats.ci_low,
+            "ci_high": stats.ci_high, "baseline_median": base_med,
+            "baseline_ci_low": base_lo, "baseline_ci_high": base_hi,
+            "rel_tol": self.rel_tol, "direction": direction,
+        }
+        if direction == "higher":
+            disjoint = stats.ci_high < base_lo
+            moved = (
+                base_med > 0
+                and stats.median < base_med * (1.0 - self.rel_tol)
+            )
+        else:
+            disjoint = stats.ci_low > base_hi
+            moved = (
+                base_med > 0
+                and stats.median > base_med * (1.0 + self.rel_tol)
+            ) or (base_med == 0 and stats.ci_low > 0)
+        passed = not (disjoint and moved)
+        if passed and not disjoint:
+            reason = (
+                f"CI [{stats.ci_low:g}, {stats.ci_high:g}] overlaps "
+                f"baseline CI [{base_lo:g}, {base_hi:g}]"
+            )
+        elif passed:
+            reason = (
+                f"CIs disjoint but median {stats.median:g} within "
+                f"{self.rel_tol:.0%} of baseline {base_med:g}"
+            )
+        else:
+            reason = (
+                f"CI [{stats.ci_low:g}, {stats.ci_high:g}] disjoint "
+                f"from baseline [{base_lo:g}, {base_hi:g}] and median "
+                f"{stats.median:g} regressed past {self.rel_tol:.0%} "
+                f"of baseline {base_med:g}"
+            )
+        return GateVerdict(self.name, self.kind, passed, reason, observed)

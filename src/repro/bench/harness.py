@@ -1,0 +1,216 @@
+"""The measurement harness: warmup detection, repetitions, statistics.
+
+MooBench-style orchestration for one benchmark:
+
+1. **Warmup** — the body runs until a sliding window of samples is
+   *steady* (window spread within a tolerance of the window median) or
+   a cap is hit; warmup samples are discarded but counted, and whether
+   steady state was actually reached is recorded in the result.
+2. **Measurement** — ``repetitions`` samples are collected, each the
+   median of ``invocations`` body calls (one call by default: the
+   ported benchmarks return a derived metric per call, e.g. a speedup,
+   rather than a raw duration).
+3. **Statistics** — samples become a :class:`~repro.bench.stats.
+   SampleStats` (median, MAD, confidence interval, outlier tags).
+4. **Gates** — each of the benchmark's gates renders a verdict against
+   the distribution (see :mod:`repro.bench.gates`).
+
+A :class:`Benchmark` body is a plain callable ``body(state) -> float``
+where ``state`` is whatever ``setup()`` returned — the five ported
+benchmarks wrap the exact measurement cores the standalone scripts
+use (:mod:`repro.bench.workloads`), so both entry points share one
+code path.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.stats import median, summarize
+
+__all__ = [
+    "BenchResult",
+    "Benchmark",
+    "HarnessConfig",
+    "run_benchmark",
+    "steady_state_index",
+]
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Knobs for one harness run (shared by every benchmark)."""
+
+    repetitions: int = 5
+    invocations: int = 1
+    warmup_max: int = 3          # body calls spent hunting steady state
+    warmup_window: int = 3       # sliding-window width
+    warmup_tolerance: float = 0.10  # spread/median bound for "steady"
+    ci_level: float = 0.95
+    ci_method: str = "bootstrap"
+    bootstrap_resamples: int = 2000
+    seed: int = 0
+
+    def replace(self, **kw):
+        from dataclasses import replace as _replace
+        return _replace(self, **kw)
+
+
+@dataclass
+class Benchmark:
+    """One suite benchmark: a measured body plus its gate contract."""
+
+    name: str
+    description: str
+    unit: str                      # "x", "fraction", "share", ...
+    direction: str                 # "higher" | "lower"
+    body: callable = None          # body(state) -> float sample
+    setup: callable = None         # () -> state (None -> state is None)
+    teardown: callable = None      # (state) -> None
+    gates: list = field(default_factory=list)
+    detail: callable = None        # (state) -> dict, after sampling
+    # Per-benchmark overrides of the harness config (e.g. an expensive
+    # body capping its warmup at 1):
+    overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.direction not in ("higher", "lower"):
+            raise ValueError(f"bad direction: {self.direction!r}")
+        if self.body is None:
+            raise ValueError("a Benchmark needs a body")
+
+
+@dataclass
+class BenchResult:
+    """Everything the suite file records about one benchmark."""
+
+    name: str
+    description: str
+    unit: str
+    direction: str
+    samples: list
+    stats: object                 # SampleStats
+    verdicts: list                # [GateVerdict, ...]
+    repetitions: int
+    invocations: int
+    warmup: dict
+    seconds: float                # wall clock of the whole run
+    detail: dict = field(default_factory=dict)
+    handicap: float = 1.0
+
+    @property
+    def passed(self):
+        return all(v.passed for v in self.verdicts)
+
+    def to_dict(self):
+        return {
+            "description": self.description,
+            "unit": self.unit,
+            "direction": self.direction,
+            "repetitions": self.repetitions,
+            "invocations": self.invocations,
+            "samples": list(self.samples),
+            "stats": self.stats.to_dict(),
+            "warmup": dict(self.warmup),
+            "gates": [v.to_dict() for v in self.verdicts],
+            "passed": self.passed,
+            "seconds": self.seconds,
+            "handicap": self.handicap,
+            "detail": dict(self.detail),
+        }
+
+
+def steady_state_index(samples, window, tolerance):
+    """First index ``i`` whose trailing ``window`` samples are steady.
+
+    Steady means ``max - min <= tolerance * |median|`` over the window
+    (an all-equal window is steady even at median zero).  Returns
+    ``None`` when no window qualifies — the caller records that
+    steady state was never reached rather than failing.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    for i in range(window - 1, len(samples)):
+        win = samples[i - window + 1:i + 1]
+        spread = max(win) - min(win)
+        med = abs(median(win))
+        if spread == 0.0 or (med > 0 and spread <= tolerance * med):
+            return i
+    return None
+
+
+def run_benchmark(bench, config=None, handicap=1.0):
+    """Run one :class:`Benchmark` under a :class:`HarnessConfig`.
+
+    ``handicap`` multiplies every measured sample — the documented
+    self-test of the gate path (``python -m repro.bench --handicap
+    name=0.5`` makes a healthy speedup look halved and must flip its
+    floor gate to fail).  It is recorded in the result so a
+    handicapped suite file can never masquerade as a real one.
+    """
+    config = config or HarnessConfig()
+    if bench.overrides:
+        config = config.replace(**bench.overrides)
+    if config.repetitions < 1 or config.invocations < 1:
+        raise ValueError("repetitions and invocations must be >= 1")
+
+    started = time.perf_counter()
+    state = bench.setup() if bench.setup is not None else None
+    try:
+        # --- warmup: discard until steady or capped -----------------
+        warm = []
+        steady_at = None
+        for _ in range(config.warmup_max):
+            warm.append(float(bench.body(state)))
+            steady_at = steady_state_index(
+                warm, min(config.warmup_window, len(warm)),
+                config.warmup_tolerance,
+            ) if len(warm) >= config.warmup_window else None
+            if steady_at is not None:
+                break
+        warmup = {
+            "discarded": len(warm),
+            "steady": steady_at is not None or config.warmup_max == 0,
+            "window": config.warmup_window,
+            "tolerance": config.warmup_tolerance,
+        }
+
+        # --- measurement --------------------------------------------
+        samples = []
+        for _ in range(config.repetitions):
+            calls = [
+                float(bench.body(state))
+                for _ in range(config.invocations)
+            ]
+            samples.append(median(calls) * handicap)
+
+        detail = bench.detail(state) if bench.detail is not None else {}
+    finally:
+        if bench.teardown is not None:
+            bench.teardown(state)
+
+    stats = summarize(
+        samples,
+        level=config.ci_level,
+        method=config.ci_method,
+        resamples=config.bootstrap_resamples,
+        seed=config.seed,
+    )
+    verdicts = [
+        gate.evaluate(stats, samples, bench.direction)
+        for gate in bench.gates
+    ]
+    return BenchResult(
+        name=bench.name,
+        description=bench.description,
+        unit=bench.unit,
+        direction=bench.direction,
+        samples=samples,
+        stats=stats,
+        verdicts=verdicts,
+        repetitions=config.repetitions,
+        invocations=config.invocations,
+        warmup=warmup,
+        seconds=time.perf_counter() - started,
+        detail=detail,
+        handicap=handicap,
+    )

@@ -1,0 +1,435 @@
+"""The suite registry: the gated benchmarks, ported onto the harness.
+
+Each entry wraps the exact measurement core its standalone script uses
+(:mod:`repro.bench.workloads`) in a :class:`~repro.bench.harness.
+Benchmark`: a body producing one *sample* per call (a speedup ratio,
+an overhead fraction, a recovered fraction, a share error) plus the
+distribution-aware gate that replaces the script's point floor.
+
+Three size profiles:
+
+* **full** — paper-sized workloads (the numbers the README quotes);
+* **quick** (``--quick``) — CI-sized, same floors, smaller bodies;
+* **smoke** (``REPRO_BENCH_SMOKE=1``) — tiny bodies for the tier-1
+  integration test, where the *machinery* is under test, not the
+  hardware.
+
+Paired measurement everywhere: each sample times baseline and
+contender back to back in one body call, so host noise cancels in the
+ratio — the ratio's distribution is what the gates judge.
+"""
+
+import os
+
+from repro.bench.gates import CeilingGate, FloorGate
+from repro.bench.harness import Benchmark
+from repro.bench.stats import median
+from repro.bench.workloads import accuracy as _accuracy
+from repro.bench.workloads import analyzer as _analyzer
+from repro.bench.workloads import monitor as _monitor
+from repro.bench.workloads import record_path as _record
+from repro.bench.workloads import recovery as _recovery
+
+__all__ = ["build_registry", "derived_views", "smoke_mode"]
+
+
+def smoke_mode():
+    """Tiny-workload mode for integration tests (env, not a flag: the
+    CLI surface documents only what users should run)."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _profile(quick, smoke):
+    """Size table: (full, quick, smoke) per knob."""
+    pick = 2 if smoke else (1 if quick else 0)
+
+    def size(*options):
+        return options[pick]
+
+    return size
+
+
+# ----------------------------------------------------------------------
+# record path
+
+
+def _record_write_bench(size):
+    n_events = size(200_000, 100_000, 40_000)
+    inner = size(3, 3, 2)
+    state = {"pairs": []}
+
+    def body(_):
+        pair = _record.write_sample(n_events, inner=inner)
+        state["pairs"].append(pair)
+        return pair[0] / pair[1]  # legacy / batched = speedup
+
+    def detail(_):
+        t_legacy = median([p[0] for p in state["pairs"]])
+        t_batched = median([p[1] for p in state["pairs"]])
+        return {
+            "events": n_events,
+            "legacy_events_per_sec": n_events / t_legacy,
+            "batched_events_per_sec": n_events / t_batched,
+            "legacy_ns_per_event": t_legacy / n_events * 1e9,
+            "batched_ns_per_event": t_batched / n_events * 1e9,
+            "floor": _record.WRITE_FLOOR,
+        }
+
+    return Benchmark(
+        name="record_write",
+        description=(
+            "Batched ThreadLogWriter vs the frozen per-event append "
+            "baseline (events/sec speedup)"
+        ),
+        unit="x",
+        direction="higher",
+        body=body,
+        detail=detail,
+        gates=[FloorGate(_record.WRITE_FLOOR)],
+    )
+
+
+def _columnar_decode_bench(size):
+    n_entries = size(262_144, 65_536, 16_384)
+    state = {"pairs": [], "log": None}
+
+    def setup():
+        log = _record.build_filled_log(n_entries)
+        state["log"] = log
+        return {"buf": log.to_bytes(), "version": log.version}
+
+    def body(s):
+        pair = _record.decode_sample(s["buf"], s["version"], n_entries)
+        state["pairs"].append(pair)
+        return pair[0] / pair[1]
+
+    def detail(_):
+        t_legacy = median([p[0] for p in state["pairs"]])
+        t_columnar = median([p[1] for p in state["pairs"]])
+        return {
+            "entries": n_entries,
+            "legacy_entries_per_sec": n_entries / t_legacy,
+            "columnar_entries_per_sec": n_entries / t_columnar,
+            "floor": _record.DECODE_FLOOR,
+        }
+
+    return Benchmark(
+        name="columnar_decode",
+        description=(
+            "Columnar bulk decode vs the frozen per-entry LogEntry "
+            "reader (entries/sec speedup)"
+        ),
+        unit="x",
+        direction="higher",
+        body=body,
+        setup=setup,
+        detail=detail,
+        gates=[FloorGate(_record.DECODE_FLOOR)],
+    )
+
+
+# ----------------------------------------------------------------------
+# analyzer
+
+
+def _analyzer_vector_bench(size):
+    threads = size(8, 4, 2)
+    frames = size(16_000, 8_000, 2_000)
+
+    def setup():
+        image = _analyzer.build_image()
+        log = _analyzer.build_log(
+            image, threads=threads, frames_per_thread=frames
+        )
+        return {
+            "analyzer": _analyzer.make_analyzer(image),
+            "log": log,
+            "entries": len(log),
+        }
+
+    def body(s):
+        t_python, t_vector, (sequential, vector) = (
+            _analyzer.vector_speedup_sample(s["analyzer"], s["log"])
+        )
+        # The differential guarantee, outside the timed region: both
+        # engines must produce the identical profile on the clean log.
+        assert vector.records == sequential.records
+        assert vector.pipeline.shards_fallback == 0
+        return t_python / t_vector
+
+    def detail(s):
+        return {
+            "entries": s["entries"],
+            "threads": threads,
+            "floor": _analyzer.VECTOR_FLOOR,
+        }
+
+    return Benchmark(
+        name="analyzer_vector",
+        description=(
+            "Vectorised whole-shard stack reconstruction vs the "
+            "sequential oracle loop, single worker (speedup)"
+        ),
+        unit="x",
+        direction="higher",
+        body=body,
+        setup=setup,
+        detail=detail,
+        gates=[FloorGate(_analyzer.VECTOR_FLOOR)],
+        overrides={"warmup_max": 2},
+    )
+
+
+# ----------------------------------------------------------------------
+# monitor
+
+
+def _monitor_overhead_bench(size):
+    loops = size(120_000, 60_000, 20_000)
+    repeats = size(9, 5, 3)
+    state = {"last": None}
+
+    def setup():
+        workload = _monitor.make_workload(loops)
+        workload()  # warm up the bytecode and the branch predictors
+        return workload
+
+    def body(workload):
+        baseline, monitored, samples, pass_p95 = (
+            _monitor.overhead_sample(workload, repeats)
+        )
+        state["last"] = {
+            "baseline_seconds": baseline,
+            "monitored_seconds": monitored,
+            "sampling_passes": samples,
+            "sample_pass_p95_seconds": pass_p95,
+        }
+        # The monitor really ran, and each pass fit in its interval.
+        assert samples >= 1
+        return monitored / baseline - 1.0
+
+    def detail(_):
+        data = dict(state["last"])
+        data.update({
+            "interval_seconds": _monitor.INTERVAL,
+            "repeats": repeats,
+            "work_loops": loops,
+            "budget_fraction": _monitor.OVERHEAD_BUDGET,
+        })
+        return data
+
+    return Benchmark(
+        name="monitor_overhead",
+        description=(
+            "Wall-clock overhead an attached polling Monitor imposes "
+            "on a GIL-bound workload (fraction)"
+        ),
+        unit="fraction",
+        direction="lower",
+        body=body,
+        setup=setup,
+        detail=detail,
+        gates=[CeilingGate(_monitor.OVERHEAD_BUDGET)],
+        overrides={"warmup_max": 1},
+    )
+
+
+# ----------------------------------------------------------------------
+# recovery
+
+
+def _recovery_matrix_bench(size):
+    crash_points = size(4, 3, 2)
+    state = {"last": None}
+
+    def body(_):
+        matrix = _recovery.bench_fault_matrix(
+            block=16, crash_points=crash_points
+        )
+        state["last"] = matrix
+        return matrix["recovered_fraction"]
+
+    def detail(_):
+        return dict(state["last"])
+
+    return Benchmark(
+        name="recovery_matrix",
+        description=(
+            "Fraction of CRC-sealed segments recovered across the "
+            "crash-phase x crash-point fault matrix"
+        ),
+        unit="fraction",
+        direction="higher",
+        body=body,
+        detail=detail,
+        # The paper-level promise is exact: a single lost sealed
+        # segment in any sample is a failure, CI or no CI.
+        gates=[FloorGate(_recovery.MATRIX_FLOOR, mode="exact")],
+        overrides={"warmup_max": 1},
+    )
+
+
+def _seal_overhead_bench(size):
+    n_events = size(100_000, 40_000, 10_000)
+    state = {"pairs": []}
+
+    def body(_):
+        pair = _recovery.seal_overhead_sample(n_events)
+        state["pairs"].append(pair)
+        return pair[0] / pair[1]  # fraction of throughput retained
+
+    def detail(_):
+        t_plain = median([p[0] for p in state["pairs"]])
+        t_sealed = median([p[1] for p in state["pairs"]])
+        return {
+            "events": n_events,
+            "unsealed_events_per_sec": n_events / t_plain,
+            "sealed_events_per_sec": n_events / t_sealed,
+            "floor": _recovery.SEAL_FLOOR,
+        }
+
+    return Benchmark(
+        name="seal_overhead",
+        description=(
+            "Fraction of unsealed batched write throughput retained "
+            "with CRC seal journaling on"
+        ),
+        unit="fraction",
+        direction="higher",
+        body=body,
+        detail=detail,
+        gates=[FloorGate(_recovery.SEAL_FLOOR)],
+    )
+
+
+# ----------------------------------------------------------------------
+# accuracy
+
+
+def _accuracy_bench(size):
+    rounds = size(120, 40, 12)
+    state = {}
+
+    def body(_):
+        truth = _accuracy.truth_shares()
+        tee = _accuracy.teeperf_shares(rounds=rounds)
+        state["tee"] = tee
+        state["truth"] = truth
+        return _accuracy.max_error(tee, truth)
+
+    def detail(_):
+        sampled = _accuracy.perf_shares(rounds=rounds)
+        return {
+            "rounds": rounds,
+            "ceiling": _accuracy.ACCURACY_CEILING,
+            "perf_max_error": _accuracy.max_error(
+                sampled, state["truth"]
+            ),
+            "truth_shares": state["truth"],
+            "teeperf_shares": state["tee"],
+        }
+
+    return Benchmark(
+        name="accuracy_error",
+        description=(
+            "TEE-Perf's worst per-method share error against the "
+            "simulator's exact ground truth"
+        ),
+        unit="share",
+        direction="lower",
+        body=body,
+        detail=detail,
+        # The simulation is deterministic; any sample over the bound
+        # is a real accuracy loss, so the gate is exact.
+        gates=[CeilingGate(_accuracy.ACCURACY_CEILING, mode="exact")],
+        overrides={"warmup_max": 1},
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+def build_registry(quick=False, smoke=None):
+    """The suite, in run order.  ``smoke=None`` reads the env knob."""
+    if smoke is None:
+        smoke = smoke_mode()
+    size = _profile(quick, smoke)
+    return [
+        _record_write_bench(size),
+        _columnar_decode_bench(size),
+        _analyzer_vector_bench(size),
+        _monitor_overhead_bench(size),
+        _recovery_matrix_bench(size),
+        _seal_overhead_bench(size),
+        _accuracy_bench(size),
+    ]
+
+
+def derived_views(results, quick=False):
+    """Legacy per-bench artifacts as views of the suite result.
+
+    ``results`` maps bench name -> :class:`BenchResult`.  Returns
+    ``{filename: payload}`` for every legacy artifact whose source
+    benchmarks all ran.  Each payload carries the keys its standalone
+    script emits plus ``"derived_from": "BENCH_suite.json"``.
+    """
+    views = {}
+
+    def stamp(payload, benchmark):
+        payload.update({
+            "benchmark": benchmark,
+            "quick": bool(quick),
+            "derived_from": "BENCH_suite.json",
+        })
+        return payload
+
+    if "record_write" in results and "columnar_decode" in results:
+        write = dict(results["record_write"].detail)
+        write["speedup"] = results["record_write"].stats.median
+        decode = dict(results["columnar_decode"].detail)
+        decode["speedup"] = results["columnar_decode"].stats.median
+        views["BENCH_record.json"] = stamp(
+            {"write": write, "decode": decode}, "record_path"
+        )
+
+    if "analyzer_vector" in results:
+        r = results["analyzer_vector"]
+        views["BENCH_analyze.json"] = stamp(
+            {
+                "entries": r.detail.get("entries"),
+                "threads": r.detail.get("threads"),
+                "vector_speedup": r.stats.median,
+                "vector_floor": _analyzer.VECTOR_FLOOR,
+            },
+            "analyze_engines",
+        )
+
+    if "monitor_overhead" in results:
+        r = results["monitor_overhead"]
+        payload = dict(r.detail)
+        payload["overhead_fraction"] = r.stats.median
+        views["BENCH_monitor.json"] = stamp(payload, "monitor_overhead")
+
+    if "recovery_matrix" in results:
+        payload = {"fault_matrix": dict(results["recovery_matrix"].detail)}
+        if "seal_overhead" in results:
+            seal = dict(results["seal_overhead"].detail)
+            seal["retained_fraction"] = (
+                results["seal_overhead"].stats.median
+            )
+            payload["seal_overhead"] = seal
+        views["BENCH_recovery.json"] = stamp(payload, "recovery")
+
+    if "accuracy_error" in results:
+        r = results["accuracy_error"]
+        views["BENCH_accuracy.json"] = stamp(
+            {
+                "tee_max_error": r.stats.median,
+                "ceiling": _accuracy.ACCURACY_CEILING,
+                "perf_max_error": r.detail.get("perf_max_error"),
+                "rounds": r.detail.get("rounds"),
+            },
+            "accuracy",
+        )
+
+    return views

@@ -1,0 +1,253 @@
+"""``python -m repro.bench`` — run the suite, gate it, report it.
+
+The single entry point the bench-suite CI job, the README quickstart
+and the tier-1 integration test all share:
+
+* run the registered benchmarks (``--quick`` for CI sizing, ``--only``
+  to pick), collecting repetition samples through the harness;
+* write the consolidated ``benchmarks/out/BENCH_suite.json`` plus the
+  legacy per-bench artifacts as derived views;
+* evaluate every gate (floors/ceilings always; baseline CI-overlap
+  when ``--baseline`` points at a previous suite file) and exit
+  non-zero when any gate fails;
+* ``--report`` renders the markdown table the README embeds, straight
+  from an existing suite file — the table is generated, never
+  hand-edited.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.bench.harness import HarnessConfig, run_benchmark
+from repro.bench.ports import build_registry, derived_views
+from repro.bench.suite import (
+    baseline_gate_for,
+    default_out_dir,
+    load_suite,
+    write_suite,
+)
+
+__all__ = ["build_parser", "main", "markdown_report", "print_result",
+           "run_selected"]
+
+QUICK_REPETITIONS = 3
+FULL_REPETITIONS = 7
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Statistically rigorous benchmark suite: warmup "
+            "detection, repetitions, confidence intervals, "
+            "distribution-aware regression gates, one consolidated "
+            "BENCH_suite.json (see docs/benchmarking.md)"
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: smaller workloads, 3 repetitions",
+    )
+    parser.add_argument(
+        "--only", action="append", metavar="NAME",
+        help="run only this benchmark (repeatable)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered benchmarks and exit",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, metavar="N",
+        help="override the repetition count (default: 7, 3 with --quick)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="suite file to write (default: benchmarks/out/BENCH_suite.json)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help=(
+            "previous BENCH_suite.json to gate against: a benchmark "
+            "fails when its CI is disjoint from the baseline's in the "
+            "regressing direction"
+        ),
+    )
+    parser.add_argument(
+        "--handicap", action="append", metavar="NAME=FACTOR",
+        help=(
+            "multiply NAME's samples by FACTOR — the documented "
+            "self-test that a doctored result flips its gate to fail "
+            "(e.g. --handicap record_write=0.5)"
+        ),
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help=(
+            "render the markdown table from an existing suite file "
+            "(with --out to pick the file) instead of running"
+        ),
+    )
+    return parser
+
+
+def _parse_handicaps(specs, names):
+    handicaps = {}
+    for spec in specs or ():
+        name, sep, factor = spec.partition("=")
+        if not sep:
+            raise SystemExit(f"bad --handicap (want NAME=FACTOR): {spec}")
+        if name not in names:
+            raise SystemExit(f"--handicap names unknown benchmark: {name}")
+        handicaps[name] = float(factor)
+    return handicaps
+
+
+def _format_value(value, unit):
+    if unit == "x":
+        return f"{value:.2f}x"
+    if unit in ("fraction", "share"):
+        return f"{value * 100:.2f}%"
+    return f"{value:g}"
+
+
+def markdown_report(payload):
+    """The README's performance table, generated from a suite file."""
+    lines = [
+        "| benchmark | metric | median | 95% CI | n | gate |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name, bench in sorted(payload["benchmarks"].items()):
+        stats = bench["stats"]
+        unit = bench["unit"]
+        gates = bench["gates"]
+        gate_text = "; ".join(g["gate"] for g in gates) or "—"
+        verdict = "pass" if bench["passed"] else "**FAIL**"
+        lines.append(
+            "| `{name}` | {desc} | **{median}** | [{lo}, {hi}] | {n} "
+            "| {gate} ({verdict}) |".format(
+                name=name,
+                desc=bench["description"],
+                median=_format_value(stats["median"], unit),
+                lo=_format_value(stats["ci_low"], unit),
+                hi=_format_value(stats["ci_high"], unit),
+                n=stats["count"],
+                gate=gate_text,
+                verdict=verdict,
+            )
+        )
+    return "\n".join(lines)
+
+
+def print_result(result):
+    stats = result.stats
+    print(
+        f"{result.name:<18} median {_format_value(stats.median, result.unit):>9}"
+        f"  CI [{_format_value(stats.ci_low, result.unit)}, "
+        f"{_format_value(stats.ci_high, result.unit)}]"
+        f"  n={stats.count}"
+        f"  mad={stats.mad:.3g}"
+        f"  {'ok' if result.passed else 'GATE FAILED'}"
+        f"  ({result.seconds:.1f}s"
+        + (f", handicap {result.handicap:g}" if result.handicap != 1.0
+           else "")
+        + ")"
+    )
+    for verdict in result.verdicts:
+        if not verdict.passed:
+            print(f"  FAIL [{verdict.kind}] {verdict.reason}",
+                  file=sys.stderr)
+
+
+def run_selected(names, quick=False, repetitions=None):
+    """Run a subset of the registry through the harness.
+
+    The code path the standalone ``benchmarks/bench_*.py`` wrappers
+    share with ``python -m repro.bench``: same sizes, same warmup and
+    repetition orchestration, same gates.  Returns ``{name:
+    BenchResult}`` in registry order, printing the one-line summary
+    per benchmark as it goes.
+    """
+    registry = [b for b in build_registry(quick=quick) if b.name in names]
+    missing = sorted(set(names) - {b.name for b in registry})
+    if missing:
+        raise SystemExit(f"unknown benchmark(s): {', '.join(missing)}")
+    config = HarnessConfig(
+        repetitions=repetitions
+        or (QUICK_REPETITIONS if quick else FULL_REPETITIONS)
+    )
+    results = {}
+    for bench in registry:
+        result = run_benchmark(bench, config)
+        print_result(result)
+        results[bench.name] = result
+    return results
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    out_path = args.out or (default_out_dir() / "BENCH_suite.json")
+
+    if args.report:
+        print(markdown_report(load_suite(out_path)))
+        return 0
+
+    registry = build_registry(quick=args.quick)
+    names = [b.name for b in registry]
+    if args.list:
+        for bench in registry:
+            print(f"{bench.name:<18} {bench.description}")
+        return 0
+
+    if args.only:
+        unknown = sorted(set(args.only) - set(names))
+        if unknown:
+            raise SystemExit(f"unknown benchmark(s): {', '.join(unknown)}")
+        registry = [b for b in registry if b.name in args.only]
+
+    handicaps = _parse_handicaps(args.handicap, set(names))
+    repetitions = args.repetitions or (
+        QUICK_REPETITIONS if args.quick else FULL_REPETITIONS
+    )
+    if repetitions < 3:
+        raise SystemExit("the suite needs >= 3 repetitions for a CI")
+    config = HarnessConfig(repetitions=repetitions)
+
+    baseline = load_suite(args.baseline) if args.baseline else None
+
+    results = []
+    for bench in registry:
+        result = run_benchmark(
+            bench, config, handicap=handicaps.get(bench.name, 1.0)
+        )
+        if baseline is not None:
+            gate = baseline_gate_for(baseline, bench.name)
+            if gate is not None:
+                result.verdicts.append(
+                    gate.evaluate(result.stats, result.samples,
+                                  bench.direction)
+                )
+        print_result(result)
+        results.append(result)
+
+    payload = write_suite(
+        results, out_path, quick=args.quick,
+        baseline=str(args.baseline) if args.baseline else None,
+    )
+    out_dir = pathlib.Path(out_path).parent
+    for filename, view in derived_views(
+        {r.name: r for r in results}, quick=args.quick
+    ).items():
+        (out_dir / filename).write_text(json.dumps(view, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(results)} benchmarks)")
+
+    if not payload["passed"]:
+        failed = [r.name for r in results if not r.passed]
+        print("GATE FAILED: " + ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Shared timing and quick-mode plumbing for the benchmark layer.
+
+Before ``repro.bench`` existed, every standalone benchmark script
+carried its own copy of a best-of-N timer and its own reading of the
+``REPRO_RUNS`` environment variable.  This module is the single home
+for that plumbing: ``benchmarks/conftest.py`` and the standalone
+scripts import from here, and the measurement harness
+(:mod:`repro.bench.harness`) builds on the same primitives — one code
+path whether a benchmark runs under pytest, standalone, or through
+``python -m repro.bench``.
+"""
+
+import os
+import time
+
+__all__ = ["best_of", "runs", "time_call"]
+
+
+def runs(default=3):
+    """Repeated-run count for the legacy benchmark scripts.
+
+    ``REPRO_RUNS`` scales the number of repeated runs per measurement
+    (the paper uses 10; the default of 3 keeps the pytest benchmark
+    suite fast).  The suite harness has its own repetition knobs
+    (:class:`repro.bench.harness.HarnessConfig`); this function exists
+    for the standalone scripts and ``benchmarks/conftest.py``.
+    """
+    return int(os.environ.get("REPRO_RUNS", str(default)))
+
+
+def time_call(fn):
+    """Wall-clock one call of ``fn``; returns ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def best_of(fn, repeats):
+    """Best (minimum) wall-clock time of ``repeats`` calls of ``fn``.
+
+    Minimum-of-N is the right point estimate for a *deterministic*
+    body on a noisy machine: every source of error (scheduler, cache
+    state, GC) only ever adds time.  The suite harness deliberately
+    does **not** use it — it keeps every sample and reports
+    distribution-aware statistics — but the standalone before/after
+    scripts still do, and they all share this one implementation.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

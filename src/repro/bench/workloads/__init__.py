@@ -1,0 +1,14 @@
+"""Measurement cores shared by the standalone benchmark scripts and
+the suite ports.
+
+Each module here holds the *measured body* of one gated benchmark —
+the frozen legacy baselines, the workload builders, the single-shot
+measurement functions.  ``benchmarks/bench_*.py`` (standalone/pytest)
+and :mod:`repro.bench.ports` (the ``python -m repro.bench`` suite)
+both import from here, so there is exactly one definition of what
+each number means.
+
+The legacy baselines (``record_path._LegacyLog`` et al.) are kept
+**frozen** on purpose: their slowness is the measurement.  Do not
+optimise them when the library moves on.
+"""

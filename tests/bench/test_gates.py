@@ -1,0 +1,128 @@
+"""repro.bench.gates — verdicts judge distributions, not single runs."""
+
+import pytest
+
+from repro.bench.gates import BaselineGate, CeilingGate, FloorGate
+from repro.bench.stats import summarize
+
+
+def _stats(samples):
+    return summarize(samples), samples
+
+
+def test_floor_ci_passes_above():
+    stats, samples = _stats([3.4, 3.5, 3.6])
+    verdict = FloorGate(3.0).evaluate(stats, samples, "higher")
+    assert verdict.passed
+    assert verdict.kind == "floor"
+
+
+def test_floor_ci_fails_only_when_whole_interval_below():
+    # Confidently below the floor (and beyond the noise margin): fail.
+    stats, samples = _stats([1.4, 1.5, 1.6])
+    verdict = FloorGate(3.0).evaluate(stats, samples, "higher")
+    assert not verdict.passed
+    assert "confident regression" in verdict.reason
+
+    # Median below but interval straddling: not confident — pass.
+    stats, samples = _stats([2.8, 2.9, 3.2])
+    verdict = FloorGate(3.0).evaluate(stats, samples, "higher")
+    assert verdict.passed
+    assert "straddles" in verdict.reason
+
+
+def test_floor_ci_slack_absorbs_calibration_noise():
+    # Whole CI below 3.0 but within the 5% margin: recorded, not failed.
+    stats, samples = _stats([2.90, 2.92, 2.94])
+    verdict = FloorGate(3.0).evaluate(stats, samples, "higher")
+    assert verdict.passed
+    assert "noise margin" in verdict.reason
+    # With no slack the same distribution is a hard fail.
+    strict = FloorGate(3.0, slack=0.0).evaluate(stats, samples, "higher")
+    assert not strict.passed
+
+
+def test_floor_exact_fails_on_any_sample():
+    stats, samples = _stats([1.0, 1.0, 0.99])
+    verdict = FloorGate(1.0, mode="exact").evaluate(
+        stats, samples, "higher"
+    )
+    assert not verdict.passed
+    stats, samples = _stats([1.0, 1.0, 1.0])
+    assert FloorGate(1.0, mode="exact").evaluate(
+        stats, samples, "higher"
+    ).passed
+
+
+def test_ceiling_mirrors_floor():
+    stats, samples = _stats([0.01, 0.02, 0.02])
+    assert CeilingGate(0.05).evaluate(stats, samples, "lower").passed
+
+    stats, samples = _stats([0.08, 0.09, 0.10])
+    verdict = CeilingGate(0.05).evaluate(stats, samples, "lower")
+    assert not verdict.passed
+    assert "confident regression" in verdict.reason
+
+    # Exact mode: one sample over the budget is a failure.
+    stats, samples = _stats([0.01, 0.06, 0.01])
+    assert not CeilingGate(0.05, mode="exact").evaluate(
+        stats, samples, "lower"
+    ).passed
+
+
+def test_gate_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        FloorGate(1.0, mode="fuzzy")
+    with pytest.raises(ValueError):
+        CeilingGate(1.0, mode="fuzzy")
+
+
+def _baseline_from(samples):
+    return summarize(samples).to_dict()
+
+
+def test_baseline_overlapping_intervals_pass():
+    baseline = _baseline_from([3.0, 3.2, 3.4])
+    stats, samples = _stats([2.9, 3.1, 3.3])
+    verdict = BaselineGate(baseline).evaluate(stats, samples, "higher")
+    assert verdict.passed
+    assert "overlaps" in verdict.reason
+
+
+def test_baseline_disjoint_and_moved_fails():
+    baseline = _baseline_from([3.0, 3.2, 3.4])
+    stats, samples = _stats([1.4, 1.5, 1.6])  # halved throughput
+    verdict = BaselineGate(baseline).evaluate(stats, samples, "higher")
+    assert not verdict.passed
+    assert verdict.kind == "baseline"
+
+
+def test_baseline_disjoint_within_tolerance_passes():
+    # Disjoint but the median only moved ~6% — inside rel_tol.
+    baseline = _baseline_from([3.20, 3.21, 3.22])
+    stats, samples = _stats([3.00, 3.01, 3.02])
+    verdict = BaselineGate(baseline, rel_tol=0.10).evaluate(
+        stats, samples, "higher"
+    )
+    assert verdict.passed
+    assert "within" in verdict.reason
+
+
+def test_baseline_lower_is_better_direction():
+    # Overhead doubled: regressing direction for a "lower" metric.
+    baseline = _baseline_from([0.010, 0.011, 0.012])
+    stats, samples = _stats([0.030, 0.031, 0.032])
+    verdict = BaselineGate(baseline).evaluate(stats, samples, "lower")
+    assert not verdict.passed
+    # An *improvement* of any size never fails.
+    stats, samples = _stats([0.001, 0.001, 0.002])
+    assert BaselineGate(baseline).evaluate(
+        stats, samples, "lower"
+    ).passed
+
+
+def test_verdict_serialises():
+    stats, samples = _stats([3.4, 3.5, 3.6])
+    data = FloorGate(3.0).evaluate(stats, samples, "higher").to_dict()
+    assert set(data) == {"gate", "kind", "passed", "reason", "observed"}
+    assert data["observed"]["threshold"] == 3.0

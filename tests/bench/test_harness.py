@@ -1,0 +1,138 @@
+"""repro.bench.harness — warmup detection, repetitions, handicap."""
+
+import pytest
+
+from repro.bench.gates import FloorGate
+from repro.bench.harness import (
+    Benchmark,
+    HarnessConfig,
+    run_benchmark,
+    steady_state_index,
+)
+
+
+def test_steady_state_on_ramp_then_flat():
+    samples = [10.0, 5.0, 2.0, 1.0, 1.05, 1.02]
+    # The trailing window settles once the ramp is over.
+    assert steady_state_index(samples, window=3, tolerance=0.10) == 5
+    # A tolerance too tight for the flat tail: never steady.
+    assert steady_state_index(samples, window=3, tolerance=0.001) is None
+    # All-equal windows are steady immediately, even at zero.
+    assert steady_state_index([0.0, 0.0, 0.0], 3, 0.1) == 2
+    with pytest.raises(ValueError):
+        steady_state_index(samples, window=0, tolerance=0.1)
+
+
+def _scripted(values):
+    """A benchmark body that replays a fixed sample sequence."""
+    it = iter(values)
+
+    def body(state):
+        return next(it)
+
+    return body
+
+
+def test_warmup_discards_ramp_samples():
+    bench = Benchmark(
+        name="ramp", description="", unit="x", direction="higher",
+        body=_scripted([100.0, 50.0, 1.0, 1.0, 1.0] + [1.0] * 10),
+    )
+    config = HarnessConfig(repetitions=3, warmup_max=6, warmup_window=3)
+    result = run_benchmark(bench, config)
+    # The ramp was burned during warmup; only flat samples were kept.
+    assert result.warmup["steady"]
+    assert result.warmup["discarded"] == 5
+    assert result.samples == [1.0, 1.0, 1.0]
+    assert result.stats.ci_method == "degenerate"
+
+
+def test_warmup_cap_records_unsteady():
+    bench = Benchmark(
+        name="noisy", description="", unit="x", direction="higher",
+        body=_scripted([float(x) for x in range(1, 20)]),
+    )
+    config = HarnessConfig(repetitions=3, warmup_max=3, warmup_window=3,
+                           warmup_tolerance=0.01)
+    result = run_benchmark(bench, config)
+    assert not result.warmup["steady"]
+    assert result.warmup["discarded"] == 3
+
+
+def test_invocations_median_per_sample():
+    calls = []
+
+    def body(state):
+        calls.append(1)
+        return float(len(calls))
+
+    bench = Benchmark(
+        name="count", description="", unit="x", direction="higher",
+        body=body, overrides={"warmup_max": 0},
+    )
+    config = HarnessConfig(repetitions=2, invocations=3)
+    result = run_benchmark(bench, config)
+    assert len(calls) == 6  # no warmup, 2 reps x 3 invocations
+    # Each sample is the median of its 3 invocation returns.
+    assert result.samples == [2.0, 5.0]
+
+
+def test_setup_teardown_and_detail():
+    events = []
+
+    bench = Benchmark(
+        name="lifecycle", description="", unit="x", direction="higher",
+        setup=lambda: events.append("setup") or {"k": 1},
+        body=lambda state: 1.0,
+        teardown=lambda state: events.append("teardown"),
+        detail=lambda state: {"k": state["k"]},
+        overrides={"warmup_max": 0},
+    )
+    result = run_benchmark(bench, HarnessConfig(repetitions=3))
+    assert events == ["setup", "teardown"]
+    assert result.detail == {"k": 1}
+
+
+def test_handicap_scales_samples_and_flips_gate():
+    def make():
+        return Benchmark(
+            name="steady", description="", unit="x", direction="higher",
+            body=lambda state: 4.0, gates=[FloorGate(3.0)],
+            overrides={"warmup_max": 0},
+        )
+
+    honest = run_benchmark(make(), HarnessConfig(repetitions=3))
+    assert honest.passed and honest.handicap == 1.0
+
+    doctored = run_benchmark(
+        make(), HarnessConfig(repetitions=3), handicap=0.5
+    )
+    assert doctored.samples == [2.0, 2.0, 2.0]
+    assert doctored.handicap == 0.5
+    assert not doctored.passed  # the self-test: the gate must flip
+
+
+def test_benchmark_validation():
+    with pytest.raises(ValueError):
+        Benchmark(name="x", description="", unit="x",
+                  direction="sideways", body=lambda s: 1.0)
+    with pytest.raises(ValueError):
+        Benchmark(name="x", description="", unit="x", direction="higher")
+    bench = Benchmark(name="x", description="", unit="x",
+                      direction="higher", body=lambda s: 1.0)
+    with pytest.raises(ValueError):
+        run_benchmark(bench, HarnessConfig(repetitions=0))
+
+
+def test_result_serialises():
+    bench = Benchmark(
+        name="s", description="d", unit="x", direction="higher",
+        body=lambda state: 2.0, gates=[FloorGate(1.0)],
+        overrides={"warmup_max": 0},
+    )
+    data = run_benchmark(bench, HarnessConfig(repetitions=3)).to_dict()
+    assert data["samples"] == [2.0, 2.0, 2.0]
+    assert data["passed"] is True
+    assert data["stats"]["count"] == 3
+    assert data["gates"][0]["kind"] == "floor"
+    assert data["handicap"] == 1.0

@@ -1,0 +1,115 @@
+"""repro.bench.stats — robust statistics with two hard guarantees:
+permutation invariance and degenerate safety."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.stats import (
+    MAD_SCALE,
+    SampleStats,
+    bootstrap_ci,
+    mad,
+    median,
+    outlier_values,
+    summarize,
+    t_ci,
+)
+
+
+def test_median_odd_even():
+    assert median([3, 1, 2]) == 2
+    assert median([4, 1, 3, 2]) == 2.5
+    assert median([7]) == 7
+
+
+def test_median_rejects_empty():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_mad_known_values():
+    # [1..5]: median 3, absolute deviations [2,1,0,1,2], median 1.
+    assert mad([1, 2, 3, 4, 5]) == 1.0
+    assert mad([1, 2, 3, 4, 5], scale=MAD_SCALE) == pytest.approx(1.4826)
+    assert mad([5, 5, 5]) == 0.0
+
+
+def test_outliers_are_values_not_indices():
+    # With half the samples identical the MAD is zero, so anything off
+    # the median is tagged — and tagged by *value*.
+    assert outlier_values([10.0] * 9 + [100.0]) == [100.0]
+    assert outlier_values([1.0, 2.0, 3.0, 4.0, 5.0]) == []
+
+
+def test_bootstrap_ci_known_bounds():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+    lo, hi, how = bootstrap_ci(samples)
+    assert how == "bootstrap"
+    # The bootstrap resamples medians of the sample multiset, so the
+    # interval lives inside [min, max] and brackets the median.
+    assert 1.0 <= lo <= 3.0 <= hi <= 5.0
+    assert lo < hi
+    # Seeded: the same multiset always gives the same interval.
+    assert bootstrap_ci(samples) == (lo, hi, how)
+
+
+def test_bootstrap_ci_degenerate():
+    assert bootstrap_ci([2.5]) == (2.5, 2.5, "degenerate")
+    assert bootstrap_ci([4.0, 4.0, 4.0]) == (4.0, 4.0, "degenerate")
+
+
+def test_t_ci_known_bounds():
+    # Hand-computed: mean 3, s^2 = 2.5, se = sqrt(0.5), t(df=4) = 2.776.
+    lo, hi, how = t_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+    half = 2.776 * math.sqrt(2.5 / 5)
+    assert how == "t"
+    assert lo == pytest.approx(3.0 - half, rel=1e-9)
+    assert hi == pytest.approx(3.0 + half, rel=1e-9)
+
+
+def test_summarize_fields_and_roundtrip():
+    stats = summarize([3.0, 1.0, 2.0, 4.0, 5.0])
+    assert stats.count == 5
+    assert stats.median == 3.0
+    assert stats.mean == 3.0
+    assert stats.min == 1.0 and stats.max == 5.0
+    assert stats.ci_low <= stats.median <= stats.ci_high
+    assert stats.ci_method == "bootstrap"
+    assert SampleStats.from_dict(stats.to_dict()) == stats
+
+
+def test_summarize_single_sample_is_degenerate():
+    stats = summarize([7.5])
+    assert stats.ci_low == stats.ci_high == 7.5
+    assert stats.ci_method == "degenerate"
+    assert stats.stdev == 0.0
+
+
+def test_summarize_t_method():
+    stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0], method="t")
+    assert stats.ci_method == "t"
+    with pytest.raises(ValueError):
+        summarize([1.0, 2.0], method="jackknife")
+
+
+@st.composite
+def _shuffled_pair(draw):
+    xs = draw(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return xs, draw(st.permutations(xs))
+
+
+@given(_shuffled_pair())
+def test_summarize_is_permutation_invariant(pair):
+    """Re-ordering repetitions can never change a statistic — and so
+    can never change a gate verdict."""
+    xs, shuffled = pair
+    assert summarize(xs) == summarize(shuffled)

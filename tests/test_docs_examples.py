@@ -21,6 +21,7 @@ from repro.cli import main
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 README = ROOT / "README.md"
 QUERY_REFERENCE = ROOT / "docs" / "query-reference.md"
+BENCHMARKING = ROOT / "docs" / "benchmarking.md"
 
 _FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
 
@@ -105,3 +106,44 @@ def test_query_reference_examples(in_tmp):
         exec(compile(block, str(QUERY_REFERENCE), "exec"), namespace)
     # The page's own claims held while executing.
     assert len(namespace["session"].records) == 13
+
+
+def _documented_bench_argv():
+    """Every ``$ python -m repro.bench ...`` line the docs show."""
+    lines = []
+    for path in (README, BENCHMARKING):
+        for block in fenced_blocks(path.read_text(), "console"):
+            for line in block.splitlines():
+                if line.startswith("$ python -m repro.bench"):
+                    lines.append((path.name, line))
+    return lines
+
+
+def test_documented_bench_commands_parse():
+    """The bench CLI lines in the docs must stay valid argv — parsed
+    by the real parser, not pattern-matched."""
+    from repro.bench.runner import build_parser
+
+    parser = build_parser()
+    lines = _documented_bench_argv()
+    assert len(lines) >= 4, "docs no longer show the bench commands"
+    for name, line in lines:
+        command = line[1:].split("#")[0]
+        # Continuation lines: rejoin "\"-terminated commands.
+        argv = shlex.split(command.replace("\\", " "))
+        assert argv[:3] == ["python", "-m", "repro.bench"], (name, line)
+        parser.parse_args(argv[3:])  # SystemExit on drift
+
+
+def test_readme_perf_table_covers_registry():
+    """The README's generated perf table must name every registered
+    benchmark — if the registry grows, the table must be regenerated."""
+    from repro.bench.ports import build_registry
+
+    perf = section(README.read_text(), "### Performance suite")
+    for bench in build_registry(quick=True):
+        assert f"`{bench.name}`" in perf, (
+            f"README perf table is stale: missing {bench.name} "
+            "(regenerate with `python -m repro.bench --report`)"
+        )
+    assert "benchmarking.md" in perf

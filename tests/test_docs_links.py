@@ -1,9 +1,10 @@
-"""Dead-link check over the documentation.
+"""Dead-link and dead-anchor check over the documentation.
 
 Every relative markdown link in docs/*.md, README.md and DESIGN.md
-must point at a file that exists (anchors and external URLs are out of
-scope).  This is the docs half of the CI workflow; it also runs as
-part of tier-1 so a broken link never lands.
+must point at a file that exists, and every ``#anchor`` — in-page or
+cross-page — must match a heading in the target file under
+GitHub-style slugging.  This is the docs half of the CI workflow; it
+also runs as part of tier-1 so a broken link never lands.
 """
 
 import pathlib
@@ -22,8 +23,36 @@ DOC_FILES = sorted(
 # target rules are the same.  Stops at the first ')' like markdown.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
-# Inside fenced code blocks, "](" is just text.
+# Inside fenced code blocks, "](" is just text and '#' is a comment.
 _FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+# GitHub slugs keep word characters and hyphens; spaces become
+# hyphens; everything else (backticks, punctuation, ×, §) is dropped.
+_SLUG_DROP = re.compile(r"[^\w\- ]", re.UNICODE)
+
+
+def _slug(heading):
+    text = re.sub(r"[*_`]", "", heading)  # inline emphasis/code markers
+    text = _SLUG_DROP.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def _anchors(path):
+    """The set of anchor slugs a markdown file exposes, with GitHub's
+    -1, -2 suffixing for duplicate headings."""
+    seen = {}
+    anchors = set()
+    for line in _FENCE.sub("", path.read_text()).splitlines():
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
 
 
 def _links(path):
@@ -36,6 +65,7 @@ def test_doc_set_is_nonempty():
     assert "README.md" in names
     assert "architecture.md" in names
     assert "analyzer-pipeline.md" in names
+    assert "benchmarking.md" in names
     assert "query-reference.md" in names
     assert "log-format.md" in names
 
@@ -53,3 +83,39 @@ def test_relative_links_resolve(path):
         if not resolved.exists():
             broken.append(target)
     assert not broken, f"{path.name}: dead links {broken}"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_anchors_resolve(path):
+    broken = []
+    for target in _links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if "#" not in target:
+            continue
+        file_part, anchor = target.split("#", 1)
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not (dest.exists() and dest.suffix == ".md"):
+            continue  # dead files are test_relative_links_resolve's job
+        if anchor not in _anchors(dest):
+            broken.append(target)
+    assert not broken, f"{path.name}: dead anchors {broken}"
+
+
+def test_slugger_matches_github_conventions():
+    assert _slug("The suite artifact") == "the-suite-artifact"
+    assert _slug("Trust but verify: `--handicap`") == (
+        "trust-but-verify---handicap"
+    )
+    assert _slug("Comparing runs: `--baseline`") == (
+        "comparing-runs---baseline"
+    )
+    assert _slug("Reconstruction engines") == "reconstruction-engines"
+
+
+def test_benchmarking_doc_is_linked_from_readme_and_architecture():
+    for source in (ROOT / "README.md", ROOT / "docs" / "architecture.md"):
+        targets = [t.split("#")[0] for t in _links(source)]
+        assert any(t.endswith("benchmarking.md") for t in targets), (
+            f"{source.name} does not link docs/benchmarking.md"
+        )
