@@ -35,9 +35,13 @@ __version__ = "1.1.0"
 #: Names served lazily from :mod:`repro.api` (PEP 562).
 _API_NAMES = (
     "Analysis",
+    "AnalysisDiff",
     "AnalyzeOptions",
     "Analyzer",
     "FlameGraph",
+    "FleetClient",
+    "FleetDaemon",
+    "FleetServer",
     "LiveRecorder",
     "Profiler",
     "RecordOptions",

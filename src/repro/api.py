@@ -26,6 +26,11 @@ What belongs here:
   :func:`open_log`;
 * crash recovery — :func:`recover_log`, :func:`repair_tails`,
   :class:`RecoveryReport`, :class:`QuarantinedRange`;
+* differential profiling — :class:`AnalysisDiff`,
+  :class:`MethodDelta` (also ``tee-perf diff`` on the command line);
+* the fleet service — :class:`FleetDaemon`, :class:`FleetClient`,
+  :class:`FleetServer`, :class:`IngestListener`,
+  :class:`FoldedProfile` (see docs/fleet.md);
 * configuration — :class:`RecordOptions`, :class:`AnalyzeOptions`;
 * instrumentation markers — :func:`symbol`, :func:`no_instrument`;
 * counters and errors — :class:`PipelineStats` and the exception
@@ -34,6 +39,7 @@ What belongs here:
 """
 
 from repro.core.analyzer import Analysis, Analyzer
+from repro.core.diff import AnalysisDiff, MethodDelta
 from repro.core.errors import (
     AnalyzerError,
     LogFormatError,
@@ -55,6 +61,13 @@ from repro.core.recovery import (
     repair_tails,
 )
 from repro.core.stats import PipelineStats
+from repro.fleet import (
+    FleetClient,
+    FleetDaemon,
+    FleetServer,
+    FoldedProfile,
+    IngestListener,
+)
 from repro.phoenix.runner import run_teeperf
 
 #: The profiler facade under its generic name.
@@ -62,12 +75,19 @@ Profiler = TEEPerf
 
 __all__ = [
     "Analysis",
+    "AnalysisDiff",
     "AnalyzeOptions",
     "Analyzer",
     "AnalyzerError",
     "FlameGraph",
+    "FleetClient",
+    "FleetDaemon",
+    "FleetServer",
+    "FoldedProfile",
+    "IngestListener",
     "LiveRecorder",
     "LogFormatError",
+    "MethodDelta",
     "PipelineStats",
     "Profiler",
     "QuarantinedRange",

@@ -26,6 +26,7 @@ from repro.bench.harness import Benchmark
 from repro.bench.stats import median
 from repro.bench.workloads import accuracy as _accuracy
 from repro.bench.workloads import analyzer as _analyzer
+from repro.bench.workloads import fleet as _fleet
 from repro.bench.workloads import monitor as _monitor
 from repro.bench.workloads import record_path as _record
 from repro.bench.workloads import recovery as _recovery
@@ -303,6 +304,108 @@ def _seal_overhead_bench(size):
 
 
 # ----------------------------------------------------------------------
+# fleet
+
+
+def _fleet_ingest_bench(size):
+    segments = size(24, 12, 4)
+    frames = size(2_000, 1_200, 300)
+    state = {"rates": []}
+
+    def setup():
+        payloads, symtab, entries = _fleet.build_segments(
+            segments, frames_per_thread=frames
+        )
+        return {
+            "daemon": _fleet.build_daemon(),
+            "payloads": payloads,
+            "symtab": symtab,
+            "entries": entries,
+        }
+
+    def body(s):
+        rate = _fleet.ingest_sample(
+            s["daemon"], s["payloads"], s["symtab"], s["entries"]
+        )
+        state["rates"].append(rate)
+        return rate
+
+    def teardown(s):
+        s["daemon"].stop()
+
+    def detail(s):
+        return {
+            "segments": segments,
+            "entries_per_segment": s["entries"],
+            "entries_per_sec": median(state["rates"]),
+            "pool": s["daemon"].pool.kind,
+            "floor": _fleet.INGEST_FLOOR,
+        }
+
+    return Benchmark(
+        name="fleet_ingest",
+        description=(
+            "Sustained fleet ingest: packed segments through salvage, "
+            "worker analysis and window fold-in (entries/sec)"
+        ),
+        unit="entries/s",
+        direction="higher",
+        body=body,
+        setup=setup,
+        teardown=teardown,
+        detail=detail,
+        gates=[FloorGate(_fleet.INGEST_FLOOR)],
+        overrides={"warmup_max": 1},
+    )
+
+
+def _fleet_staleness_bench(size):
+    batch = size(8, 5, 3)
+    frames = size(1_200, 600, 200)
+
+    def setup():
+        payloads, symtab, entries = _fleet.build_segments(
+            batch, frames_per_thread=frames
+        )
+        return {
+            "daemon": _fleet.build_daemon(),
+            "payloads": payloads,
+            "symtab": symtab,
+        }
+
+    def body(s):
+        return _fleet.staleness_sample(
+            s["daemon"], s["payloads"], s["symtab"]
+        )
+
+    def teardown(s):
+        s["daemon"].stop()
+
+    def detail(s):
+        return {
+            "batch": batch,
+            "pool": s["daemon"].pool.kind,
+            "budget_seconds": _fleet.STALENESS_BUDGET,
+        }
+
+    return Benchmark(
+        name="fleet_staleness",
+        description=(
+            "Worst publish-to-queryable lag for one segment against "
+            "an idle daemon (seconds)"
+        ),
+        unit="s",
+        direction="lower",
+        body=body,
+        setup=setup,
+        teardown=teardown,
+        detail=detail,
+        gates=[CeilingGate(_fleet.STALENESS_BUDGET)],
+        overrides={"warmup_max": 1},
+    )
+
+
+# ----------------------------------------------------------------------
 # accuracy
 
 
@@ -361,6 +464,8 @@ def build_registry(quick=False, smoke=None):
         _monitor_overhead_bench(size),
         _recovery_matrix_bench(size),
         _seal_overhead_bench(size),
+        _fleet_ingest_bench(size),
+        _fleet_staleness_bench(size),
         _accuracy_bench(size),
     ]
 
@@ -419,6 +524,17 @@ def derived_views(results, quick=False):
             )
             payload["seal_overhead"] = seal
         views["BENCH_recovery.json"] = stamp(payload, "recovery")
+
+    if "fleet_ingest" in results:
+        payload = dict(results["fleet_ingest"].detail)
+        payload["entries_per_sec"] = results["fleet_ingest"].stats.median
+        if "fleet_staleness" in results:
+            stale = dict(results["fleet_staleness"].detail)
+            stale["worst_seconds"] = (
+                results["fleet_staleness"].stats.median
+            )
+            payload["staleness"] = stale
+        views["BENCH_fleet.json"] = stamp(payload, "fleet_ingest")
 
     if "accuracy_error" in results:
         r = results["accuracy_error"]

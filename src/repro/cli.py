@@ -19,6 +19,12 @@ Plus the live surface::
 which runs a Phoenix workload under the profiler with a monitor
 attached and serves Prometheus-format scrapes while it executes (see
 docs/monitoring.md).
+
+And the fleet service (see docs/fleet.md)::
+
+    tee-perf fleet serve [--port P] [--ingest-port Q]
+    tee-perf fleet ingest run.teeperf --connect HOST:PORT --tenant T
+    tee-perf fleet query --url URL [--tenant T] [--diff A B]
 """
 
 import argparse
@@ -352,6 +358,129 @@ def cmd_monitor(args):
     return 0
 
 
+def cmd_fleet_serve(args):
+    """Boot the continuous-profiling daemon: socket ingest + HTTP
+    queries + the monitor scrape surface, until --duration elapses
+    (0 = serve until interrupted)."""
+    from repro.fleet import FleetDaemon, FleetServer, IngestListener
+
+    daemon = FleetDaemon(
+        window_seconds=args.window,
+        retention=args.retention,
+        jobs=args.jobs,
+    )
+    daemon.start()
+    listener = IngestListener(daemon, port=args.ingest_port)
+    ingest_port = listener.start()
+    server = FleetServer(daemon, port=args.port)
+    server.start()
+    print(f"fleet: ingest on 127.0.0.1:{ingest_port}")
+    print(f"fleet: queries at {server.url}/profiles "
+          f"(status at {server.url}/fleet)")
+    sys.stdout.flush()
+    try:
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        listener.stop()
+        server.stop()
+        daemon.stop()
+    status = daemon.status()
+    counters = status["counters"]
+    print(
+        f"fleet: served {counters.get('segments_analyzed', 0)} "
+        f"segment(s) from {counters.get('sessions_opened', 0)} "
+        f"session(s) across {status['store']['tenants']} tenant(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_fleet_ingest(args):
+    """Publish a persisted log to a running daemon as one session."""
+    import json
+
+    from repro.fleet import FleetClient, ProtocolError
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(
+            f"--connect needs HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 1
+    image_path = args.image or f"{args.log}.symtab.json"
+    try:
+        with open(image_path) as fh:
+            symtab = fh.read()
+        with open(args.log, "rb") as fh:
+            log_bytes = fh.read()
+    except FileNotFoundError as exc:
+        print(f"missing input: {exc.filename}", file=sys.stderr)
+        return 1
+    try:
+        with FleetClient((host, int(port))).open(
+            args.tenant, symtab, session=args.session
+        ) as client:
+            client.publish(log_bytes, via_shm=args.shm)
+            accounting = client.bye()["accounting"]
+    except (OSError, ProtocolError) as exc:
+        print(f"ingest failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(accounting, indent=2))
+    if accounting["quarantined"]:
+        print(
+            f"note: {accounting['quarantined']} entries quarantined "
+            "(salvage accounting above)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_fleet_query(args):
+    """Read a running daemon's profiles over HTTP."""
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    if args.diff:
+        if not args.tenant:
+            print("--diff needs --tenant", file=sys.stderr)
+            return 1
+        a, b = args.diff
+        path = (
+            f"/profiles/{args.tenant}/diff?a={a}&b={b}"
+            f"&format={args.format}"
+        )
+    elif args.tenant:
+        suffix = {"json": "", "folded": "/folded",
+                  "svg": "/flamegraph.svg"}.get(args.format)
+        if suffix is None:
+            print(
+                f"--format {args.format} needs --diff", file=sys.stderr
+            )
+            return 1
+        path = f"/profiles/{args.tenant}{suffix}"
+    else:
+        path = "/fleet" if args.status else "/profiles"
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as resp:
+            body = resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        print(exc.read().decode(), file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {base}: {exc}", file=sys.stderr)
+        return 1
+    print(body, end="" if body.endswith("\n") else "\n")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="tee-perf",
@@ -484,6 +613,88 @@ def build_parser():
     )
     add_record_arguments(mon)
     mon.set_defaults(fn=cmd_monitor)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="the continuous-profiling service (see docs/fleet.md)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="mode", required=True)
+
+    serve = fleet_sub.add_parser(
+        "serve", help="run the ingest daemon and its query endpoint"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP query/scrape port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--ingest-port", type=int, default=0,
+        help="producer ingest socket port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=60.0,
+        help="aggregation window width in seconds",
+    )
+    serve.add_argument(
+        "--retention", type=int, default=32,
+        help="addressable windows kept per tenant before archiving",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2,
+        help="analysis worker-pool size",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=0.0,
+        help="serve this many seconds then exit (0 = until Ctrl-C)",
+    )
+    serve.set_defaults(fn=cmd_fleet_serve)
+
+    ingest = fleet_sub.add_parser(
+        "ingest", help="publish a persisted log to a running daemon"
+    )
+    ingest.add_argument("log", help="path to a .teeperf log file")
+    ingest.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the daemon's ingest socket",
+    )
+    ingest.add_argument(
+        "--tenant", default="default", help="tenant to file under"
+    )
+    ingest.add_argument(
+        "--session", help="session name (default: generated)"
+    )
+    ingest.add_argument(
+        "--image", help="symbol table JSON (default: <log>.symtab.json)"
+    )
+    ingest.add_argument(
+        "--shm", action="store_true",
+        help="hand the image over via shared memory",
+    )
+    ingest.set_defaults(fn=cmd_fleet_ingest)
+
+    query = fleet_sub.add_parser(
+        "query", help="read profiles from a running daemon"
+    )
+    query.add_argument(
+        "--url", required=True, help="the daemon's HTTP endpoint"
+    )
+    query.add_argument(
+        "--tenant", help="tenant to read (default: list tenants)"
+    )
+    query.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"),
+        help="compare window A (before) against window B (after)",
+    )
+    query.add_argument(
+        "--format",
+        choices=("json", "report", "folded", "svg"),
+        default="json",
+    )
+    query.add_argument(
+        "--status", action="store_true",
+        help="fetch /fleet daemon status instead of the tenant index",
+    )
+    query.set_defaults(fn=cmd_fleet_query)
 
     return parser
 

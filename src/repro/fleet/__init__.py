@@ -1,0 +1,61 @@
+"""``repro.fleet`` — the always-on continuous-profiling service.
+
+TEE-Perf's offline pipeline profiles one run; this package keeps a
+*fleet* of recorder sessions profiled continuously (the TEEMon-shaped
+production story from ROADMAP item 1).  One
+:class:`~repro.fleet.daemon.FleetDaemon` accepts many concurrent
+sessions — over a local socket
+(:class:`~repro.fleet.ingest.IngestListener` +
+:class:`~repro.fleet.protocol.FleetClient`, with a
+``multiprocessing.shared_memory`` fast path) or in-process
+(:meth:`FleetDaemon.session`) — treats sealed log segments as the
+durable unit of ingest (every image goes through
+:func:`repro.core.recovery.recover_log` salvage, with exact
+no-silent-drop accounting), analyses them on a persistent worker pool
+(:class:`~repro.fleet.workers.AnalysisPool`), and aggregates folded
+summaries per tenant into sliding time windows
+(:class:`~repro.fleet.windows.WindowStore`).
+
+Queries come out of :class:`~repro.fleet.http.FleetServer`
+(``/profiles/<tenant>``, merged/windowed flame graphs, and
+``/profiles/<tenant>/diff?a=&b=`` regression diffs built on
+:class:`repro.core.diff.AnalysisDiff`), out of ``tee-perf fleet`` on
+the command line, and out of the monitor surface the daemon registers
+its samplers and alert rules with.  See docs/fleet.md.
+"""
+
+from repro.fleet.daemon import (
+    FLEET_RULES,
+    FleetDaemon,
+    FleetSampler,
+    LocalSession,
+)
+from repro.fleet.http import FleetServer
+from repro.fleet.ingest import IngestListener
+from repro.fleet.protocol import FleetClient, ProtocolError
+from repro.fleet.windows import (
+    OTHER_BUCKET,
+    FoldedProfile,
+    MethodShare,
+    WindowStore,
+    WindowSummary,
+)
+from repro.fleet.workers import AnalysisPool, SegmentResult
+
+__all__ = [
+    "AnalysisPool",
+    "FLEET_RULES",
+    "FleetClient",
+    "FleetDaemon",
+    "FleetSampler",
+    "FleetServer",
+    "FoldedProfile",
+    "IngestListener",
+    "LocalSession",
+    "MethodShare",
+    "OTHER_BUCKET",
+    "ProtocolError",
+    "SegmentResult",
+    "WindowStore",
+    "WindowSummary",
+]

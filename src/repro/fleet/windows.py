@@ -1,0 +1,403 @@
+"""Per-tenant sliding time windows over folded-stack summaries.
+
+The fleet daemon never keeps raw logs: every analysed segment is
+reduced to a *folded-stack summary* — ``{call path: exclusive ticks}``
+plus per-method call counts and the salvage accounting — and folded
+into the tenant's window for the segment's ingest timestamp.  Windows
+are fixed-width time buckets (``wid = floor(ts / window_seconds)``),
+so two daemons with the same clock and width agree on window ids and a
+query like ``diff?a=41&b=42`` names the same span on both.
+
+Three bounding mechanisms keep an always-on tenant from growing
+without limit, all of them *tick-preserving* (they coarsen, never
+drop):
+
+* **compaction** — a window whose folded table exceeds ``max_paths``
+  keeps its hottest paths and folds the cold tail into a single
+  ``("<other>",)`` bucket, so total ticks are conserved exactly;
+* **retention** — only the newest ``retention`` windows stay
+  addressable; anything older is merged into the tenant's *archive*
+  summary (one compacted summary for all expired history);
+* the archive itself is compacted by the same rule.
+
+:class:`FoldedProfile` is the read-side adapter: it exposes the
+``methods()`` / ``total_exclusive()`` / ``folded()`` surface of a
+:class:`~repro.core.analyzer.Analysis`, which is exactly what
+:class:`~repro.core.diff.AnalysisDiff` and
+:meth:`~repro.core.flamegraph.FlameGraph.from_analysis` consume — so
+window-vs-window regression diffs and merged flame graphs reuse the
+core machinery unchanged.
+"""
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.diff import AnalysisDiff
+from repro.core.flamegraph import FlameGraph
+
+__all__ = [
+    "FoldedProfile",
+    "MethodShare",
+    "WindowStore",
+    "WindowSummary",
+    "OTHER_BUCKET",
+]
+
+#: The tick-conserving compaction bucket cold paths fold into.
+OTHER_BUCKET = ("<other>",)
+
+
+@dataclass
+class MethodShare:
+    """Per-method aggregate with the attribute contract
+    :class:`~repro.core.diff.AnalysisDiff` reads (``method``,
+    ``exclusive``, ``calls``)."""
+
+    method: str
+    exclusive: int = 0
+    calls: int = 0
+
+
+class FoldedProfile:
+    """An :class:`Analysis`-shaped view over a folded-stack summary.
+
+    Quacks like the analyzer's result object for every consumer the
+    fleet surface needs: ``methods()``, ``total_exclusive()``,
+    ``folded()`` (and ``columns is None`` so
+    :meth:`FlameGraph.from_analysis` takes the folded path).
+    """
+
+    columns = None
+
+    def __init__(self, folded, method_calls=None, title="fleet profile"):
+        self._folded = dict(folded)
+        self._method_calls = dict(method_calls or {})
+        self.title = title
+
+    def folded(self):
+        return dict(self._folded)
+
+    def total_exclusive(self):
+        return sum(self._folded.values())
+
+    def methods(self):
+        """Per-method exclusive ticks (each path's ticks belong to its
+        leaf), hottest first."""
+        shares = {}
+        for path, ticks in self._folded.items():
+            leaf = path[-1]
+            share = shares.get(leaf)
+            if share is None:
+                share = shares[leaf] = MethodShare(leaf)
+            share.exclusive += ticks
+        for method, calls in self._method_calls.items():
+            share = shares.get(method)
+            if share is None:
+                share = shares[method] = MethodShare(method)
+            share.calls = calls
+        return sorted(
+            shares.values(), key=lambda s: s.exclusive, reverse=True
+        )
+
+    def flamegraph(self, title=None):
+        return FlameGraph(self._folded, title=title or self.title)
+
+    def diff(self, after, **kwargs):
+        """An :class:`AnalysisDiff` from this profile to `after`."""
+        return AnalysisDiff(self, after, **kwargs)
+
+    def __len__(self):
+        return len(self._folded)
+
+
+@dataclass
+class WindowSummary:
+    """Everything one tenant accumulated in one time window."""
+
+    wid: object  # int window id, or "archive"
+    folded: dict = field(default_factory=dict)
+    method_calls: dict = field(default_factory=dict)
+    segments: int = 0
+    entries: int = 0
+    salvaged: int = 0
+    quarantined: int = 0
+    crc_failures: int = 0
+    ticks: int = 0
+    sessions: set = field(default_factory=set)
+    first_ts: float = None
+    last_ts: float = None
+
+    def absorb(self, folded, method_calls, session=None, entries=0,
+               salvaged=0, quarantined=0, crc_failures=0, ts=None):
+        """Fold one segment summary in (tick-exact)."""
+        for path, ticks in folded.items():
+            self.folded[path] = self.folded.get(path, 0) + ticks
+            self.ticks += ticks
+        for method, calls in method_calls.items():
+            self.method_calls[method] = (
+                self.method_calls.get(method, 0) + calls
+            )
+        self.segments += 1
+        self.entries += entries
+        self.salvaged += salvaged
+        self.quarantined += quarantined
+        self.crc_failures += crc_failures
+        if session is not None:
+            self.sessions.add(session)
+        if ts is not None:
+            self.first_ts = ts if self.first_ts is None else min(
+                self.first_ts, ts
+            )
+            self.last_ts = ts if self.last_ts is None else max(
+                self.last_ts, ts
+            )
+
+    def merge(self, other):
+        """Fold a whole other summary in (retention -> archive)."""
+        self.absorb(
+            other.folded, other.method_calls,
+            entries=other.entries, salvaged=other.salvaged,
+            quarantined=other.quarantined,
+            crc_failures=other.crc_failures,
+        )
+        # absorb() counted one segment for the merge call itself;
+        # replace that with the real count and carry the sessions.
+        self.segments += other.segments - 1
+        self.sessions |= other.sessions
+        for ts in (other.first_ts, other.last_ts):
+            if ts is not None:
+                self.first_ts = ts if self.first_ts is None else min(
+                    self.first_ts, ts
+                )
+                self.last_ts = ts if self.last_ts is None else max(
+                    self.last_ts, ts
+                )
+
+    def compact(self, max_paths):
+        """Keep the hottest ``max_paths - 1`` paths, fold the rest into
+        :data:`OTHER_BUCKET`.  Total ticks are conserved exactly;
+        returns the number of paths folded away."""
+        if len(self.folded) <= max_paths:
+            return 0
+        ranked = sorted(
+            self.folded.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        keep = dict(ranked[: max_paths - 1])
+        cold = ranked[max_paths - 1:]
+        keep[OTHER_BUCKET] = keep.get(OTHER_BUCKET, 0) + sum(
+            ticks for _, ticks in cold
+        )
+        folded_away = len(self.folded) - len(keep)
+        self.folded = keep
+        return folded_away
+
+    def profile(self, title=None):
+        return FoldedProfile(
+            self.folded, self.method_calls,
+            title=title or f"window {self.wid}",
+        )
+
+    def to_dict(self):
+        return {
+            "wid": self.wid,
+            "segments": self.segments,
+            "entries": self.entries,
+            "salvaged": self.salvaged,
+            "quarantined": self.quarantined,
+            "crc_failures": self.crc_failures,
+            "ticks": self.ticks,
+            "paths": len(self.folded),
+            "sessions": sorted(self.sessions),
+            "first_ts": self.first_ts,
+            "last_ts": self.last_ts,
+        }
+
+
+class WindowStore:
+    """Thread-safe per-tenant window aggregation with retention.
+
+    Writers (worker-pool completion callbacks) and readers (the HTTP
+    surface, samplers) serialise on one lock; every public method is
+    safe from any thread.
+    """
+
+    def __init__(self, window_seconds=60.0, retention=32,
+                 max_paths=4096, clock=time.time):
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive: {window_seconds}"
+            )
+        if retention < 1:
+            raise ValueError(f"retention must be >= 1: {retention}")
+        if max_paths < 2:
+            raise ValueError(f"max_paths must be >= 2: {max_paths}")
+        self.window_seconds = window_seconds
+        self.retention = retention
+        self.max_paths = max_paths
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._tenants = {}  # tenant -> {wid: WindowSummary}
+        self._archives = {}  # tenant -> WindowSummary("archive")
+        self.paths_compacted = 0
+        self.windows_archived = 0
+
+    # ------------------------------------------------------------------
+    # Write side
+
+    def window_id(self, ts=None):
+        ts = self.clock() if ts is None else ts
+        return int(ts // self.window_seconds)
+
+    def add(self, tenant, folded, method_calls=None, session=None,
+            entries=0, salvaged=0, quarantined=0, crc_failures=0,
+            ts=None):
+        """Fold one segment summary into `tenant`'s current window
+        (or the window for the explicit timestamp `ts`); returns the
+        window id it landed in."""
+        ts = self.clock() if ts is None else ts
+        wid = self.window_id(ts)
+        with self._lock:
+            windows = self._tenants.setdefault(tenant, {})
+            summary = windows.get(wid)
+            if summary is None:
+                summary = windows[wid] = WindowSummary(wid)
+            summary.absorb(
+                folded, method_calls or {}, session=session,
+                entries=entries, salvaged=salvaged,
+                quarantined=quarantined, crc_failures=crc_failures,
+                ts=ts,
+            )
+            self.paths_compacted += summary.compact(self.max_paths)
+            self._retain(tenant, windows)
+        return wid
+
+    def _retain(self, tenant, windows):
+        """Expire windows beyond the retention depth into the archive
+        (caller holds the lock)."""
+        while len(windows) > self.retention:
+            oldest = min(windows)
+            expired = windows.pop(oldest)
+            archive = self._archives.get(tenant)
+            if archive is None:
+                archive = self._archives[tenant] = WindowSummary("archive")
+            archive.merge(expired)
+            self.paths_compacted += archive.compact(self.max_paths)
+            self.windows_archived += 1
+
+    # ------------------------------------------------------------------
+    # Read side
+
+    def tenants(self):
+        with self._lock:
+            return sorted(self._tenants)
+
+    def window_ids(self, tenant):
+        """Addressable window ids, oldest first."""
+        with self._lock:
+            return sorted(self._tenants.get(tenant, ()))
+
+    def window(self, tenant, wid):
+        with self._lock:
+            windows = self._tenants.get(tenant)
+            if not windows:
+                raise KeyError(f"unknown tenant {tenant!r}")
+            if wid == "archive":
+                summary = self._archives.get(tenant)
+                if summary is None:
+                    raise KeyError(f"tenant {tenant!r} has no archive yet")
+                return summary
+            try:
+                return windows[int(wid)]
+            except (KeyError, ValueError):
+                raise KeyError(
+                    f"tenant {tenant!r} has no window {wid!r} "
+                    f"(have {sorted(windows)})"
+                ) from None
+
+    def profile(self, tenant, wid):
+        """One window as a :class:`FoldedProfile`."""
+        summary = self.window(tenant, wid)
+        return summary.profile(title=f"{tenant} window {summary.wid}")
+
+    def merged(self, tenant, wids=None, include_archive=True):
+        """All of a tenant's retained windows (or the named subset)
+        merged into one :class:`FoldedProfile` — the
+        ``/profiles/<tenant>`` surface."""
+        with self._lock:
+            windows = self._tenants.get(tenant)
+            if windows is None:
+                raise KeyError(f"unknown tenant {tenant!r}")
+            if wids is None:
+                picked = [windows[w] for w in sorted(windows)]
+                archive = self._archives.get(tenant)
+                if include_archive and archive is not None:
+                    picked.insert(0, archive)
+            else:
+                picked = []
+                for wid in wids:
+                    if wid == "archive":
+                        archive = self._archives.get(tenant)
+                        if archive is None:
+                            raise KeyError(
+                                f"tenant {tenant!r} has no archive yet"
+                            )
+                        picked.append(archive)
+                        continue
+                    try:
+                        picked.append(windows[int(wid)])
+                    except (KeyError, ValueError):
+                        raise KeyError(
+                            f"tenant {tenant!r} has no window {wid!r} "
+                            f"(have {sorted(windows)})"
+                        ) from None
+            merged = WindowSummary("merged")
+            for summary in picked:
+                merged.merge(summary)
+        return merged.profile(title=f"{tenant} merged profile")
+
+    def diff(self, tenant, a, b):
+        """Window-vs-window regression diff (``a`` = before,
+        ``b`` = after) built on :class:`AnalysisDiff`."""
+        before = self.profile(tenant, a)
+        after = self.profile(tenant, b)
+        return AnalysisDiff(before, after)
+
+    def summary(self, tenant):
+        """A JSON-ready description of one tenant's windows."""
+        with self._lock:
+            windows = self._tenants.get(tenant)
+            if windows is None:
+                raise KeyError(f"unknown tenant {tenant!r}")
+            out = {
+                "tenant": tenant,
+                "window_seconds": self.window_seconds,
+                "retention": self.retention,
+                "windows": [
+                    windows[w].to_dict() for w in sorted(windows)
+                ],
+            }
+            archive = self._archives.get(tenant)
+            out["archive"] = archive.to_dict() if archive else None
+            out["ticks"] = sum(w.ticks for w in windows.values()) + (
+                archive.ticks if archive else 0
+            )
+            out["entries"] = sum(
+                w.entries for w in windows.values()
+            ) + (archive.entries if archive else 0)
+            return out
+
+    def totals(self):
+        """Fleet-wide gauges for the sampler."""
+        with self._lock:
+            return {
+                "tenants": len(self._tenants),
+                "windows": sum(len(w) for w in self._tenants.values()),
+                "paths": sum(
+                    len(s.folded)
+                    for windows in self._tenants.values()
+                    for s in windows.values()
+                ),
+                "paths_compacted": self.paths_compacted,
+                "windows_archived": self.windows_archived,
+            }

@@ -11,13 +11,31 @@ Four routes, all read-only:
 The server binds ``127.0.0.1`` by default and requesting port 0 lets
 the OS pick a free one — :meth:`MonitorServer.start` returns the
 bound port so tests and the CLI can advertise it.
+
+Service-duty hardening (the fleet daemon fronts its query surface
+with this server, so it has to behave like one):
+
+* unknown paths get a *JSON* error body naming the routes, not the
+  stdlib's HTML error page;
+* request threads are bounded (``max_threads``) — a scrape storm
+  queues in the listen backlog instead of spawning unbounded threads;
+* :meth:`MonitorServer.stop` is safe while requests are in flight:
+  in-flight handlers finish (bounded by the thread cap), the accept
+  loop stops, and the socket closes exactly once.
+
+:class:`repro.fleet.http.FleetServer` extends the routing by
+subclassing :class:`_Handler` and overriding :meth:`_Handler.route`.
 """
 
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl
 
 EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Concurrent request threads a server runs at most, by default.
+DEFAULT_MAX_THREADS = 8
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -25,9 +43,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "tee-perf-monitor/1.0"
 
+    #: Shown in the JSON 404 body; subclasses extend.
+    known_routes = ("/metrics", "/snapshot.json", "/alerts", "/healthz")
+
     def do_GET(self):  # noqa: N802 — BaseHTTPRequestHandler's casing
+        path, _, rawquery = self.path.partition("?")
+        query = dict(parse_qsl(rawquery))
+        try:
+            handled = self.route(path, query)
+        except BrokenPipeError:  # client went away mid-reply
+            return
+        if not handled:
+            self.send_json_error(
+                404,
+                f"unknown path {path!r}",
+                routes=list(self.known_routes),
+            )
+
+    def route(self, path, query):
+        """Serve `path` if this handler knows it; returns whether it
+        did.  Subclasses override, falling back to ``super().route``.
+        """
         monitor = self.server.monitor
-        path = self.path.split("?", 1)[0]
         if path in ("/metrics", "/"):
             monitor.registry.counter(
                 "monitor_scrapes_total",
@@ -37,47 +74,104 @@ class _Handler(BaseHTTPRequestHandler):
                 monitor.exposition().encode(), EXPOSITION_CONTENT_TYPE
             )
         elif path == "/snapshot.json":
-            body = json.dumps(monitor.snapshot(), indent=2).encode()
-            self._reply(body, "application/json")
+            self.send_json(monitor.snapshot())
         elif path == "/alerts":
-            body = json.dumps(monitor.engine.as_dict(), indent=2).encode()
-            self._reply(body, "application/json")
+            self.send_json(monitor.engine.as_dict())
         elif path == "/healthz":
             self._reply(b"ok\n", "text/plain")
         else:
-            self.send_error(404, "unknown path (try /metrics)")
+            return False
+        return True
 
-    def _reply(self, body, content_type):
-        self.send_response(200)
+    def _reply(self, body, content_type, status=200):
+        self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def send_json(self, payload, status=200):
+        body = json.dumps(payload, indent=2).encode()
+        self._reply(body, "application/json", status=status)
+
+    def send_json_error(self, status, message, **extra):
+        """A machine-readable error body — this is a service endpoint,
+        so even the failures are JSON."""
+        payload = {"error": message, "status": status}
+        payload.update(extra)
+        self.send_json(payload, status=status)
 
     def log_message(self, *args):
         """Silence per-request stderr chatter; scrapes are counted in
         the registry instead."""
 
 
+class _BoundedThreadingHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer with a cap on concurrent request threads.
+
+    The accept loop blocks on a semaphore before spawning each
+    request thread; the thread releases it when the handler finishes.
+    Excess clients wait in the TCP backlog — bounded memory under a
+    scrape storm, and ``shutdown()`` has at most ``max_threads``
+    handlers to wait out.
+    """
+
+    # Wait for in-flight request threads on server_close(): this is
+    # what makes stop-while-scraping clean rather than racy.
+    daemon_threads = True
+    block_on_close = True
+
+    def __init__(self, address, handler, max_threads=DEFAULT_MAX_THREADS):
+        if max_threads < 1:
+            raise ValueError(
+                f"max_threads must be >= 1: {max_threads}"
+            )
+        self.max_threads = max_threads
+        self._slots = threading.BoundedSemaphore(max_threads)
+        super().__init__(address, handler)
+
+    def process_request(self, request, client_address):
+        self._slots.acquire()
+        try:
+            super().process_request(request, client_address)
+        except BaseException:
+            self._slots.release()
+            raise
+
+    def process_request_thread(self, request, client_address):
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            self._slots.release()
+
+
 class MonitorServer:
     """Serve one monitor's surface on a background thread."""
 
-    def __init__(self, monitor, port=0, host="127.0.0.1"):
+    #: Request handler; subclasses swap in extended routing.
+    handler_class = _Handler
+
+    def __init__(self, monitor, port=0, host="127.0.0.1",
+                 max_threads=DEFAULT_MAX_THREADS):
         self.monitor = monitor
         self.host = host
         self.port = port
+        self.max_threads = max_threads
         self._httpd = None
         self._thread = None
+        self._stop_lock = threading.Lock()
 
     def start(self):
         """Bind and start serving; returns the actual bound port."""
         if self._httpd is not None:
             return self.port
-        self._httpd = ThreadingHTTPServer(
-            (self.host, self.port), _Handler
+        self._httpd = _BoundedThreadingHTTPServer(
+            (self.host, self.port),
+            self.handler_class,
+            max_threads=self.max_threads,
         )
-        self._httpd.daemon_threads = True
         self._httpd.monitor = self.monitor
+        self._bind_context(self._httpd)
         self.port = self._httpd.server_address[1]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -86,6 +180,10 @@ class MonitorServer:
         )
         self._thread.start()
         return self.port
+
+    def _bind_context(self, httpd):
+        """Attach whatever the handler reads off ``self.server``;
+        subclasses add their own objects."""
 
     @property
     def url(self):
@@ -96,13 +194,17 @@ class MonitorServer:
         return self._httpd is not None
 
     def stop(self):
-        if self._httpd is None:
+        """Stop accepting, wait out in-flight handlers, close the
+        socket.  Idempotent and safe to call concurrently."""
+        with self._stop_lock:
+            httpd, thread = self._httpd, self._thread
+            self._httpd = None
+            self._thread = None
+        if httpd is None:
             return
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        self._thread.join()
-        self._httpd = None
-        self._thread = None
+        httpd.shutdown()  # returns once the accept loop exits
+        httpd.server_close()  # block_on_close: joins request threads
+        thread.join()
 
     def __enter__(self):
         self.start()

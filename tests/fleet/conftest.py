@@ -1,0 +1,63 @@
+"""Shared fixtures: recorded sessions the fleet tests ingest.
+
+Sessions are recorded once per test session (they are deterministic)
+and handed around as plain dicts of packed bytes + expectations, so
+every test exercises the same handoff shape producers use: a sealed
+log image plus the symtab JSON.
+"""
+
+import pytest
+
+from repro.api import TEEPerf, symbol
+
+
+class FleetApp:
+    """A small two-path workload; ``hot=True`` adds a heavy method the
+    diff tests must flag as a regression."""
+
+    def __init__(self, env, hot=False):
+        self.env = env
+        self.hot = hot
+
+    @symbol("app::Run()")
+    def run(self):
+        for _ in range(4):
+            self.step()
+        if self.hot:
+            for _ in range(6):
+                self.regress()
+
+    @symbol("app::Step()")
+    def step(self):
+        self.env.compute(10_000)
+
+    @symbol("app::Regress()")
+    def regress(self):
+        self.env.compute(30_000)
+
+
+def record_session(hot=False, name="fleet-app"):
+    """One recorded run -> the producer handoff dict."""
+    perf = TEEPerf.simulated(name=name, capacity=512, sealed=True)
+    app = FleetApp(perf.env, hot=hot)
+    perf.compile_instance(app)
+    perf.record(app.run)
+    analysis = perf.analyze()
+    log = perf.recorder.log
+    return {
+        "log_bytes": log.to_bytes(),
+        "symtab": perf.program.image.to_json(),
+        "ticks": int(analysis.total_exclusive()),
+        "entries": len(log),
+        "folded": dict(analysis.folded()),
+    }
+
+
+@pytest.fixture(scope="session")
+def baseline_session():
+    return record_session()
+
+
+@pytest.fixture(scope="session")
+def hot_session():
+    return record_session(hot=True)

@@ -1,0 +1,190 @@
+"""Concurrent ingest: many producers, rolling windows, crashes.
+
+The fleet's whole contract under load: every producer's entries are
+either salvaged into a window or quarantined with a reason —
+``salvaged + quarantined == entries`` holds per session, per tenant,
+and fleet-wide, with thread producers, process producers (the CLI),
+and a producer that crashes mid-handoff, all at once.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import FleetClient, FleetDaemon, IngestListener
+
+from tests.fleet.test_workers import crashed_segment
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_thread_producers_roll_windows_without_drops(baseline_session):
+    """Six socket sessions across two tenants publish while the
+    (50 ms) windows roll; the books balance exactly."""
+    daemon = FleetDaemon(
+        window_seconds=0.05, retention=64, jobs=2,
+        prefer_processes=False,
+    ).start()
+    listener = IngestListener(daemon, port=0)
+    listener.start()
+    segments_each = 3
+    failures = []
+    barrier = threading.Barrier(6)
+
+    def produce(tenant, name):
+        try:
+            with FleetClient(listener.address).open(
+                tenant, baseline_session["symtab"], session=name
+            ) as client:
+                barrier.wait(timeout=30)
+                for _ in range(segments_each):
+                    client.publish(baseline_session["log_bytes"])
+                    time.sleep(0.02)  # let a window boundary pass
+                accounting = client.bye()["accounting"]
+            expected = segments_each * baseline_session["entries"]
+            assert accounting["entries"] == expected, accounting
+            assert accounting["salvaged"] == expected, accounting
+        except Exception as exc:  # noqa: BLE001 — re-raised below
+            failures.append(exc)
+
+    producers = [
+        threading.Thread(
+            target=produce, args=("web" if i % 2 else "db", f"p{i}")
+        )
+        for i in range(6)
+    ]
+    try:
+        for p in producers:
+            p.start()
+        for p in producers:
+            p.join(timeout=120)
+        assert not failures, failures
+        daemon.drain()
+        status = daemon.status()
+        total = 6 * segments_each * baseline_session["entries"]
+        assert status["counters"]["entries"] == total
+        assert status["counters"]["entries_salvaged"] == total
+        assert status["accounted"], status["counters"]
+        assert not status["recent_errors"]
+        # The ingest really did roll across window boundaries...
+        assert len(daemon.store.window_ids("web")) > 1
+        # ...and every tick is still queryable per tenant.
+        for tenant in ("web", "db"):
+            assert daemon.profile(tenant).total_exclusive() == (
+                3 * segments_each * baseline_session["ticks"]
+            )
+    finally:
+        listener.stop()
+        daemon.stop()
+
+
+def test_process_producers_via_the_cli(tmp_path, baseline_session):
+    """Two real producer *processes* (the ``tee-perf fleet ingest``
+    CLI) land concurrently next to an in-process session."""
+    log_path = tmp_path / "seg.teeperf"
+    log_path.write_bytes(baseline_session["log_bytes"])
+    (tmp_path / "seg.teeperf.symtab.json").write_text(
+        baseline_session["symtab"]
+    )
+    daemon = FleetDaemon(jobs=2, prefer_processes=False).start()
+    listener = IngestListener(daemon, port=0)
+    port = listener.start()
+    try:
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "fleet",
+                    "ingest", str(log_path),
+                    "--connect", f"127.0.0.1:{port}",
+                    "--tenant", tenant, "--session", name,
+                ],
+                env={**os.environ, "PYTHONPATH": str(SRC)},
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True,
+            )
+            for tenant, name in (("web", "proc-1"), ("db", "proc-2"))
+        ]
+        with daemon.session(
+            "web", baseline_session["symtab"], session="inproc"
+        ) as session:
+            session.publish(baseline_session["log_bytes"])
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            accounting = json.loads(out)
+            assert accounting["entries"] == baseline_session["entries"]
+            assert accounting["salvaged"] == baseline_session["entries"]
+        daemon.drain()
+        status = daemon.status()
+        assert status["counters"]["segments_analyzed"] == 3
+        assert status["accounted"], status["counters"]
+        assert daemon.profile("web").total_exclusive() == (
+            2 * baseline_session["ticks"]
+        )
+        assert daemon.profile("db").total_exclusive() == (
+            baseline_session["ticks"]
+        )
+    finally:
+        listener.stop()
+        daemon.stop()
+
+
+def test_crash_mid_handoff_accounts_exactly_end_to_end(
+    baseline_session,
+):
+    """A producer dies mid-flush; its dirty snapshot goes through the
+    socket next to healthy sessions.  No silent drops anywhere: the
+    bye ack, the tenant summary, and the fleet counters all balance,
+    and the quarantine alert fires."""
+    snapshot, crash_symtab = crashed_segment()
+    daemon = FleetDaemon(jobs=2, prefer_processes=False).start()
+    listener = IngestListener(daemon, port=0)
+    listener.start()
+    try:
+        with FleetClient(listener.address).open(
+            "web", baseline_session["symtab"], session="healthy"
+        ) as client:
+            client.publish(baseline_session["log_bytes"])
+        with FleetClient(listener.address).open(
+            "web", crash_symtab, session="crashed"
+        ) as client:
+            client.publish(snapshot)
+            crashed = client.bye()["accounting"]
+
+        # Per session: the torn tail is quarantined, the identity holds.
+        assert crashed["quarantined"] > 0
+        assert (
+            crashed["salvaged"] + crashed["quarantined"]
+            == crashed["entries"]
+        )
+        # Per tenant: the summary carries the same exact numbers.
+        summary = daemon.summary("web")
+        assert summary["entries"] == (
+            baseline_session["entries"] + crashed["entries"]
+        )
+        quarantined = sum(
+            w["quarantined"] for w in summary["windows"]
+        )
+        assert quarantined == crashed["quarantined"]
+        # Fleet-wide: counters balance and recovery was counted.
+        status = daemon.status()
+        assert status["accounted"], status["counters"]
+        assert status["counters"]["segments_recovered"] >= 1
+        assert status["counters"]["entries_quarantined"] == (
+            crashed["quarantined"]
+        )
+        # And the pager goes off.
+        daemon.monitor.poll_once()
+        firing = {
+            s.rule.name for s in daemon.monitor.engine.firing()
+        }
+        assert "fleet-quarantine" in firing
+    finally:
+        listener.stop()
+        daemon.stop()

@@ -1,0 +1,200 @@
+"""The daemon core: sessions, accounting, metrics, alerts.
+
+Everything here uses the in-process fast path (``daemon.session``) and
+thread workers, so the tests exercise the service logic without socket
+or multiprocessing variance.
+"""
+
+import pytest
+
+from repro.fleet import FleetDaemon
+from repro.monitor import Monitor
+
+from tests.fleet.test_workers import crashed_segment
+
+
+@pytest.fixture
+def daemon():
+    d = FleetDaemon(jobs=2, prefer_processes=False)
+    d.start()
+    yield d
+    d.stop()
+
+
+def test_local_sessions_land_with_exact_accounting(
+    daemon, baseline_session
+):
+    with daemon.session(
+        "web", baseline_session["symtab"], session="s1"
+    ) as s1:
+        s1.publish(baseline_session["log_bytes"])
+        s1.publish(baseline_session["log_bytes"])
+    with daemon.session(
+        "db", baseline_session["symtab"], session="s2"
+    ) as s2:
+        s2.publish(baseline_session["log_bytes"])
+
+    entries, ticks = (
+        baseline_session["entries"], baseline_session["ticks"]
+    )
+    by_name = {a["session"]: a for a in daemon.accounting()}
+    assert by_name["s1"]["tenant"] == "web"
+    assert by_name["s1"]["segments"] == 2
+    assert by_name["s1"]["entries"] == 2 * entries
+    assert by_name["s1"]["salvaged"] == 2 * entries
+    assert by_name["s1"]["quarantined"] == 0
+    assert by_name["s1"]["ticks"] == 2 * ticks
+    assert not by_name["s1"]["open"]
+    assert by_name["s2"]["entries"] == entries
+
+    assert daemon.tenants() == ["db", "web"]
+    assert daemon.profile("web").total_exclusive() == 2 * ticks
+    assert daemon.profile("db").total_exclusive() == ticks
+
+    status = daemon.status()
+    assert status["accounted"], status["counters"]
+    assert status["counters"]["segments_ingested"] == 3
+    assert status["counters"]["segments_analyzed"] == 3
+    assert status["counters"]["entries"] == 3 * entries
+    assert status["counters"]["sessions_opened"] == 2
+    assert status["counters"]["sessions_closed"] == 2
+    assert status["in_flight"] == 0
+    assert status["sessions_open"] == 0
+    assert status["pool"] == "thread"
+    assert not status["recent_errors"]
+
+
+def test_closed_session_refuses_publishes(daemon, baseline_session):
+    session = daemon.session("web", baseline_session["symtab"])
+    session.publish(baseline_session["log_bytes"])
+    accounting = session.bye()
+    assert accounting["segments"] == 1
+    assert session.bye() is None  # idempotent
+    with pytest.raises(RuntimeError, match="closed"):
+        session.publish(baseline_session["log_bytes"])
+
+
+def test_bye_accounting_is_final(daemon, baseline_session):
+    """The bye handshake drains first, so its numbers are the
+    session's true totals, not a racy snapshot."""
+    with daemon.session("web", baseline_session["symtab"]) as session:
+        for _ in range(5):
+            session.publish(baseline_session["log_bytes"])
+        accounting = session.bye()
+    assert accounting["segments"] == 5
+    assert accounting["salvaged"] == 5 * baseline_session["entries"]
+
+
+def test_sampler_publishes_fleet_families(daemon, baseline_session):
+    with daemon.session("web", baseline_session["symtab"]) as session:
+        session.publish(baseline_session["log_bytes"])
+    daemon.monitor.poll_once()
+    text = daemon.monitor.exposition()
+    registry = daemon.monitor.registry
+    assert "# TYPE teeperf_fleet_segments_ingested_total counter" in text
+    assert registry.value("fleet_segments_ingested_total") == 1
+    assert registry.value("fleet_entries_total") == (
+        baseline_session["entries"]
+    )
+    assert registry.value("fleet_entries_salvaged_total") == (
+        baseline_session["entries"]
+    )
+    assert registry.value("fleet_tenants") == 1
+    assert registry.value("fleet_segments_in_flight") == 0
+    assert registry.value("fleet_pool_kind_process") == 0
+
+
+def test_quarantine_fires_the_fleet_alert(daemon):
+    snapshot, symtab = crashed_segment()
+    with daemon.session("web", symtab, session="crashed") as session:
+        session.publish(snapshot)
+        accounting = session.bye()
+    # The dirty handoff degraded into exact accounting...
+    assert accounting["quarantined"] > 0
+    assert (
+        accounting["salvaged"] + accounting["quarantined"]
+        == accounting["entries"]
+    )
+    assert daemon.status()["accounted"]
+    # ...and the quarantine pages.
+    daemon.monitor.poll_once()
+    firing = {
+        state.rule.name for state in daemon.monitor.engine.firing()
+    }
+    assert "fleet-quarantine" in firing
+
+
+def test_analysis_errors_are_in_band_and_alerted(
+    daemon, baseline_session
+):
+    with daemon.session("web", "not a symtab", session="bad") as session:
+        session.publish(baseline_session["log_bytes"])
+        accounting = session.bye()
+    assert accounting["errors"] == 1
+    assert accounting["segments"] == 0  # nothing landed in windows
+    status = daemon.status()
+    assert status["counters"]["analysis_errors"] == 1
+    assert status["recent_errors"][0]["session"] == "bad"
+    assert status["accounted"]  # failed segments count no entries
+    with pytest.raises(KeyError):  # and created no tenant state
+        daemon.profile("web")
+    daemon.monitor.poll_once()
+    firing = {
+        state.rule.name for state in daemon.monitor.engine.firing()
+    }
+    assert "fleet-analysis-errors" in firing
+
+
+def test_clock_injection_places_segments_in_chosen_windows(
+    baseline_session, hot_session
+):
+    state = {"now": 30.0}
+    daemon = FleetDaemon(
+        window_seconds=60.0, jobs=2, prefer_processes=False,
+        clock=lambda: state["now"],
+    )
+    with daemon:
+        with daemon.session(
+            "web", baseline_session["symtab"], session="s"
+        ) as session:
+            session.publish(baseline_session["log_bytes"])
+            daemon.drain()
+            state["now"] = 90.0
+            session.publish(hot_session["log_bytes"])
+        assert daemon.store.window_ids("web") == [0, 1]
+        diff = daemon.diff("web", 0, 1)
+        assert diff.regressions()[0].method == "app::Regress()"
+        summary = daemon.summary("web")
+        assert summary["ticks"] == (
+            baseline_session["ticks"] + hot_session["ticks"]
+        )
+    # The store stays readable after stop().
+    assert daemon.profile("web").total_exclusive() == summary["ticks"]
+
+
+def test_shared_monitor_is_left_running(baseline_session):
+    monitor = Monitor()
+    daemon = FleetDaemon(
+        jobs=1, prefer_processes=False, monitor=monitor
+    )
+    daemon.start()
+    with daemon.session("web", baseline_session["symtab"]) as session:
+        session.publish(baseline_session["log_bytes"])
+    daemon.stop()  # final poll, but the monitor is not ours to stop
+    assert monitor.registry.value("fleet_segments_analyzed_total") == 1
+
+
+def test_drain_timeout_returns_false_under_load(
+    daemon, baseline_session
+):
+    for _ in range(8):
+        daemon.ingest_segment(
+            "web", baseline_session["symtab"],
+            baseline_session["log_bytes"],
+        )
+    # A zero timeout cannot wait for 8 segments on 2 workers...
+    drained = daemon.drain(timeout=0)
+    assert drained in (False, True)  # (they may already be done)
+    # ...but an unbounded drain always settles.
+    assert daemon.drain()
+    assert daemon.in_flight == 0

@@ -1,0 +1,143 @@
+"""The acceptance demo (ISSUE 7): four concurrent recorder sessions,
+two tenants, one daemon — merged flamegraphs conserve every salvaged
+tick and the window diff catches an injected regression.
+
+Timeline (the daemon's clock is injected, so the test *places* the
+segments):
+
+* window 0 — four concurrent socket sessions (two per tenant) each
+  publish a clean baseline profile;
+* window 1 — the same four sessions publish a profile with an
+  injected hot method (``app::Regress()``);
+* the ``/profiles/<tenant>`` merged flamegraph's total ticks must
+  equal the sum of that tenant's sessions' salvaged ticks, and
+  ``diff?a=0&b=1`` must flag ``app::Regress()`` as the top
+  regression — over HTTP, end to end.
+"""
+
+import json
+import threading
+import urllib.request
+
+from repro.core.flamegraph import FlameGraph
+from repro.fleet import (
+    FleetClient,
+    FleetDaemon,
+    FleetServer,
+    IngestListener,
+)
+
+TENANTS = ("web", "web", "db", "db")
+WINDOW = 60.0
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        assert resp.headers.get("Content-Type") == "application/json"
+        return json.loads(resp.read())
+
+
+def test_fleet_demo_end_to_end(baseline_session, hot_session):
+    state = {"now": 30.0}  # mid window 0
+    daemon = FleetDaemon(
+        window_seconds=WINDOW, jobs=2, prefer_processes=False,
+        clock=lambda: state["now"],
+    ).start()
+    listener = IngestListener(daemon, port=0)
+    listener.start()
+    server = FleetServer(daemon, port=0)
+    server.start()
+
+    # Main thread + 4 producers rendezvous at each phase edge, so all
+    # four sessions are genuinely concurrent and every baseline
+    # publish is submitted before the clock moves to window 1.
+    phase_start = threading.Barrier(5)
+    baseline_done = threading.Barrier(5)
+    hot_go = threading.Barrier(5)
+    accountings = {}
+    failures = []
+
+    def produce(i):
+        tenant = TENANTS[i]
+        try:
+            with FleetClient(listener.address).open(
+                tenant, baseline_session["symtab"], session=f"rec-{i}"
+            ) as client:
+                phase_start.wait(timeout=60)
+                client.publish(baseline_session["log_bytes"])
+                baseline_done.wait(timeout=60)  # ack'd => submitted
+                hot_go.wait(timeout=60)  # clock is now in window 1
+                client.publish(hot_session["log_bytes"], via_shm=i == 0)
+                accountings[f"rec-{i}"] = client.bye()["accounting"]
+        except Exception as exc:  # noqa: BLE001 — re-raised below
+            failures.append((i, exc))
+
+    producers = [
+        threading.Thread(target=produce, args=(i,)) for i in range(4)
+    ]
+    try:
+        for p in producers:
+            p.start()
+        phase_start.wait(timeout=60)
+        baseline_done.wait(timeout=60)
+        state["now"] = 30.0 + WINDOW  # roll everyone into window 1
+        hot_go.wait(timeout=60)
+        for p in producers:
+            p.join(timeout=120)
+        assert not failures, failures
+        daemon.drain()
+
+        # --- 4 concurrent sessions across 2 tenants, none dropped.
+        assert len(accountings) == 4
+        assert daemon.tenants() == ["db", "web"]
+        expected_entries = (
+            baseline_session["entries"] + hot_session["entries"]
+        )
+        expected_ticks = (
+            baseline_session["ticks"] + hot_session["ticks"]
+        )
+        for accounting in accountings.values():
+            assert accounting["entries"] == expected_entries
+            assert accounting["salvaged"] == expected_entries
+            assert accounting["quarantined"] == 0
+            assert accounting["ticks"] == expected_ticks
+        assert daemon.status()["accounted"]
+
+        for tenant in ("web", "db"):
+            session_ticks = sum(
+                a["ticks"] for a in accountings.values()
+                if a["tenant"] == tenant
+            )
+            # --- The merged flamegraph conserves every salvaged tick.
+            merged = daemon.profile(tenant)
+            graph = merged.flamegraph()
+            assert isinstance(graph, FlameGraph)
+            assert graph.total_ticks() == session_ticks
+            # Same number over HTTP.
+            payload = get_json(
+                f"{server.url}/profiles/{tenant}"
+            )
+            assert payload["merged"]["ticks"] == session_ticks
+            assert [w["wid"] for w in payload["windows"]] == [0, 1]
+            served_sessions = {
+                s["session"] for s in payload["sessions"]
+            }
+            assert len(served_sessions) == 2
+
+            # --- The window diff flags the injected regression.
+            diff = get_json(
+                f"{server.url}/profiles/{tenant}/diff?a=0&b=1"
+            )
+            top = diff["regressions"][0]
+            assert top["method"] == "app::Regress()"
+            assert top["appeared"]
+            assert diff["after_ticks"] == (
+                2 * hot_session["ticks"]
+            )
+            assert diff["before_ticks"] == (
+                2 * baseline_session["ticks"]
+            )
+    finally:
+        server.stop()
+        listener.stop()
+        daemon.stop()

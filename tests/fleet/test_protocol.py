@@ -1,0 +1,107 @@
+"""The wire protocol: framing, malformed input, the shm fast path."""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.fleet import ProtocolError
+from repro.fleet.protocol import (
+    MAX_HEADER,
+    _shm_create,
+    read_frame,
+    shm_read,
+    write_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+def test_frame_round_trip_with_payload(pair):
+    left, right = pair
+    write_frame(left, {"type": "segment", "seq": 1}, b"\x00" * 512)
+    header, payload = read_frame(right)
+    assert header["type"] == "segment"
+    assert header["size"] == 512
+    assert payload == b"\x00" * 512
+
+
+def test_ack_frames_need_no_type(pair):
+    left, right = pair
+    write_frame(left, {"ok": True, "accepted": 4})
+    header, payload = read_frame(right)
+    assert header == {"ok": True, "accepted": 4}
+    assert payload == b""
+
+
+def test_clean_eof_is_none(pair):
+    left, right = pair
+    left.close()
+    assert read_frame(right) is None
+
+
+def test_eof_mid_length_is_a_protocol_error(pair):
+    left, right = pair
+    left.sendall(b"\x00")  # one byte of a four-byte length
+    left.close()
+    with pytest.raises(ProtocolError, match="mid-length"):
+        read_frame(right)
+
+
+def test_eof_mid_header_is_a_protocol_error(pair):
+    left, right = pair
+    left.sendall(struct.pack("!I", 100) + b"{")
+    left.close()
+    with pytest.raises(ProtocolError, match="bytes short"):
+        read_frame(right)
+
+
+def test_implausible_header_length_is_refused(pair):
+    left, right = pair
+    left.sendall(struct.pack("!I", MAX_HEADER + 1))
+    with pytest.raises(ProtocolError, match="implausible header"):
+        read_frame(right)
+
+
+def test_non_json_header_is_refused(pair):
+    left, right = pair
+    raw = b"not json at all"
+    left.sendall(struct.pack("!I", len(raw)) + raw)
+    with pytest.raises(ProtocolError, match="not JSON"):
+        read_frame(right)
+
+
+def test_non_object_header_is_refused(pair):
+    left, right = pair
+    raw = json.dumps([1, 2, 3]).encode()
+    left.sendall(struct.pack("!I", len(raw)) + raw)
+    with pytest.raises(ProtocolError, match="not an object"):
+        read_frame(right)
+
+
+def test_negative_payload_size_is_refused(pair):
+    left, right = pair
+    raw = json.dumps({"type": "segment", "size": -1}).encode()
+    left.sendall(struct.pack("!I", len(raw)) + raw)
+    with pytest.raises(ProtocolError, match="implausible payload"):
+        read_frame(right)
+
+
+def test_shm_round_trip():
+    data = bytes(range(256)) * 8
+    try:
+        shm = _shm_create(data)
+    except Exception:
+        pytest.skip("host has no usable multiprocessing.shared_memory")
+    try:
+        assert shm_read(shm.name, len(data)) == data
+    finally:
+        shm.close()
+        shm.unlink()

@@ -1,0 +1,108 @@
+"""The analysis pool: packed-segment workers and their accounting.
+
+Every worker result must satisfy the no-silent-drop identity
+(``salvaged + quarantined == entries``) whether the handoff was clean
+or a crashed producer's dirty snapshot, and failures must come back
+in-band — one bad segment never poisons the pool.
+"""
+
+import pytest
+
+from repro.core import KIND_CALL
+from repro.core.log import SharedLog
+from repro.faults import CrashingWriter, InjectedCrash, crashed_snapshot
+from repro.fleet import AnalysisPool, SegmentResult
+from repro.fleet.workers import analyze_segment
+from repro.symbols import BinaryImage
+
+
+def crashed_segment():
+    """A dirty handoff: the producer dies mid-flush; returns
+    ``(snapshot bytes, symtab json)``."""
+    image = BinaryImage("crashy")
+    image.add_function("app::Crashy()", size=64)
+    addr = next(iter(image.symtab)).addr
+    log = SharedLog.create(
+        16, sealed=True, profiler_addr=image.profiler_addr
+    )
+    writer = CrashingWriter(log, block=4, phase="mid-write",
+                            crash_flush=2)
+    with pytest.raises(InjectedCrash):
+        for i in range(16):
+            writer.append(KIND_CALL, i, addr, 0)
+    return crashed_snapshot(log), image.to_json()
+
+
+def test_clean_segment_matches_direct_analysis(baseline_session):
+    result = analyze_segment(
+        (baseline_session["log_bytes"], baseline_session["symtab"],
+         "auto")
+    )
+    assert result.ok
+    assert result.accounted
+    assert result.entries == baseline_session["entries"]
+    assert result.salvaged == baseline_session["entries"]
+    assert result.quarantined == 0
+    assert result.ticks == baseline_session["ticks"]
+    assert result.folded == baseline_session["folded"]
+    assert result.method_calls["app::Step()"] == 4
+    assert result.threads >= 1
+    assert result.to_dict()["paths"] == len(result.folded)
+
+
+def test_dirty_handoff_degrades_to_exact_quarantine():
+    snapshot, symtab = crashed_segment()
+    result = analyze_segment((snapshot, symtab, "auto"))
+    assert result.ok
+    assert result.accounted, result.to_dict()
+    assert result.quarantined > 0  # the torn tail was set aside...
+    assert result.salvaged > 0  # ...but the sealed prefix survived
+    assert result.segments_recovered > 0
+
+
+def test_garbage_bytes_report_in_band():
+    result = analyze_segment((b"not a log image", "{}", "auto"))
+    assert not result.ok
+    assert result.error
+    assert result.entries == 0
+
+
+def test_bad_symtab_reports_in_band(baseline_session):
+    result = analyze_segment(
+        (baseline_session["log_bytes"], "not json", "auto")
+    )
+    assert not result.ok
+    assert "Error" in result.error or "error" in result.error
+
+
+def test_segment_result_identity_property():
+    assert SegmentResult(entries=5, salvaged=3, quarantined=2).accounted
+    assert not SegmentResult(entries=5, salvaged=3).accounted
+
+
+def test_thread_pool_fallback_and_reuse(baseline_session):
+    pool = AnalysisPool(jobs=2, prefer_processes=False)
+    try:
+        futures = [
+            pool.submit(
+                baseline_session["log_bytes"],
+                baseline_session["symtab"],
+            )
+            for _ in range(4)
+        ]
+        assert pool.kind == "thread"
+        for future in futures:
+            result = future.result(timeout=60)
+            assert result.ok and result.accounted
+            assert result.ticks == baseline_session["ticks"]
+    finally:
+        pool.close()
+    assert pool.kind is None  # closed pools report no backing
+
+
+def test_pool_context_manager_and_validation():
+    with pytest.raises(ValueError, match="jobs"):
+        AnalysisPool(jobs=0)
+    with AnalysisPool(jobs=1, prefer_processes=False) as pool:
+        assert pool.kind == "thread"
+    assert pool.kind is None

@@ -73,6 +73,19 @@ def test_healthz_and_404(served):
     assert excinfo.value.code == 404
 
 
+def test_404_body_is_json_naming_the_routes(served):
+    """Service duty: even errors are machine-readable."""
+    _, server = served
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fetch(server, "/definitely/not/here")
+    err = excinfo.value
+    assert err.headers.get("Content-Type") == "application/json"
+    payload = json.loads(err.read())
+    assert payload["status"] == 404
+    assert "/definitely/not/here" in payload["error"]
+    assert "/metrics" in payload["routes"]
+
+
 def test_exposition_is_well_formed(served):
     """Every sample line belongs to a family that declared HELP+TYPE."""
     monitor, server = served
@@ -92,6 +105,85 @@ def test_exposition_is_well_formed(served):
                     family = family[: -len(suffix)]
                     break
             assert family in declared, line
+
+
+def test_request_threads_are_bounded():
+    """Concurrent requests never exceed max_threads handler threads;
+    the excess queue in the backlog and still get served."""
+    import threading
+    import time
+
+    monitor = Monitor()
+    peak = {"now": 0, "max": 0}
+    gate = threading.Lock()
+
+    def slow_snapshot(window_seconds=None):
+        with gate:
+            peak["now"] += 1
+            peak["max"] = max(peak["max"], peak["now"])
+        time.sleep(0.15)
+        with gate:
+            peak["now"] -= 1
+        return {"metrics": {}, "windows": {}, "alerts": []}
+
+    monitor.snapshot = slow_snapshot
+    server = MonitorServer(monitor, port=0, max_threads=2)
+    server.start()
+    try:
+        statuses = []
+
+        def hit():
+            status, _, _ = fetch(server, "/snapshot.json")
+            statuses.append(status)
+
+        workers = [threading.Thread(target=hit) for _ in range(6)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=30)
+        assert statuses == [200] * 6  # everyone got served...
+        assert peak["max"] <= 2  # ...but never more than 2 at once
+    finally:
+        server.stop()
+
+
+def test_stop_while_scraping_is_clean():
+    """The shutdown regression: stop() while a slow request is in
+    flight must let the handler finish and release the port."""
+    import threading
+    import time
+
+    monitor = Monitor()
+    entered = threading.Event()
+
+    def slow_snapshot(window_seconds=None):
+        entered.set()
+        time.sleep(0.3)
+        return {"metrics": {}, "windows": {}, "alerts": []}
+
+    monitor.snapshot = slow_snapshot
+    server = MonitorServer(monitor, port=0)
+    server.start()
+    outcome = {}
+
+    def scrape():
+        try:
+            outcome["status"] = fetch(server, "/snapshot.json")[0]
+        except Exception as exc:  # noqa: BLE001 — asserted below
+            outcome["error"] = exc
+
+    scraper = threading.Thread(target=scrape)
+    scraper.start()
+    assert entered.wait(timeout=5)  # the handler is mid-request
+    server.stop()  # must wait it out, not strand or crash it
+    scraper.join(timeout=10)
+    assert not scraper.is_alive()
+    assert outcome.get("status") == 200, outcome
+    assert not server.running
+    # Stopping again is a no-op, and the port is actually free.
+    server.stop()
+    assert server.start() != 0
+    server.stop()
 
 
 def test_server_context_manager_and_restart():

@@ -47,9 +47,33 @@ def test_api_names_are_home_module_objects():
     assert api.recover_log is recover_log
 
 
+def test_api_exports_diff_and_fleet_surface():
+    """The differential-profiling and fleet names are first-class
+    facade exports, same-object with their home modules."""
+    import repro.api as api
+    from repro.core.diff import AnalysisDiff, MethodDelta
+    from repro.fleet import FleetClient, FleetDaemon, FleetServer
+    from repro.fleet import FoldedProfile, IngestListener
+
+    assert api.AnalysisDiff is AnalysisDiff
+    assert api.MethodDelta is MethodDelta
+    assert api.FleetDaemon is FleetDaemon
+    assert api.FleetClient is FleetClient
+    assert api.FleetServer is FleetServer
+    assert api.FoldedProfile is FoldedProfile
+    assert api.IngestListener is IngestListener
+    for name in (
+        "AnalysisDiff", "MethodDelta", "FleetDaemon", "FleetClient",
+        "FleetServer", "FoldedProfile", "IngestListener",
+    ):
+        assert name in api.__all__, name
+
+
 def test_package_lazy_attributes():
     assert repro.TEEPerf is repro.api.TEEPerf
     assert repro.Analyzer is repro.api.Analyzer
+    assert repro.AnalysisDiff is repro.api.AnalysisDiff
+    assert repro.FleetDaemon is repro.api.FleetDaemon
     assert "TEEPerf" in dir(repro)
     with pytest.raises(AttributeError):
         repro.definitely_not_a_name

@@ -149,3 +149,146 @@ def test_diff_missing_input(tmp_path, capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ---------------------------------------------------------------------------
+# The fleet subcommand
+
+
+def fleet_service():
+    """An in-process daemon + listener + HTTP server for CLI tests."""
+    from repro.fleet import FleetDaemon, FleetServer, IngestListener
+
+    daemon = FleetDaemon(jobs=2, prefer_processes=False).start()
+    listener = IngestListener(daemon, port=0)
+    listener.start()
+    server = FleetServer(daemon, port=0)
+    server.start()
+    return daemon, listener, server
+
+
+def test_fleet_ingest_and_query_round_trip(tmp_path, capsys):
+    import json
+
+    main(["demo", "--platform", "sgx-v1", "--sealed",
+          "-o", str(tmp_path)])
+    capsys.readouterr()
+    log = tmp_path / "demo.teeperf"
+    daemon, listener, server = fleet_service()
+    try:
+        assert main([
+            "fleet", "ingest", str(log),
+            "--connect", f"127.0.0.1:{listener.port}",
+            "--tenant", "web", "--session", "cli-1",
+        ]) == 0
+        accounting = json.loads(capsys.readouterr().out)
+        assert accounting["session"] == "cli-1"
+        assert accounting["quarantined"] == 0
+        assert accounting["salvaged"] == accounting["entries"] > 0
+
+        assert main(["fleet", "query", "--url", server.url]) == 0
+        index = json.loads(capsys.readouterr().out)
+        assert index["tenants"] == ["web"]
+
+        assert main([
+            "fleet", "query", "--url", server.url, "--tenant", "web",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["merged"]["ticks"] == accounting["ticks"]
+
+        assert main([
+            "fleet", "query", "--url", server.url, "--status",
+        ]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["accounted"]
+
+        assert main([
+            "fleet", "query", "--url", server.url, "--tenant", "web",
+            "--format", "folded",
+        ]) == 0
+        assert "demo::Main()" in capsys.readouterr().out
+    finally:
+        server.stop()
+        listener.stop()
+        daemon.stop()
+
+
+def test_fleet_ingest_bad_inputs(tmp_path, capsys):
+    assert main([
+        "fleet", "ingest", str(tmp_path / "nope.teeperf"),
+        "--connect", "localhost",  # no port
+        "--tenant", "web",
+    ]) == 1
+    assert "HOST:PORT" in capsys.readouterr().err
+    assert main([
+        "fleet", "ingest", str(tmp_path / "nope.teeperf"),
+        "--connect", "127.0.0.1:9", "--tenant", "web",
+    ]) == 1
+    assert "missing input" in capsys.readouterr().err
+
+
+def test_fleet_query_errors(capsys):
+    # A diff without a tenant is a usage error...
+    assert main([
+        "fleet", "query", "--url", "http://127.0.0.1:9",
+        "--diff", "0", "1",
+    ]) == 1
+    assert "--diff needs --tenant" in capsys.readouterr().err
+    # ...and an unreachable daemon is a clean failure, not a traceback.
+    assert main([
+        "fleet", "query", "--url", "http://127.0.0.1:9",
+    ]) == 1
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_fleet_serve_round_trip(tmp_path, capsys):
+    """The serve subcommand boots a real daemon; a client lands a
+    session while it is up."""
+    import json
+    import re
+    import threading
+    import time
+    import urllib.request
+
+    from repro.api import FleetClient, TEEPerf
+    from repro.core import symbol
+
+    class App:
+        @symbol("cli::Main()")
+        def run(self, env):
+            env.compute(20_000)
+
+    perf = TEEPerf.simulated(name="cli-serve", capacity=512, sealed=True)
+    app = App()
+    perf.compile_instance(app)
+    perf.record(app.run, perf.env)
+
+    serve = threading.Thread(
+        target=main,
+        args=(["fleet", "serve", "--duration", "15", "--jobs", "1"],),
+        daemon=True,
+    )
+    # Capture the announced ports via capsys from the main thread: poll
+    # until the banner shows up.
+    serve.start()
+    deadline = time.monotonic() + 10
+    banner = ""
+    while "queries at" not in banner:
+        banner += capsys.readouterr().out
+        if time.monotonic() > deadline:
+            raise AssertionError(f"serve never announced: {banner!r}")
+        time.sleep(0.02)
+    ingest_port = int(
+        re.search(r"ingest on 127\.0\.0\.1:(\d+)", banner).group(1)
+    )
+    url = re.search(r"queries at (http://[^/]+)/profiles", banner).group(1)
+
+    with FleetClient(("127.0.0.1", ingest_port)).open(
+        "web", perf.program.image.to_json(), session="s1"
+    ) as client:
+        client.publish(perf.recorder.log.to_bytes())
+        accounting = client.bye()["accounting"]
+    assert accounting["salvaged"] == accounting["entries"] > 0
+    with urllib.request.urlopen(f"{url}/profiles/web", timeout=10) as r:
+        summary = json.loads(r.read())
+    assert summary["merged"]["ticks"] == accounting["ticks"]
