@@ -10,7 +10,8 @@ Two halves:
   nothing lost, nothing written twice, per-thread order survives);
 * a standalone before/after wrapper (``python
   benchmarks/bench_log_throughput.py [--quick]``) over the suite's
-  ``record_write`` and ``columnar_decode`` benchmarks.  The frozen
+  ``record_write``, ``record_zero_copy``, ``codec_ratio`` and
+  ``columnar_decode`` benchmarks.  The frozen
   pre-batching baselines and the paired measurement live in
   :mod:`repro.bench.workloads.record_path`; this script runs them
   through the :mod:`repro.bench` harness (warmup, repetitions,
@@ -38,8 +39,10 @@ from repro.core import KIND_CALL
 from repro.bench.ports import derived_views
 from repro.bench.runner import run_selected
 from repro.bench.workloads.record_path import (
+    CODEC_RATIO_FLOOR,
     DECODE_FLOOR,
     WRITE_FLOOR,
+    ZERO_COPY_FLOOR,
 )
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -59,10 +62,15 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     results = run_selected(
-        ("record_write", "columnar_decode"), quick=args.quick
+        (
+            "record_write", "record_zero_copy", "codec_ratio",
+            "columnar_decode",
+        ),
+        quick=args.quick,
     )
     payload = derived_views(results, quick=args.quick)["BENCH_record.json"]
     write, decode = payload["write"], payload["decode"]
+    zero_copy, codec = payload["zero_copy"], payload["codec"]
 
     OUT_DIR.mkdir(exist_ok=True)
     out = OUT_DIR / "BENCH_record.json"
@@ -72,6 +80,16 @@ def main(argv=None):
         f"write : legacy {write['legacy_events_per_sec']:>12,.0f} ev/s"
         f"  batched {write['batched_events_per_sec']:>12,.0f} ev/s"
         f"  -> {write['speedup']:.2f}x (floor {WRITE_FLOOR}x)"
+    )
+    print(
+        f"bulk  : legacy {zero_copy['legacy_events_per_sec']:>12,.0f} ev/s"
+        f"  zerocopy {zero_copy['bulk_events_per_sec']:>11,.0f} ev/s"
+        f"  -> {zero_copy['speedup']:.2f}x (floor {ZERO_COPY_FLOOR}x)"
+    )
+    print(
+        f"codec : fixed  {codec['fixed_width_bytes']:>12,} B   "
+        f"rev 1.2 {codec['rev12_bytes']:>12,} B"
+        f"  -> {codec['ratio']:.2f}x (floor {CODEC_RATIO_FLOOR}x)"
     )
     print(
         f"decode: legacy {decode['legacy_entries_per_sec']:>12,.0f} en/s"
@@ -157,6 +175,8 @@ def test_batched_writer_beats_per_event(emit):
     assert payload["derived_from"] == "BENCH_suite.json"
     assert payload["write"]["speedup"] > 1.0
     assert payload["decode"]["speedup"] >= DECODE_FLOOR
+    assert payload["zero_copy"]["speedup"] >= ZERO_COPY_FLOOR
+    assert payload["codec"]["ratio"] >= CODEC_RATIO_FLOOR
 
 
 if __name__ == "__main__":

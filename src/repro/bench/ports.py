@@ -90,6 +90,93 @@ def _record_write_bench(size):
     )
 
 
+def _record_zero_copy_bench(size):
+    n_events = size(200_000, 100_000, 40_000)
+    inner = size(3, 3, 2)
+    state = {"pairs": []}
+
+    def setup():
+        return {"columns": _record.build_event_columns(n_events)}
+
+    def body(s):
+        pair = _record.zero_copy_sample(
+            n_events, s["columns"], inner=inner
+        )
+        state["pairs"].append(pair)
+        return pair[0] / pair[1]  # legacy / bulk = speedup
+
+    def detail(_):
+        t_legacy = median([p[0] for p in state["pairs"]])
+        t_bulk = median([p[1] for p in state["pairs"]])
+        return {
+            "events": n_events,
+            "legacy_events_per_sec": n_events / t_legacy,
+            "bulk_events_per_sec": n_events / t_bulk,
+            "legacy_ns_per_event": t_legacy / n_events * 1e9,
+            "bulk_ns_per_event": t_bulk / n_events * 1e9,
+            "floor": _record.ZERO_COPY_FLOOR,
+        }
+
+    return Benchmark(
+        name="record_zero_copy",
+        description=(
+            "Bulk zero-copy column write (append_columns) vs the "
+            "frozen per-event append baseline (events/sec speedup)"
+        ),
+        unit="x",
+        direction="higher",
+        body=body,
+        setup=setup,
+        detail=detail,
+        gates=[FloorGate(_record.ZERO_COPY_FLOOR)],
+    )
+
+
+def _codec_ratio_bench(size):
+    threads = size(8, 4, 2)
+    frames = size(32_768, 16_384, 2_048)
+    state = {"last": None}
+
+    def setup():
+        image = _analyzer.build_image()
+        log = _analyzer.build_log(
+            image, threads=threads, frames_per_thread=frames
+        )
+        return {"log": log, "entries": len(log)}
+
+    def body(s):
+        raw, packed = _record.codec_sizes(s["log"])
+        state["last"] = (raw, packed)
+        return raw / packed  # compression ratio
+
+    def detail(s):
+        raw, packed = state["last"]
+        return {
+            "entries": s["entries"],
+            "threads": threads,
+            "fixed_width_bytes": raw,
+            "rev12_bytes": packed,
+            "floor": _record.CODEC_RATIO_FLOOR,
+        }
+
+    return Benchmark(
+        name="codec_ratio",
+        description=(
+            "Rev 1.2 columnar image size vs fixed-width bytes on the "
+            "standard call/return workload (compression ratio)"
+        ),
+        unit="x",
+        direction="higher",
+        body=body,
+        setup=setup,
+        detail=detail,
+        # The workload is deterministic, so every sample must clear
+        # the floor — no CI slack needed or wanted.
+        gates=[FloorGate(_record.CODEC_RATIO_FLOOR, mode="exact")],
+        overrides={"warmup_max": 1, "repetitions": 3},
+    )
+
+
 def _columnar_decode_bench(size):
     n_entries = size(262_144, 65_536, 16_384)
     state = {"pairs": [], "log": None}
@@ -459,6 +546,8 @@ def build_registry(quick=False, smoke=None):
     size = _profile(quick, smoke)
     return [
         _record_write_bench(size),
+        _record_zero_copy_bench(size),
+        _codec_ratio_bench(size),
         _columnar_decode_bench(size),
         _analyzer_vector_bench(size),
         _monitor_overhead_bench(size),
@@ -493,9 +582,18 @@ def derived_views(results, quick=False):
         write["speedup"] = results["record_write"].stats.median
         decode = dict(results["columnar_decode"].detail)
         decode["speedup"] = results["columnar_decode"].stats.median
-        views["BENCH_record.json"] = stamp(
-            {"write": write, "decode": decode}, "record_path"
-        )
+        payload = {"write": write, "decode": decode}
+        if "record_zero_copy" in results:
+            zero_copy = dict(results["record_zero_copy"].detail)
+            zero_copy["speedup"] = (
+                results["record_zero_copy"].stats.median
+            )
+            payload["zero_copy"] = zero_copy
+        if "codec_ratio" in results:
+            codec = dict(results["codec_ratio"].detail)
+            codec["ratio"] = results["codec_ratio"].stats.median
+            payload["codec"] = codec
+        views["BENCH_record.json"] = stamp(payload, "record_path")
 
     if "analyzer_vector" in results:
         r = results["analyzer_vector"]

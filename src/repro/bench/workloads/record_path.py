@@ -15,6 +15,11 @@ import itertools
 import struct
 import time
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 from repro.api import SharedLog
 from repro.core import KIND_CALL, KIND_RET, ThreadLogWriter
 from repro.core.log import (
@@ -36,15 +41,25 @@ __all__ = [
     "LegacyLog",
     "bench_decode",
     "bench_write",
+    "build_event_columns",
+    "codec_sizes",
     "decode_sample",
     "legacy_decode",
     "write_sample",
+    "zero_copy_sample",
 ]
 
 #: acceptance floors (ISSUE 3): batched write path >= 3x events/sec,
 #: columnar bulk decode >= 5x, both against the pre-batching baseline.
 WRITE_FLOOR = 3.0
 DECODE_FLOOR = 5.0
+
+#: acceptance floors (ISSUE 8): the bulk zero-copy column path
+#: >= 10x events/sec over the frozen per-event baseline, and rev 1.2
+#: columnar images >= 3x smaller than the fixed-width rev 1.1 bytes
+#: on the standard workload.
+ZERO_COPY_FLOOR = 10.0
+CODEC_RATIO_FLOOR = 3.0
 
 
 class LegacyLog:
@@ -147,6 +162,55 @@ def write_sample(n_events, inner=2):
     t_legacy = best_of(lambda: _legacy_write(n_events), inner)
     t_batched = best_of(lambda: _batched_write(n_events), inner)
     return t_legacy, t_batched
+
+
+def build_event_columns(n_events):
+    """The write benchmark's event mix, prebuilt as columns — what a
+    columnar producer (the fleet ingest path, a simulator batch)
+    already holds before the write."""
+    if _np is not None:
+        return (
+            _np.zeros(n_events, dtype=_np.uint64),  # KIND_CALL
+            _np.arange(n_events, dtype=_np.uint64),
+            _np.full(n_events, 0x400000, dtype=_np.uint64),
+            _np.full(n_events, 7, dtype=_np.uint64),
+        )
+    return (
+        [KIND_CALL] * n_events,
+        list(range(n_events)),
+        [0x400000] * n_events,
+        [7] * n_events,
+    )
+
+
+def _zero_copy_write(n_events, columns):
+    log = SharedLog.create(n_events)
+    committed = log.append_columns(*columns)
+    assert committed == n_events
+
+
+def zero_copy_sample(n_events, columns, inner=2):
+    """One paired measurement of the bulk zero-copy write path.
+
+    Times the frozen legacy per-event append against
+    :meth:`SharedLog.append_columns` writing the same events from
+    prebuilt columns (one reservation, one vectorised blit — no
+    per-event Python work at all); returns ``(t_legacy, t_bulk)``.
+    """
+    t_legacy = best_of(lambda: _legacy_write(n_events), inner)
+    t_bulk = best_of(lambda: _zero_copy_write(n_events, columns), inner)
+    return t_legacy, t_bulk
+
+
+def codec_sizes(log):
+    """``(fixed_width_bytes, rev12_bytes)`` for one log, with the
+    entry-exact round trip asserted outside any timed region."""
+    from repro.core.columnar import ColumnarLog, encode_log
+
+    raw = log.to_bytes()
+    image = encode_log(log)
+    assert len(ColumnarLog(image)) == len(log)
+    return len(raw), len(image)
 
 
 def build_filled_log(n_entries):

@@ -28,6 +28,7 @@ And the fleet service (see docs/fleet.md)::
 """
 
 import argparse
+import os
 import sys
 import threading
 import time
@@ -89,7 +90,7 @@ def cmd_inspect(args):
         for tid, count in threads.most_common(10):
             print(f"    thread {tid}: {count} events")
     finally:
-        if isinstance(log, LogStream):
+        if hasattr(log, "close"):
             log.close()
     return 0
 
@@ -156,6 +157,64 @@ def cmd_recover(args):
         print(f"\nwrote {output} ({len(salvaged)} entries)")
     if args.strict and not report.ok:
         print("recover --strict: log was damaged", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_convert(args):
+    """Re-encode a log between fixed-width (rev 1.0/1.1) and
+    compressed columnar (rev 1.2), with round-trip accounting."""
+    from repro.core.columnar import ColumnarLog, encode_log
+
+    try:
+        log = open_log(args.log, mmap_threshold=float("inf"))
+    except (OSError, LogFormatError) as exc:
+        print(f"cannot convert: {exc}", file=sys.stderr)
+        return 1
+    was_compressed = isinstance(log, ColumnarLog)
+    to_columnar = not was_compressed if args.to is None \
+        else args.to == "1.2"
+    in_size = os.path.getsize(args.log)
+    entries = len(log)
+    if to_columnar == was_compressed:
+        direction = "rev 1.2" if was_compressed else "fixed-width"
+        print(f"{args.log} is already {direction}; nothing to do")
+        if was_compressed:
+            log.close()
+        return 0
+    suffix = ".tpc" if to_columnar else ".teeperf"
+    output = args.output or f"{os.path.splitext(args.log)[0]}{suffix}"
+    if to_columnar:
+        image = encode_log(log, sort_by_thread=not args.no_sort)
+        with open(output, "wb") as fh:
+            fh.write(image)
+        out_size = len(image)
+        # Round-trip check: the compressed image must decode to the
+        # same entries before we call the conversion good.
+        back = ColumnarLog(image)
+        ok = len(back) == entries
+    else:
+        expanded = log.to_shared_log()
+        expanded.dump(output)
+        out_size = os.path.getsize(output)
+        back = expanded
+        ok = len(back) == entries
+        log.close()
+    ratio = in_size / out_size if out_size else 0.0
+    print(f"converted {args.log} -> {output}")
+    print(f"  entries:   {entries}")
+    print(f"  in:        {in_size} bytes")
+    print(f"  out:       {out_size} bytes")
+    print(
+        f"  ratio:     {ratio:.2f}x "
+        f"{'smaller' if ratio >= 1 else 'larger'}"
+    )
+    print(
+        f"  round trip: {len(back)}/{entries} entries "
+        f"{'OK' if ok else 'MISMATCH'}"
+    )
+    if not ok:
+        print("conversion round trip failed", file=sys.stderr)
         return 1
     return 0
 
@@ -542,6 +601,30 @@ def build_parser():
         help="exit non-zero when anything was quarantined",
     )
     recover.set_defaults(fn=cmd_recover)
+
+    convert = sub.add_parser(
+        "convert",
+        help="re-encode a log between fixed-width and rev 1.2 columnar",
+    )
+    convert.add_argument("log", help="path to a .teeperf log file")
+    convert.add_argument(
+        "-o", "--output",
+        help="where to write the converted log "
+        "(default: <log>.tpc for rev 1.2, <log>.teeperf back)",
+    )
+    convert.add_argument(
+        "--to",
+        choices=("1.2", "1.0"),
+        default=None,
+        help="target format (default: the one the input is not)",
+    )
+    convert.add_argument(
+        "--no-sort",
+        action="store_true",
+        help="keep the global entry order when compressing "
+        "(per-thread order is preserved either way)",
+    )
+    convert.set_defaults(fn=cmd_convert)
 
     diff = sub.add_parser(
         "diff", help="compare two runs (before vs after a change)"

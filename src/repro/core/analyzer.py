@@ -43,11 +43,13 @@ try:
 except ImportError:  # pragma: no cover - numpy is a hard dep in-tree
     _np = None
 
+from repro.core.columnar import ColumnarLog
 from repro.core.errors import AnalyzerError
 from repro.core.log import (
     DEFAULT_CHUNK_ENTRIES,
     LogStream,
     SharedLog,
+    is_compressed_image,
     open_log,
 )
 from repro.core.recovery import (
@@ -454,12 +456,16 @@ class Analyzer:
             log, recovery_report = recover_log(log)
             if recover == "strict":
                 require_clean(recovery_report)
-        opened = not isinstance(log, (SharedLog, LogStream))
+        opened = not isinstance(log, (SharedLog, LogStream, ColumnarLog))
         log = self._coerce(log)
         stats = stats if stats is not None else PipelineStats()
         stats.jobs = jobs
         stats.chunk_size = chunk_size
         stats.engine = engine
+        if not stats.bytes_written:
+            stats.bytes_written = len(log) * log.entry_size
+        if not stats.bytes_on_disk and isinstance(log, ColumnarLog):
+            stats.bytes_on_disk = log.nbytes
         if recovery_report is not None:
             recovery_stats(recovery_report, stats)
 
@@ -485,7 +491,7 @@ class Analyzer:
             analysis.recovery = recovery_report
             return analysis
         finally:
-            if opened and isinstance(log, LogStream):
+            if opened and isinstance(log, (LogStream, ColumnarLog)):
                 log.close()
 
     def analyze_batch(self, log, stats=None):
@@ -782,13 +788,22 @@ class Analyzer:
         )
 
     def _coerce(self, log):
-        if isinstance(log, (SharedLog, LogStream)):
+        if isinstance(log, (SharedLog, LogStream, ColumnarLog)):
             return log
+        if isinstance(log, memoryview):
+            # Zero-copy: a read-only view over someone else's buffer
+            # (the fleet shm fast path) — never materialise bytes.
+            if is_compressed_image(log):
+                return ColumnarLog(log)
+            return SharedLog.view(log)
         if isinstance(log, (bytes, bytearray)):
+            if is_compressed_image(log):
+                return ColumnarLog(log)
             return SharedLog.from_bytes(log)
         if isinstance(log, str) or hasattr(log, "__fspath__"):
             # Threshold-based: small files are slurped into a
-            # SharedLog, big ones become mmap-backed streams.
+            # SharedLog, big ones become mmap-backed streams;
+            # rev 1.2 images dispatch to ColumnarLog.
             return open_log(log)
         raise AnalyzerError(f"cannot analyze {type(log).__name__}")
 

@@ -289,6 +289,21 @@ def to_metrics(analysis, prefix="teeperf"):
             pipeline.crc_failures,
         )
         metric(
+            "bytes_written_total", "counter",
+            "Fixed-width entry bytes committed to the shared log.",
+            pipeline.bytes_written,
+        )
+        metric(
+            "bytes_on_disk_total", "counter",
+            "Bytes the persisted log image occupies.",
+            pipeline.bytes_on_disk,
+        )
+        metric(
+            "compression_ratio", "gauge",
+            "Entry bytes per persisted byte (rev 1.2 columnar).",
+            f"{pipeline.compression_ratio:.6f}",
+        )
+        metric(
             "ingest_rate_entries_per_tick", "gauge",
             "Entries ingested per software-counter tick.",
             f"{pipeline.ingest_rate:.6f}",

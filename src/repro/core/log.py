@@ -98,6 +98,11 @@ FLAG_MASK_RETS = 1 << 3
 # Sealed segments: committed blocks carry CRC32 seal records and header
 # word 7 is the monotonic seal watermark (see module docstring).
 FLAG_SEALED = 1 << 4
+# Format rev 1.2: the payload after the header is delta/varint columnar
+# blocks (see repro.core.columnar), not a fixed-width entry array.  The
+# version field still describes the *entry layout* (v1: 3 words, v2: 4)
+# so one flag bit covers both layouts' compressed forms.
+FLAG_COMPRESSED = 1 << 5
 
 _VERSION_SHIFT = 16
 
@@ -371,15 +376,30 @@ def _decode_entries(buf, version, start, count):
 class SharedLog:
     """The shared-memory log: header + append-only entry array.
 
-    The buffer is a plain ``bytearray``; in live mode real threads
-    append concurrently (reservation is GIL-atomic), in simulated mode
-    the machine serialises writers anyway.  ``capacity`` is the maximum
-    number of entries, fixed at creation exactly as in the paper.
+    The buffer is a plain ``bytearray`` by default; in live mode real
+    threads append concurrently (reservation is GIL-atomic), in
+    simulated mode the machine serialises writers anyway.  ``capacity``
+    is the maximum number of entries, fixed at creation exactly as in
+    the paper.  With ``SharedLog.create(..., shm=True)`` the buffer is
+    a true ``multiprocessing.shared_memory`` segment instead: another
+    process can :meth:`attach` by name and read (or append to) the very
+    same bytes — the fleet's producer fast path hands segments over
+    without ever serialising them.  :meth:`view` wraps an existing
+    image (bytes, a memoryview, an mmap) *without copying*; such a log
+    is read-only, which is all salvage and analysis need.
     """
 
-    def __init__(self, buf):
+    def __init__(self, buf, shm=None):
         header = _validate_header(buf)
+        if header[1] & FLAG_COMPRESSED:
+            raise LogFormatError(
+                "compressed (rev 1.2) image: the payload is columnar "
+                "blocks, not a fixed-width entry array — open it with "
+                "repro.core.columnar.ColumnarLog (open_log() dispatches "
+                "automatically)"
+            )
         self._buf = buf
+        self._shm = shm
         version = (header[1] >> _VERSION_SHIFT) & 0xFFFF
         self._entry_size = _ENTRY_SIZES[version]
         self._capacity = header[4]
@@ -438,6 +458,8 @@ class SharedLog:
         multithread=True,
         version=VERSION,
         sealed=False,
+        shm=False,
+        shm_name=None,
     ):
         """Allocate and initialise a log for `capacity` entries.
 
@@ -446,6 +468,13 @@ class SharedLog:
         the remainder at stop, and the image gains a CRC journal
         trailer.  Off by default — unsealed images stay byte-identical
         to what every earlier reader expects.
+
+        ``shm=True`` backs the log with a real
+        ``multiprocessing.shared_memory`` segment instead of a private
+        ``bytearray``: another process can :meth:`attach` by the
+        segment's :attr:`shm_name` and read the same bytes with zero
+        serialisation.  Call :meth:`close` (``unlink=True`` in the
+        owning process) when done.
         """
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
@@ -454,7 +483,20 @@ class SharedLog:
                 f"unsupported version {version} (known: "
                 f"{sorted(_ENTRY_SIZES)})"
             )
-        buf = bytearray(HEADER_SIZE + capacity * _ENTRY_SIZES[version])
+        size = HEADER_SIZE + capacity * _ENTRY_SIZES[version]
+        seg = None
+        if shm:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(
+                name=shm_name, create=True, size=size
+            )
+            # The OS may round the segment up to a page; the log is
+            # exactly the bytes it asked for.  New segments are
+            # zero-filled, which a fresh log relies on.
+            buf = memoryview(seg.buf)[:size]
+        else:
+            buf = bytearray(size)
         flags = FLAG_MASK_CALLS | FLAG_MASK_RETS
         if multithread:
             flags |= FLAG_MULTITHREAD
@@ -472,12 +514,75 @@ class SharedLog:
             profiler_addr,
             0,  # seal watermark
         )
-        return cls(buf)
+        return cls(buf, shm=seg)
 
     @classmethod
     def from_bytes(cls, data):
         """Wrap an existing log image (e.g. read back from disk)."""
         return cls(bytearray(data))
+
+    @classmethod
+    def view(cls, data):
+        """Wrap an existing image **without copying** it.
+
+        `data` may be ``bytes``, a ``memoryview`` (e.g. over a shared
+        -memory segment), an ``mmap`` — anything with the buffer
+        protocol.  The resulting log is read-only unless the
+        underlying buffer is writable; salvage and analysis, which
+        only read, use this to avoid materialising a second copy of
+        a large image.
+        """
+        return cls(data)
+
+    @classmethod
+    def attach(cls, name):
+        """Attach to a log living in a named shared-memory segment
+        (the other half of ``create(shm=True)``).
+
+        The attached log reads — and can append to — the creating
+        process's bytes directly.  Call :meth:`close` (without
+        ``unlink``) when done.
+        """
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(name=name)
+        header = _validate_header(seg.buf)
+        version = (header[1] >> _VERSION_SHIFT) & 0xFFFF
+        size = HEADER_SIZE + header[4] * _ENTRY_SIZES[version]
+        buf = memoryview(seg.buf)[: min(size, len(seg.buf))]
+        return cls(buf, shm=seg)
+
+    @property
+    def shm_name(self):
+        """The shared-memory segment's name (None for private logs)."""
+        return self._shm.name if self._shm is not None else None
+
+    def close(self, unlink=False):
+        """Release a shared-memory backing (no-op for private logs).
+
+        The owning process passes ``unlink=True`` to also remove the
+        segment; attachers close without unlinking.  The log must not
+        be used after close.
+        """
+        seg = self._shm
+        if seg is None:
+            return
+        self._shm = None
+        if self._words is not None:
+            self._words.release()
+            self._words = None
+        if isinstance(self._buf, memoryview):
+            self._buf.release()
+        self._buf = b""
+        try:
+            seg.close()
+        except BufferError:  # an exported view still pins the buffer
+            pass
+        if unlink:
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
 
     @classmethod
     def load(cls, path):
@@ -752,6 +857,76 @@ class SharedLog:
         self.write_entry(index, kind, counter, addr, tid, call_site)
         return True
 
+    def append_columns(self, kind, counter, addr, tid, call_site=None):
+        """Bulk vectorised append: one reserved block for the whole
+        batch, packed straight into the log buffer.
+
+        The zero-copy counterpart of :meth:`append` for producers that
+        already hold their events as columns (arrays or lists of
+        kind/counter/addr/tid, plus ``call_site`` for v2 logs): the
+        event mask filters rows first, one
+        :meth:`reserve_block` fetch-and-add covers the batch, and the
+        columns are written through a writable ``numpy`` view of the
+        reserved slots — no per-event Python work, no intermediate
+        packed ``bytes``.  Rows lost past the capacity boundary are
+        counted on :attr:`dropped`.  Returns the number of entries
+        committed.  Without numpy the batch degrades to per-event
+        appends (same bytes, same accounting).
+        """
+        if _np is None:
+            committed = 0
+            for i in range(len(kind)):
+                if self.append(
+                    kind[i], counter[i], addr[i], tid[i],
+                    call_site[i] if call_site is not None else 0,
+                ):
+                    committed += 1
+            return committed
+        u64 = _np.uint64
+        kind = _np.ascontiguousarray(kind, dtype=u64)
+        counter = _np.ascontiguousarray(counter, dtype=u64)
+        addr = _np.ascontiguousarray(addr, dtype=u64)
+        tid = _np.ascontiguousarray(tid, dtype=u64)
+        if call_site is not None:
+            call_site = _np.ascontiguousarray(call_site, dtype=u64)
+        flags = self._flags_mirror[0]
+        if not (flags & FLAG_MASK_CALLS) or not (flags & FLAG_MASK_RETS):
+            keep = _np.zeros(len(kind), dtype=bool)
+            if flags & FLAG_MASK_CALLS:
+                keep |= kind == KIND_CALL
+            if flags & FLAG_MASK_RETS:
+                keep |= kind == KIND_RET
+            kind, counter = kind[keep], counter[keep]
+            addr, tid = addr[keep], tid[keep]
+            if call_site is not None:
+                call_site = call_site[keep]
+        n = len(kind)
+        if not n:
+            return 0
+        start, granted = self.reserve_block(n)
+        surrendered = n - granted
+        if surrendered:
+            self.dropped += surrendered
+        if not granted:
+            return 0
+        entry_size = self._entry_size
+        words = entry_size // 8
+        offset = HEADER_SIZE + start * entry_size
+        mat = _np.frombuffer(
+            memoryview(self._buf)[offset : offset + granted * entry_size],
+            dtype="<u8",
+        ).reshape(granted, words)
+        mat[:, 0] = (counter[:granted] & u64(COUNTER_MASK)) | (
+            kind[:granted] << u64(63)
+        )
+        mat[:, 1] = addr[:granted]
+        mat[:, 2] = tid[:granted]
+        if words == 4:
+            mat[:, 3] = 0 if call_site is None else call_site[:granted]
+        if self.sealed:
+            self.seal(start, granted)
+        return granted
+
     # ------------------------------------------------------------------
     # Reading (the analyzer's side)
 
@@ -823,7 +998,15 @@ class SharedLog:
         return decode_columns(self._buf, self.version, 0, self._readable())
 
     def _store_tail(self):
-        self._set_word(5, min(self._next_free, self._capacity))
+        # tail_or_live, not _next_free: an attached reader whose
+        # reservation counter was snapshotted before the owner stored
+        # its tail must never regress the shared header word.  The
+        # equality guard skips the no-op store, so a read-only view
+        # (SharedLog.view over bytes or foreign shared memory) — which
+        # never appended — needs no writable buffer.
+        value = min(self.tail_or_live(), self._capacity)
+        if value != self._word(5):
+            self._set_word(5, value)
 
     def __repr__(self):
         return (
@@ -838,11 +1021,15 @@ class ThreadLogWriter:
     The injected code's amortised hot path: :attr:`append` — a closure
     specialised at construction so every per-event load is a cell
     variable or a default-argument constant, never an attribute chain —
-    stages each entry as its final packed bytes (one C-level
-    ``Struct.pack`` call), and each `block` of entries commits with one
-    :meth:`SharedLog.reserve_block` fetch-and-add plus a single
-    ``b"".join`` blit instead of a reservation and a ``pack_into`` per
-    event.
+    packs each entry **in place** into a staging buffer preallocated
+    once at construction (one C-level ``Struct.pack_into``; the
+    per-event path allocates *nothing*), and each `block` of entries
+    commits with one :meth:`SharedLog.reserve_block` fetch-and-add
+    plus a single slice copy of the staging buffer into the shared
+    buffer — no per-event ``bytes`` objects, no ``b"".join`` at
+    commit.  :meth:`extend` is the bulk sibling: a whole column batch
+    flushes the stage and lands through
+    :meth:`SharedLog.append_columns` as one vectorised block.
 
     The contract, matching ``docs/log-format.md``:
 
@@ -871,7 +1058,10 @@ class ThreadLogWriter:
         "dropped",
         "blocks_flushed",
         "append",
-        "_staged",
+        "_flush_impl",
+        "_pending_impl",
+        "_staged_bytes",
+        "_clear_staged",
     )
 
     def __init__(self, log, block=DEFAULT_WRITER_BLOCK):
@@ -882,67 +1072,110 @@ class ThreadLogWriter:
         self.flushed = 0  # entries committed to the log
         self.dropped = 0  # staged events lost to surrendered slots
         self.blocks_flushed = 0
-        staged = self._staged = []
-        v2 = log.entry_size == ENTRY_SIZE_V2
+        entry_size = log.entry_size
+        # The staging buffer: `block` entries' worth of bytes,
+        # allocated exactly once.  `pos` — the byte offset of the next
+        # free staging slot — lives in a closure cell shared by the
+        # append/flush/pending closures below; packing writes the
+        # entry's final bytes straight into `stage`, so the per-event
+        # path performs zero allocations and flush is one slice copy.
+        stage = bytearray(block * entry_size)
+        stage_view = memoryview(stage)
+        pos = 0
+        writer = self
+
+        def flush_impl():
+            """Commit the staged entries as one reserved block."""
+            nonlocal pos
+            if not pos:
+                return 0
+            count = pos // entry_size
+            start, granted = log.reserve_block(count)
+            if granted:
+                # One slice copy: staging bytes -> reserved slots.
+                log.write_block(start, granted, stage_view)
+                if log.sealed:
+                    log.seal(start, granted)
+                writer.flushed += granted
+            pos = 0
+            surrendered = count - granted
+            if surrendered:
+                writer.dropped += surrendered
+                log.dropped += surrendered
+            writer.blocks_flushed += 1
+            return granted
+
         # The staging closure.  Every name it touches per event is a
         # cell variable or a default-arg constant; the mask check is a
         # single index into the log's *measures mirror* (a two-slot
         # list of pre-shifted mask bits, kept current by _set_word) —
-        # KIND_CALL is 0, KIND_RET is 1.  Each event is staged as its
-        # final packed bytes: one C-level Struct.pack here makes flush
-        # a near-free ``b"".join`` (measurably cheaper than staging
-        # tuples and bulk-packing the block).  `room` is a countdown
-        # cell: it reaches 0 exactly when `block` events have been
-        # staged since the last closure-triggered flush (an external
-        # flush only makes the next block smaller, which the format
-        # permits — block boundaries carry no meaning).
+        # KIND_CALL is 0, KIND_RET is 1.  `pos` doubles as the
+        # block-full test: it hits `_cap` exactly when `block` events
+        # have been staged since the last flush (an external flush only
+        # makes the next block smaller, which the format permits —
+        # block boundaries carry no meaning).  The block-full commit
+        # goes through the *bound* flush so subclasses that override
+        # it (fault injection) stay in the loop.
         meas = log._measures_mirror
         flush = self.flush
-        room = block
-        if v2:
+        if entry_size == ENTRY_SIZE_V2:
 
             def append(kind, counter, addr, tid, call_site=0,
                        _mask=COUNTER_MASK, _kbit=_KIND_BIT,
-                       _stage=staged.append, _pack=_ENTRY_V2.pack):
-                """Stage one event; False when the mask filters it out.
-                True means *accepted* — commitment (or a capacity
-                drop) happens at flush."""
-                nonlocal room
+                       _stage=stage, _pack=_ENTRY_V2.pack_into,
+                       _es=entry_size, _cap=block * entry_size):
+                """Stage one event in place; False when the mask
+                filters it out.  True means *accepted* — commitment
+                (or a capacity drop) happens at flush."""
+                nonlocal pos
                 if not meas[kind]:
                     return False
-                _stage(_pack(counter & _mask | (kind and _kbit),
-                             addr, tid, call_site))
-                room -= 1
-                if not room:
+                _pack(_stage, pos, counter & _mask | (kind and _kbit),
+                      addr, tid, call_site)
+                pos += _es
+                if pos == _cap:
                     flush()
-                    room = block
                 return True
 
         else:
 
             def append(kind, counter, addr, tid, call_site=0,
                        _mask=COUNTER_MASK, _kbit=_KIND_BIT,
-                       _stage=staged.append, _pack=_ENTRY.pack):
-                """Stage one event; False when the mask filters it out.
-                True means *accepted* — commitment (or a capacity
-                drop) happens at flush."""
-                nonlocal room
+                       _stage=stage, _pack=_ENTRY.pack_into,
+                       _es=entry_size, _cap=block * entry_size):
+                """Stage one event in place; False when the mask
+                filters it out.  True means *accepted* — commitment
+                (or a capacity drop) happens at flush."""
+                nonlocal pos
                 if not meas[kind]:
                     return False
-                _stage(_pack(counter & _mask | (kind and _kbit),
-                             addr, tid))
-                room -= 1
-                if not room:
+                _pack(_stage, pos, counter & _mask | (kind and _kbit),
+                      addr, tid)
+                pos += _es
+                if pos == _cap:
                     flush()
-                    room = block
                 return True
 
+        def staged_bytes():
+            """The staged-but-uncommitted prefix of the staging buffer
+            (a view, not a copy) — fault injection reads this to model
+            a writer dying mid-commit."""
+            return stage_view[:pos]
+
+        def clear_staged():
+            nonlocal pos
+            pos = 0
+
         self.append = append
+        self._flush_impl = flush_impl
+        self._pending_impl = lambda: pos // entry_size
+        self._staged_bytes = staged_bytes
+        self._clear_staged = clear_staged
 
     @property
     def pending(self):
         """Entries staged but not yet committed."""
-        return len(self._staged)
+        return self._pending_impl()
 
     def flush(self):
         """Commit the staged entries as one reserved block.
@@ -951,27 +1184,26 @@ class ThreadLogWriter:
         what was staged is the exact count of events dropped because
         their slots were surrendered past the capacity boundary.
         """
-        staged = self._staged
-        count = len(staged)
-        if not count:
-            return 0
+        return self._flush_impl()
+
+    def extend(self, kind, counter, addr, tid, call_site=None):
+        """Bulk append a column batch through this writer.
+
+        Staged per-event entries flush first (preserving per-thread
+        order), then the whole batch lands through
+        :meth:`SharedLog.append_columns` as one vectorised block.
+        Returns the number of entries committed; mask-filtered rows
+        are skipped and capacity-surrendered rows counted on
+        :attr:`dropped`, exactly like the per-event path.
+        """
+        self._flush_impl()
         log = self.log
-        start, granted = log.reserve_block(count)
-        if granted:
-            raw = b"".join(
-                staged if granted == count else staged[:granted]
-            )
-            log.write_block(start, granted, raw)
-            if log.sealed:
-                log.seal(start, granted)
-            self.flushed += granted
-        staged.clear()
-        surrendered = count - granted
-        if surrendered:
-            self.dropped += surrendered
-            log.dropped += surrendered
+        before = log.dropped
+        committed = log.append_columns(kind, counter, addr, tid, call_site)
+        self.flushed += committed
+        self.dropped += log.dropped - before
         self.blocks_flushed += 1
-        return granted
+        return committed
 
     def close(self):
         self.flush()
@@ -986,9 +1218,18 @@ class ThreadLogWriter:
     def __repr__(self):
         return (
             f"ThreadLogWriter(block={self.block}, "
-            f"pending={len(self._staged)}, "
+            f"pending={self.pending}, "
             f"flushed={self.flushed}, dropped={self.dropped})"
         )
+
+
+def is_compressed_image(data):
+    """True when a bytes-like image carries rev 1.2 compressed
+    columnar payload (valid magic and ``FLAG_COMPRESSED`` set)."""
+    if len(data) < 16:
+        return False
+    magic, word1 = struct.unpack_from("<2Q", data, 0)
+    return magic == MAGIC and bool(word1 & FLAG_COMPRESSED)
 
 
 def open_log(path, mmap_threshold=DEFAULT_MMAP_THRESHOLD,
@@ -1001,11 +1242,22 @@ def open_log(path, mmap_threshold=DEFAULT_MMAP_THRESHOLD,
     whole as a :class:`SharedLog`, which is cheaper than a mapping for
     logs that fit comfortably in memory.  Pass ``mmap_threshold=0`` to
     always stream, or ``float("inf")`` to always load.
+
+    Compressed rev 1.2 images (``FLAG_COMPRESSED``) dispatch to a
+    :class:`repro.core.columnar.ColumnarLog`, which exposes the same
+    read surface — consumers never notice the format.
     """
     try:
         size = os.path.getsize(path)
     except OSError:
         size = 0
+    if size >= 16:
+        with open(path, "rb") as fh:
+            head = fh.read(16)
+        if is_compressed_image(head):
+            from repro.core.columnar import ColumnarLog
+
+            return ColumnarLog.open(path, chunk_size)
     if size >= mmap_threshold:
         return LogStream.open(path, chunk_size)
     return SharedLog.load(path)
@@ -1030,6 +1282,12 @@ class LogStream:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive: {chunk_size}")
         header = _validate_header(buf)
+        if header[1] & FLAG_COMPRESSED:
+            raise LogFormatError(
+                "compressed (rev 1.2) image: use "
+                "repro.core.columnar.ColumnarLog (open_log() "
+                "dispatches automatically)"
+            )
         version = (header[1] >> _VERSION_SHIFT) & 0xFFFF
         self._buf = buf
         self._header = header

@@ -35,16 +35,22 @@ undamaged prefix.
 """
 
 import os
+import struct
+import zlib
 from dataclasses import dataclass, field
 
-from repro.core.errors import RecoveryError
+from repro.core.errors import LogFormatError, RecoveryError
 from repro.core.log import (
+    FLAG_MULTITHREAD,
     HEADER_SIZE,
     KIND_CALL,
     KIND_RET,
     LogStream,
     SharedLog,
     _merge_intervals,
+    _validate_header,
+    _VERSION_SHIFT,
+    is_compressed_image,
 )
 
 #: Valid ``recover=`` modes for :meth:`repro.core.analyzer.Analyzer.analyze`:
@@ -192,17 +198,36 @@ def _subtract(intervals, holes):
 
 
 def _coerce(source):
-    """Normalise any log source to a (tolerantly parsed) SharedLog."""
+    """Normalise any log source for salvage, without copying.
+
+    Fixed-width images come back as a tolerantly-parsed, *read-only*
+    :class:`SharedLog` view over the caller's buffer (salvage never
+    mutates its input — the rebuilt log is a fresh allocation), so the
+    fleet shm fast path hands segments straight in as ``memoryview``
+    with zero serialisation.  Rev 1.2 compressed images come back as a
+    ``memoryview`` for :func:`_recover_columnar` to block-scan.
+    """
     if isinstance(source, SharedLog):
         return source
     if isinstance(source, LogStream):
-        return SharedLog.from_bytes(bytes(source._buf))
-    if isinstance(source, (bytes, bytearray, memoryview)):
-        return SharedLog.from_bytes(source)
+        source = source._buf
+    else:
+        from repro.core.columnar import ColumnarLog
+
+        if isinstance(source, ColumnarLog):
+            source = source._buf
     if isinstance(source, (str, os.PathLike)):
         with open(source, "rb") as fh:
-            return SharedLog.from_bytes(fh.read())
-    raise TypeError(f"cannot recover from {type(source).__name__}")
+            source = fh.read()
+    try:
+        view = memoryview(source)
+    except TypeError:
+        raise TypeError(
+            f"cannot recover from {type(source).__name__}"
+        ) from None
+    if is_compressed_image(view):
+        return view
+    return SharedLog.view(view)
 
 
 def _salvage_plan(log):
@@ -326,15 +351,125 @@ def _rebuild(log, salvage, capacity=None):
     return out
 
 
+def _recover_columnar(data):
+    """Salvage a rev 1.2 compressed columnar image, block by block.
+
+    Every codec block carries its own CRC32 and a ``payload_len`` that
+    lets the scan skip over it, so damage quarantines *exactly* the
+    damaged block: a CRC mismatch (or a section that will not decode)
+    drops that block with ``crc-mismatch`` and the scan keeps every
+    healthy block after it.  A block whose bytes run off the end of
+    the image stops the scan — its offsets and everything behind it
+    are gone — and the remainder of what the header's tail claims is
+    quarantined as ``truncated``.  The accounting identity holds
+    exactly as for fixed-width salvage: ``salvaged + quarantined ==
+    tail``.
+    """
+    from repro.core import columnar as _columnar
+
+    view = memoryview(data)
+    header = _validate_header(view)
+    version = (header[1] >> _VERSION_SHIFT) & 0xFFFF
+    tail = header[5]
+    report = RecoveryReport(
+        sealed=False, capacity=header[4], tail=tail, watermark=0
+    )
+
+    # Scan the block directory tolerantly: (entry cursor, byte offset,
+    # per-block verdict).  Nothing decodes yet — sizing first.
+    magic_end = HEADER_SIZE + len(_columnar.COLUMNAR_MAGIC)
+    blocks = []  # (payload_at, count, crc, payload_len)
+    scan_ok = (
+        len(view) >= magic_end + 8
+        and bytes(view[HEADER_SIZE:magic_end]) == _columnar.COLUMNAR_MAGIC
+    )
+    if scan_ok:
+        (n_blocks,) = struct.unpack_from("<Q", view, magic_end)
+        offset = magic_end + 8
+        for _ in range(n_blocks):
+            if offset + 24 > len(view):
+                break  # block header itself truncated
+            payload_len, count, crc = struct.unpack_from(
+                "<3Q", view, offset
+            )
+            payload_at = offset + 24
+            if payload_at + payload_len > len(view):
+                break  # payload runs off the image: this and the rest
+            blocks.append((payload_at, count, crc, payload_len))
+            offset = payload_at + payload_len
+    report.segments_sealed = len(blocks)
+
+    decoded = []  # (count, LogColumns-tuple) for healthy blocks
+    cursor = 0
+    for index, (payload_at, count, crc, payload_len) in enumerate(blocks):
+        payload = view[payload_at : payload_at + payload_len]
+        bad = zlib.crc32(payload) != crc
+        if bad:
+            report.crc_failures += 1
+        else:
+            try:
+                columns = _columnar._decode_block_payload(
+                    payload, count, version
+                )
+            except LogFormatError:
+                bad = True
+        if bad:
+            report.quarantined.append(
+                QuarantinedRange(
+                    cursor, count, payload_at,
+                    payload_at + payload_len, REASON_CRC,
+                )
+            )
+        else:
+            decoded.append((cursor, columns))
+            report.entries_salvaged += count
+            report.segments_recovered += 1
+        cursor += count
+    report.present = cursor
+    if tail > cursor:
+        report.quarantined.append(
+            QuarantinedRange(
+                cursor, tail - cursor,
+                min(len(view), magic_end), len(view), REASON_TRUNCATED,
+            )
+        )
+    report.tail = max(tail, cursor)
+    report.entries_quarantined = sum(q.count for q in report.quarantined)
+
+    out = SharedLog.create(
+        max(1, report.entries_salvaged),
+        pid=header[3],
+        profiler_addr=header[6],
+        shm_base=header[2],
+        multithread=bool(header[1] & FLAG_MULTITHREAD),
+        version=version,
+    )
+    per_thread = report.salvaged_per_thread
+    for _, (kind, counter, addr, tid, call_site) in decoded:
+        out.append_columns(kind, counter, addr, tid, call_site)
+        if _columnar._np is not None:
+            uniq, counts = _columnar._np.unique(tid, return_counts=True)
+            for t, c in zip(uniq.tolist(), counts.tolist()):
+                per_thread[t] = per_thread.get(t, 0) + c
+        else:
+            for t in tid:
+                t = int(t)
+                per_thread[t] = per_thread.get(t, 0) + 1
+    out._store_tail()
+    return out, report
+
+
 def recover_log(source, repair=False):
     """Salvage every committed region of a possibly damaged log.
 
-    `source` may be a path, raw bytes, a :class:`SharedLog` or a
-    :class:`LogStream`.  Returns ``(salvaged, report)`` — a fresh,
-    clean :class:`SharedLog` holding the recovered entries in log
-    order, and the :class:`RecoveryReport` describing everything that
-    was kept, repaired, or quarantined (with byte ranges and reason
-    codes — nothing is dropped silently).
+    `source` may be a path, raw bytes/memoryview (zero-copy), a
+    :class:`SharedLog`, a :class:`LogStream`, or a rev 1.2 compressed
+    image (any of the above shapes — salvage dispatches on the header
+    flag and quarantines per codec block).  Returns ``(salvaged,
+    report)`` — a fresh, clean :class:`SharedLog` holding the
+    recovered entries in log order, and the :class:`RecoveryReport`
+    describing everything that was kept, repaired, or quarantined
+    (with byte ranges and reason codes — nothing is dropped silently).
 
     With ``repair=True`` the salvaged log additionally gets its
     CALL/RET tails balanced by :func:`repair_tails`.
@@ -344,6 +479,11 @@ def recover_log(source, repair=False):
     there is nothing principled to salvage without it).
     """
     log = _coerce(source)
+    if isinstance(log, memoryview):
+        salvaged, report = _recover_columnar(log)
+        if repair:
+            salvaged = repair_tails(salvaged, report)
+        return salvaged, report
     salvage, report = _salvage_plan(log)
     salvaged = _rebuild(log, salvage)
     _tally_threads(log, salvage, report.salvaged_per_thread)

@@ -75,6 +75,14 @@ class PipelineStats:
         :mod:`repro.core.recovery`).
     crc_failures:
         Sealed segments whose CRC32 no longer matched their bytes.
+    bytes_written:
+        Raw fixed-width entry bytes the recorder committed to the
+        shared log (entries × entry size — what rev 1.0/1.1 would
+        persist).
+    bytes_on_disk:
+        Bytes the persisted image actually occupies.  Equal to
+        ``bytes_written`` plus the 64-byte header for uncompressed
+        dumps; far smaller under rev 1.2 columnar compression.
     engine:
         The resolved reconstruction engine (``"vector"`` or
         ``"python"``; ``""`` before analysis has run).
@@ -100,6 +108,8 @@ class PipelineStats:
     entries_salvaged: int = 0
     entries_quarantined: int = 0
     crc_failures: int = 0
+    bytes_written: int = 0
+    bytes_on_disk: int = 0
     engine: str = ""
 
     # ------------------------------------------------------------------
@@ -119,6 +129,14 @@ class PipelineStats:
         if total == 0:
             return 0.0
         return self.cache_hits / total
+
+    @property
+    def compression_ratio(self):
+        """Fixed-width entry bytes per byte persisted (1.0 means no
+        compression; 0.0 before anything was written *and* persisted)."""
+        if self.bytes_written <= 0 or self.bytes_on_disk <= 0:
+            return 0.0
+        return self.bytes_written / self.bytes_on_disk
 
     # ------------------------------------------------------------------
     # Combination and output
@@ -148,6 +166,7 @@ class PipelineStats:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["ingest_rate"] = self.ingest_rate
         out["cache_hit_rate"] = self.cache_hit_rate
+        out["compression_ratio"] = self.compression_ratio
         return out
 
     @classmethod
@@ -190,6 +209,13 @@ class PipelineStats:
             f"{self.entries_quarantined} quarantined "
             f"({self.segments_sealed} sealed segments, "
             f"{self.crc_failures} CRC failures)",
+            f"  bytes:             {self.bytes_written} written, "
+            f"{self.bytes_on_disk} on disk"
+            + (
+                f"   ({self.compression_ratio:.2f}x compression)"
+                if self.bytes_on_disk
+                else ""
+            ),
             f"  ingest rate:       {self.ingest_rate:.3f} entries/tick",
             f"  symbol cache:      {100 * self.cache_hit_rate:.1f}% hits "
             f"({self.cache_hits} hits, {self.cache_misses} misses)",

@@ -78,8 +78,8 @@ class CrashingWriter(ThreadLogWriter):
         self.crashed = False
 
     def flush(self):
-        staged = self._staged
-        count = len(staged)
+        staged = self._staged_bytes()
+        count = len(staged) // self.log.entry_size
         if not count:
             return 0
         self._flush_calls += 1
@@ -96,9 +96,7 @@ class CrashingWriter(ThreadLogWriter):
                 f"with nothing written"
             )
         if granted:
-            raw = b"".join(
-                staged if granted == count else staged[:granted]
-            )
+            raw = staged
             if crashing and self.phase == "mid-write":
                 entry_size = log.entry_size
                 # End mid-entry: half the block, plus a few bytes.
@@ -118,7 +116,7 @@ class CrashingWriter(ThreadLogWriter):
             if log.sealed:
                 log.seal(start, granted)
             self.flushed += granted
-        staged.clear()
+        self._clear_staged()
         surrendered = count - granted
         if surrendered:
             self.dropped += surrendered

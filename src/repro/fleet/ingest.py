@@ -103,26 +103,43 @@ class _Connection:
         if self.session is None:
             raise ProtocolError("segment before hello")
         shm_name = header.get("shm")
+        segment = None
         if shm_name is not None:
+            # Zero-copy fast path: the segment enters salvage as a
+            # memoryview over the producer's shared memory — no bytes
+            # are materialised on this side of the handoff (a
+            # process-backed pool serialises at submit; either way the
+            # attachment is released once the future completes).
             try:
-                payload = protocol.shm_read(
+                segment = protocol.shm_view(
                     shm_name, int(header["shm_size"])
                 )
+                payload = segment.view
             except Exception as exc:
                 raise ProtocolError(
                     f"shared-memory segment {shm_name!r} unreadable: "
                     f"{exc}"
                 ) from None
-        if not payload:
+        accepted = len(payload)  # before any release can race us
+        if not accepted:
+            if segment is not None:
+                segment.release()
             raise ProtocolError("empty segment")
-        future = self.daemon.ingest_segment(
-            self.tenant, self.symtab_json, payload,
-            session=self.session,
-        )
+        try:
+            future = self.daemon.ingest_segment(
+                self.tenant, self.symtab_json, payload,
+                session=self.session,
+            )
+        except BaseException:
+            if segment is not None:
+                segment.release()
+            raise
+        if segment is not None:
+            future.add_done_callback(lambda fut: segment.release())
         self.futures.append(future)
         protocol.write_frame(
             self.sock,
-            {"ok": True, "accepted": len(payload), "seq": len(self.futures)},
+            {"ok": True, "accepted": accepted, "seq": len(self.futures)},
         )
 
     def _bye(self):

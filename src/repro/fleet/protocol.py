@@ -121,6 +121,49 @@ def shm_read(name, size):
         shm.close()
 
 
+class ShmSegment:
+    """A zero-copy attachment to a named shared-memory block.
+
+    :attr:`view` is a ``memoryview`` straight over the producer's
+    segment — nothing is materialised; :meth:`release` drops the view
+    and detaches (idempotent, and safe to call from a future's
+    done-callback).  The consumer must hold the attachment open for
+    as long as anything references :attr:`view`.
+    """
+
+    __slots__ = ("_shm", "view")
+
+    def __init__(self, name, size):
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(name=name)
+        self.view = memoryview(self._shm.buf)[:size]
+
+    def release(self):
+        if self._shm is None:
+            return
+        self.view.release()
+        self.view = None
+        try:
+            self._shm.close()
+        except BufferError:  # a consumer still holds a sub-view
+            pass
+        self._shm = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+
+def shm_view(name, size):
+    """Attach the named block zero-copy; returns a :class:`ShmSegment`
+    whose ``.view`` is the live bytes (no copy is ever taken)."""
+    return ShmSegment(name, size)
+
+
 class FleetClient:
     """A producer-side session over the ingest socket.
 

@@ -179,9 +179,23 @@ class AnalysisPool:
 
     def submit(self, log_bytes, symtab_json, recover="auto"):
         """Schedule one segment; returns a future of
-        :class:`SegmentResult`."""
-        return self._ensure().submit(
-            analyze_segment, (bytes(log_bytes), symtab_json, recover)
+        :class:`SegmentResult`.
+
+        A ``memoryview`` payload (the shm fast path) stays zero-copy
+        all the way into salvage on a thread-backed pool; a
+        process-backed pool must serialise it across the boundary, so
+        only there is it materialised as ``bytes``.  The caller must
+        keep a ``memoryview``'s buffer alive until the future
+        completes (submit returns after any process-pool pickling, so
+        a done-callback release is sufficient either way).
+        """
+        executor = self._ensure()
+        if self.kind == "process" or not isinstance(
+            log_bytes, memoryview
+        ):
+            log_bytes = bytes(log_bytes)
+        return executor.submit(
+            analyze_segment, (log_bytes, symtab_json, recover)
         )
 
     def close(self):

@@ -217,6 +217,10 @@ class PipelineSampler(Sampler):
              "(torn/truncated/unsealed/CRC)."),
             ("crc_failures",
              "Sealed segments whose CRC32 no longer matched."),
+            ("bytes_written",
+             "Fixed-width entry bytes committed to the shared log."),
+            ("bytes_on_disk",
+             "Bytes the persisted log image occupies."),
         ):
             registry.counter(
                 f"pipeline_{field}_total", help_text
@@ -233,6 +237,10 @@ class PipelineSampler(Sampler):
             "pipeline_ingest_rate_entries_per_tick",
             "Entries ingested per software-counter tick.",
         ).set(stats.ingest_rate)
+        registry.gauge(
+            "pipeline_compression_ratio",
+            "Entry bytes per persisted byte (rev 1.2 columnar).",
+        ).set(stats.compression_ratio)
 
 
 class KVStoreSampler(Sampler):

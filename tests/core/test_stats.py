@@ -65,3 +65,44 @@ def test_equality_distinguishes_counters():
 
 def test_report_names_recorded_entries():
     assert "entries recorded:  120" in sample_stats().report()
+
+
+def test_compression_ratio_flows_to_dict_and_metrics():
+    stats = PipelineStats(bytes_written=3000, bytes_on_disk=1000)
+    assert stats.compression_ratio == 3.0
+    assert stats.to_dict()["compression_ratio"] == 3.0
+    # Unknown sizes never divide by zero.
+    assert PipelineStats(bytes_written=10).compression_ratio == 0.0
+    assert PipelineStats().compression_ratio == 0.0
+    # Round trip keeps the raw counters (the ratio is derived).
+    back = PipelineStats.from_dict(stats.to_dict())
+    assert (back.bytes_written, back.bytes_on_disk) == (3000, 1000)
+
+    # End to end: analysing a rev 1.2 image fills the byte counters
+    # and they surface in the exposition text.
+    from repro.api import Analyzer, SharedLog
+    from repro.core import KIND_CALL, KIND_RET
+    from repro.core.columnar import encode_log
+    from repro.core.export import to_metrics
+    from repro.symbols import BinaryImage
+
+    img = BinaryImage("app")
+    img.add_function("f", size=64)
+    addr = next(iter(img.symtab)).addr
+    log = SharedLog.create(64, profiler_addr=img.profiler_addr)
+    for i in range(32):
+        log.append(KIND_CALL if i % 2 == 0 else KIND_RET, i, addr, 1)
+    log._store_tail()
+    image = encode_log(log)
+
+    analysis = Analyzer(img).analyze(image)
+    pipeline = analysis.pipeline
+    assert pipeline.bytes_written == 32 * log.entry_size
+    assert pipeline.bytes_on_disk == len(image)
+    assert pipeline.compression_ratio == (
+        pipeline.bytes_written / pipeline.bytes_on_disk
+    )
+    text = to_metrics(analysis)
+    assert f"teeperf_bytes_written_total {32 * log.entry_size}" in text
+    assert f"teeperf_bytes_on_disk_total {len(image)}" in text
+    assert "teeperf_compression_ratio" in text

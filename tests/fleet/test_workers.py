@@ -106,3 +106,52 @@ def test_pool_context_manager_and_validation():
     with AnalysisPool(jobs=1, prefer_processes=False) as pool:
         assert pool.kind == "thread"
     assert pool.kind is None
+
+
+def test_memoryview_submit_is_zero_copy():
+    """The shm fast path's contract: a ``memoryview`` payload crosses
+    ``submit()`` on a thread-backed pool without being materialised —
+    tracemalloc must see bookkeeping, not a second copy of the
+    segment.  The pool's one worker is parked behind an event during
+    the measurement so nothing else allocates in the window."""
+    import threading
+    import tracemalloc
+
+    from repro.core import KIND_RET
+
+    image = BinaryImage("big")
+    image.add_function("app::Hot()", size=64)
+    addr = next(iter(image.symtab)).addr
+    symtab = image.to_json()
+
+    n = 1 << 18  # ~6 MiB of v1 entries: a copy would dwarf the noise
+    log = SharedLog.create(n, profiler_addr=image.profiler_addr)
+    assert log.append_columns(
+        [KIND_CALL, KIND_RET] * (n // 2),
+        list(range(n)),
+        [addr] * n,
+        [1] * n,
+    ) == n
+    log._store_tail()
+    payload = memoryview(log.to_bytes())
+
+    pool = AnalysisPool(jobs=1, prefer_processes=False)
+    gate = threading.Event()
+    try:
+        blocker = pool._ensure().submit(gate.wait)
+        assert pool.kind == "thread"
+        tracemalloc.start()
+        before = tracemalloc.get_traced_memory()[0]
+        future = pool.submit(payload, symtab)
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        gate.set()
+        blocker.result(timeout=60)
+        result = future.result(timeout=60)
+    finally:
+        gate.set()
+        pool.close()
+
+    assert peak - before < len(payload) // 4  # no copy was taken
+    assert result.ok and result.accounted
+    assert result.salvaged == n

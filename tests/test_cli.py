@@ -85,6 +85,42 @@ def test_analyze_offline_formats(tmp_path, capsys):
     assert "teeperf_symbol_cache_hit_rate" in metrics
 
 
+def test_convert_round_trip(tmp_path, capsys):
+    out = tmp_path / "demo"
+    main(["demo", "-o", str(out)])
+    capsys.readouterr()
+    log = str(out / "demo.teeperf")
+
+    # Fixed-width -> rev 1.2, with accounting printed.
+    assert main(["convert", log]) == 0
+    converted = capsys.readouterr().out
+    assert "round trip: 202/202 entries OK" in converted
+    assert "smaller" in converted
+    tpc = str(out / "demo.tpc")
+
+    # The analyzer reads the compressed image transparently and
+    # produces the identical profile.
+    assert main(["analyze", log, "--format", "folded"]) == 0
+    before = capsys.readouterr().out
+    assert main(["analyze", tpc,
+                 "--image", log + ".symtab.json",
+                 "--format", "folded"]) == 0
+    assert capsys.readouterr().out == before
+
+    # Converting an already-columnar image is a no-op...
+    assert main(["convert", tpc, "--to", "1.2"]) == 0
+    assert "already rev 1.2" in capsys.readouterr().out
+    # ...and converting back restores a fixed-width image.
+    back = str(tmp_path / "back.teeperf")
+    assert main(["convert", tpc, "-o", back]) == 0
+    assert "round trip: 202/202 entries OK" in capsys.readouterr().out
+    assert main(["inspect", back]) == 0
+    assert "calls/returns:  101/101" in capsys.readouterr().out
+
+    assert main(["convert", str(tmp_path / "missing.teeperf")]) == 1
+    assert "cannot convert" in capsys.readouterr().err
+
+
 def test_analyze_jobs_and_stats(tmp_path, capsys):
     out = tmp_path / "demo"
     main(["demo", "-o", str(out)])
