@@ -30,6 +30,7 @@ What belongs here:
   :class:`MethodDelta` (also ``tee-perf diff`` on the command line);
 * the fleet service — :class:`FleetDaemon`, :class:`FleetClient`,
   :class:`FleetServer`, :class:`IngestListener`,
+  :class:`WindowStore`, :class:`PathTable`,
   :class:`FoldedProfile` (see docs/fleet.md);
 * configuration — :class:`RecordOptions`, :class:`AnalyzeOptions`;
 * instrumentation markers — :func:`symbol`, :func:`no_instrument`;
@@ -67,6 +68,8 @@ from repro.fleet import (
     FleetServer,
     FoldedProfile,
     IngestListener,
+    PathTable,
+    WindowStore,
 )
 from repro.phoenix.runner import run_teeperf
 
@@ -88,6 +91,7 @@ __all__ = [
     "LiveRecorder",
     "LogFormatError",
     "MethodDelta",
+    "PathTable",
     "PipelineStats",
     "Profiler",
     "QuarantinedRange",
@@ -100,6 +104,7 @@ __all__ = [
     "SharedLog",
     "TEEPerf",
     "TEEPerfError",
+    "WindowStore",
     "no_instrument",
     "open_log",
     "recover_log",

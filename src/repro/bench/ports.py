@@ -20,6 +20,7 @@ ratio — the ratio's distribution is what the gates judge.
 """
 
 import os
+import time as _time
 
 from repro.bench.gates import CeilingGate, FloorGate
 from repro.bench.harness import Benchmark
@@ -492,6 +493,115 @@ def _fleet_staleness_bench(size):
     )
 
 
+def _query_state(windows, paths):
+    """Shared setup for the query benches: synthetic windows, the
+    store under test, and the dict-oracle identity check (the frozen
+    baseline must produce the *identical* merged profile — byte
+    identity of the folded output, asserted before anything is
+    timed)."""
+    window_data = _fleet.build_query_windows(
+        windows=windows, paths=paths
+    )
+    store = _fleet.build_query_store(window_data)
+    oracle = _fleet.dict_merged_baseline(window_data)
+    merged = store.merged("web")
+    assert merged.folded() == oracle.folded
+    assert (
+        merged.flamegraph().to_folded()
+        == oracle.profile().flamegraph().to_folded()
+    )
+    assert oracle.salvaged + oracle.quarantined == oracle.entries
+    return {
+        "store": store,
+        "windows": window_data,
+        "paths": paths,
+        "retention": windows,
+    }
+
+
+def _query_detail(s, floor, state):
+    start = _time.perf_counter()
+    diff = s["store"].diff("web", 0, s["retention"] - 1)
+    t_diff = _time.perf_counter() - start
+    t_dict, t_cold, t_warm = (
+        median([p[i] for p in state["samples"]]) for i in range(3)
+    )
+    return {
+        "retention_windows": s["retention"],
+        "paths_per_window": s["paths"],
+        "dict_merge_ms": t_dict * 1e3,
+        "cold_query_ms": t_cold * 1e3,
+        "warm_query_ms": t_warm * 1e3,
+        "diff_ms": t_diff * 1e3,
+        "diff_methods": len(diff.deltas()),
+        "floor": floor,
+    }
+
+
+def _fleet_query_bench(size):
+    windows = size(64, 64, 16)
+    paths = size(10_000, 10_000, 1_000)
+    state = {"samples": []}
+
+    def setup():
+        return _query_state(windows, paths)
+
+    def body(s):
+        sample = _fleet.query_sample(s["store"], s["windows"])
+        state["samples"].append(sample)
+        return sample[0] / sample[2]  # dict / warm = speedup
+
+    def detail(s):
+        return _query_detail(s, _fleet.QUERY_WARM_FLOOR, state)
+
+    return Benchmark(
+        name="fleet_query",
+        description=(
+            "Warm-cache merged-profile query vs the frozen dict merge "
+            "loop at retention x paths (speedup)"
+        ),
+        unit="x",
+        direction="higher",
+        body=body,
+        setup=setup,
+        detail=detail,
+        gates=[FloorGate(_fleet.QUERY_WARM_FLOOR)],
+        overrides={"warmup_max": 1},
+    )
+
+
+def _fleet_query_cold_bench(size):
+    windows = size(64, 64, 16)
+    paths = size(10_000, 10_000, 1_000)
+    state = {"samples": []}
+
+    def setup():
+        return _query_state(windows, paths)
+
+    def body(s):
+        sample = _fleet.query_sample(s["store"], s["windows"])
+        state["samples"].append(sample)
+        return sample[0] / sample[1]  # dict / cold = speedup
+
+    def detail(s):
+        return _query_detail(s, _fleet.QUERY_COLD_FLOOR, state)
+
+    return Benchmark(
+        name="fleet_query_cold",
+        description=(
+            "Cold (flushed-cache) merged-profile query vs the frozen "
+            "dict merge loop at retention x paths (speedup)"
+        ),
+        unit="x",
+        direction="higher",
+        body=body,
+        setup=setup,
+        detail=detail,
+        gates=[FloorGate(_fleet.QUERY_COLD_FLOOR)],
+        overrides={"warmup_max": 1},
+    )
+
+
 # ----------------------------------------------------------------------
 # accuracy
 
@@ -555,6 +665,8 @@ def build_registry(quick=False, smoke=None):
         _seal_overhead_bench(size),
         _fleet_ingest_bench(size),
         _fleet_staleness_bench(size),
+        _fleet_query_bench(size),
+        _fleet_query_cold_bench(size),
         _accuracy_bench(size),
     ]
 
@@ -632,6 +744,14 @@ def derived_views(results, quick=False):
                 results["fleet_staleness"].stats.median
             )
             payload["staleness"] = stale
+        if "fleet_query" in results:
+            query = dict(results["fleet_query"].detail)
+            query["warm_speedup"] = results["fleet_query"].stats.median
+            if "fleet_query_cold" in results:
+                query["cold_speedup"] = (
+                    results["fleet_query_cold"].stats.median
+                )
+            payload["query"] = query
         views["BENCH_fleet.json"] = stamp(payload, "fleet_ingest")
 
     if "accuracy_error" in results:

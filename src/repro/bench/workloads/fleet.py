@@ -17,14 +17,20 @@ floor.
 import time
 
 from repro.bench.workloads import analyzer as _analyzer
-from repro.fleet import FleetDaemon
+from repro.fleet import DictWindowSummary, FleetDaemon, WindowStore
 
 __all__ = [
     "INGEST_FLOOR",
+    "QUERY_COLD_FLOOR",
+    "QUERY_WARM_FLOOR",
     "STALENESS_BUDGET",
     "build_daemon",
+    "build_query_store",
+    "build_query_windows",
     "build_segments",
+    "dict_merged_baseline",
     "ingest_sample",
+    "query_sample",
     "staleness_sample",
 ]
 
@@ -115,3 +121,97 @@ def _tenant_ticks(daemon, tenant):
         return daemon.profile(tenant).total_exclusive()
     except KeyError:
         return 0
+
+
+# ----------------------------------------------------------------------
+# Query path: cached merged profiles vs the frozen dict merge loop.
+
+#: Warm-cache merged-profile speedup floor vs the dict merge loop — a
+#: repeat query between ingests is a generation check plus a cache
+#: return, so it must beat re-merging retention x paths by an order of
+#: magnitude.
+QUERY_WARM_FLOOR = 10.0
+
+#: Cold (flushed-cache) merged-profile speedup floor: even a full
+#: rebuild is one array add per retained window instead of a
+#: tuple-keyed dict loop per path.
+QUERY_COLD_FLOOR = 3.0
+
+
+def build_query_windows(windows=64, paths=10_000, depth=4, ticks=1_000):
+    """``windows`` synthetic folded dicts over ``paths`` distinct call
+    paths (one shared prefix tree: path *i*'s frames are the base-N
+    digits of *i*, so prefixes intern heavily, like real stacks).
+    Ticks are deterministic but vary per window and per path."""
+    fanout = max(2, round(paths ** (1.0 / depth)))
+    all_paths = []
+    for i in range(paths):
+        frames, key = [], i
+        for level in range(depth):
+            frames.append(f"m{level}_{key % fanout}")
+            key //= fanout
+        all_paths.append(tuple(frames))
+    out = []
+    for w in range(windows):
+        folded = {
+            path: (i * 7919 + w * 104729) % ticks + 1
+            for i, path in enumerate(all_paths)
+        }
+        calls = {path[-1]: (i + w) % 97 + 1
+                 for i, path in enumerate(all_paths)}
+        out.append((folded, calls))
+    return out
+
+
+def build_query_store(window_data, tenant="web"):
+    """The contender: a :class:`WindowStore` holding every window live
+    (retention covers them all, ``max_paths`` high enough that nothing
+    compacts — the bench measures merging, not compaction)."""
+    paths = len(window_data[0][0])
+    store = WindowStore(
+        window_seconds=60.0,
+        retention=len(window_data),
+        max_paths=2 * paths + 1,
+    )
+    for i, (folded, calls) in enumerate(window_data):
+        entries = sum(folded.values())
+        store.add(
+            tenant, folded, calls, session=f"bench-{i}",
+            entries=entries, salvaged=entries, ts=60.0 * i,
+        )
+    return store
+
+
+def dict_merged_baseline(window_data):
+    """The frozen pre-interning query path, verbatim: one
+    :class:`DictWindowSummary` per window, merged pairwise into the
+    answer — exactly what ``merged()`` did before the path table."""
+    merged = DictWindowSummary("merged")
+    for i, (folded, calls) in enumerate(window_data):
+        summary = DictWindowSummary(i, dict(folded), dict(calls))
+        summary.segments = 1
+        merged.merge(summary)
+    return merged
+
+
+def query_sample(store, window_data, tenant="web", warm_queries=32):
+    """One paired measurement: the dict merge loop vs the cold
+    (flushed-cache) query vs the warm repeat query.  Returns
+    ``(t_dict, t_cold, t_warm)`` seconds; correctness (identical
+    folded output) is asserted by the bench setup, outside the timed
+    region."""
+    start = time.perf_counter()
+    dict_merged_baseline(window_data)
+    t_dict = time.perf_counter() - start
+
+    store.flush_cache(tenant)
+    start = time.perf_counter()
+    cold = store.merged(tenant)
+    t_cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(warm_queries):
+        warm = store.merged(tenant)
+    t_warm = (time.perf_counter() - start) / warm_queries
+    assert warm is cold  # every repeat was a pure cache hit
+    return t_dict, t_cold, t_warm

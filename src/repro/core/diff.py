@@ -12,6 +12,11 @@ from dataclasses import dataclass
 
 from repro.core.flamegraph import FlameGraph
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dep in-tree
+    _np = None
+
 
 @dataclass(frozen=True)
 class MethodDelta:
@@ -45,21 +50,75 @@ def _shares(analysis):
     }
 
 
+def _aligned_rows(profile):
+    """A profile's per-method arrays aligned to a shared intern table
+    (``table``/``names``/``exclusive``/``calls``/``present``), or
+    ``None`` when the profile doesn't expose them."""
+    rows = getattr(profile, "_aligned_method_rows", None)
+    return rows() if callable(rows) else None
+
+
+def _pad(arr, n):
+    if len(arr) == n:
+        return arr
+    out = _np.zeros(n, dtype=arr.dtype)
+    out[: len(arr)] = arr
+    return out
+
+
+def _aligned_deltas(b, a):
+    """Vectorised delta computation over method arrays that share one
+    intern table — both share vectors come from two array divisions
+    instead of two full path walks."""
+    n = max(len(b.exclusive), len(a.exclusive))
+    b_excl, a_excl = _pad(b.exclusive, n), _pad(a.exclusive, n)
+    b_calls, a_calls = _pad(b.calls, n), _pad(a.calls, n)
+    present = _pad(b.present, n) | _pad(a.present, n)
+    b_share = b_excl / (int(b_excl.sum()) or 1)
+    a_share = a_excl / (int(a_excl.sum()) or 1)
+    names = b.names
+    ids = sorted(_np.flatnonzero(present).tolist(),
+                 key=names.__getitem__)
+    return [
+        MethodDelta(names[i], float(b_share[i]), float(a_share[i]),
+                    int(b_calls[i]), int(a_calls[i]))
+        for i in ids
+    ]
+
+
 class AnalysisDiff:
-    """All method deltas between a *before* and an *after* profile."""
+    """All method deltas between a *before* and an *after* profile.
+
+    Two construction paths produce identical deltas: profiles that
+    expose aligned per-method arrays over a *shared* intern table
+    (``_aligned_method_rows``, e.g. two fleet window snapshots of one
+    tenant) are compared with vectorised share arithmetic; everything
+    else goes through the per-method dict walk.
+    """
 
     def __init__(self, before, after):
         self.before = before
         self.after = after
-        before_shares = _shares(before)
-        after_shares = _shares(after)
-        self._deltas = []
-        for method in sorted(set(before_shares) | set(after_shares)):
-            b_share, b_calls = before_shares.get(method, (0.0, 0))
-            a_share, a_calls = after_shares.get(method, (0.0, 0))
-            self._deltas.append(
-                MethodDelta(method, b_share, a_share, b_calls, a_calls)
-            )
+        b_rows = _aligned_rows(before)
+        a_rows = _aligned_rows(after)
+        if (
+            b_rows is not None
+            and a_rows is not None
+            and b_rows.table is a_rows.table
+        ):
+            self._deltas = _aligned_deltas(b_rows, a_rows)
+        else:
+            before_shares = _shares(before)
+            after_shares = _shares(after)
+            self._deltas = []
+            for method in sorted(set(before_shares) | set(after_shares)):
+                b_share, b_calls = before_shares.get(method, (0.0, 0))
+                a_share, a_calls = after_shares.get(method, (0.0, 0))
+                self._deltas.append(
+                    MethodDelta(method, b_share, a_share, b_calls,
+                                a_calls)
+                )
+        self._by_method = {d.method: d for d in self._deltas}
 
     def deltas(self):
         """All deltas, largest absolute share change first."""
@@ -76,10 +135,12 @@ class AnalysisDiff:
         return sorted(grown, key=lambda d: -d.delta)[:n]
 
     def delta_for(self, method):
-        for delta in self._deltas:
-            if delta.method == method:
-                return delta
-        raise KeyError(f"{method!r} appears in neither profile")
+        try:
+            return self._by_method[method]
+        except KeyError:
+            raise KeyError(
+                f"{method!r} appears in neither profile"
+            ) from None
 
     def report(self, top=15):
         lines = [
@@ -125,9 +186,11 @@ class AnalysisDiff:
 
 
 def _inclusive_shares(graph):
-    """Summed inclusive share per frame name across the whole graph."""
-    shares = {}
-    for _, _, node in graph.frames():
-        shares[node.name] = shares.get(node.name, 0.0) + node.total
+    """Summed inclusive share per frame name across the whole graph
+    (the graph memoises the underlying totals, so the walk happens at
+    most once per graph)."""
     total = graph.root.total or 1
-    return {name: value / total for name, value in shares.items()}
+    return {
+        name: value / total
+        for name, value in graph.inclusive_totals().items()
+    }

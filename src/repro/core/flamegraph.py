@@ -27,6 +27,7 @@ class FlameGraph:
             raise ValueError("empty profile: nothing to draw")
         self.title = title
         self.palette = None  # optional node -> css colour override
+        self._inclusive = None
         self.root = _Node("all")
         for path, ticks in sorted(folded.items()):
             if ticks <= 0:
@@ -45,35 +46,46 @@ class FlameGraph:
         return cls(analysis.folded(), title=title)
 
     @classmethod
-    def _from_columns(cls, cols, title):
-        """Build the node tree straight from a columnar analysis.
+    def from_path_table(cls, paths, methods, ticks,
+                        title="TEE-Perf Flame Graph"):
+        """Build the node tree straight from an interned path table.
 
-        The path table *is* the tree (parents precede children), so
-        each unique call path becomes one node in a single sweep and
-        the per-path exclusive ticks arrive via one scatter-add — no
-        path tuples, no record objects, no re-sorting of folded keys
-        (node children render sorted either way).
+        ``paths`` is the ``(parent_path_id, method_id)`` node list
+        (parents preceding children, ``-1`` the root), ``methods`` the
+        method-name table, and ``ticks`` the per-path-id exclusive
+        totals.  The path table *is* the tree, so each unique call
+        path becomes one node in a single sweep — no path tuples, no
+        re-sorting of folded keys (node children render sorted either
+        way).  Paths with no positive ticks prune away, matching the
+        folded-dict construction exactly.
         """
-        mask = cols.exclusive > 0
-        if not mask.any():
-            raise ValueError("empty profile: nothing to draw")
         self = cls.__new__(cls)
         self.title = title
         self.palette = None
+        self._inclusive = None
         self.root = root = _Node("all")
-        methods = cols.methods
         nodes = []
-        for parent, mid in cols.paths:
+        for parent, mid in paths:
             parent_node = nodes[parent] if parent >= 0 else root
             nodes.append(parent_node.child(methods[mid]))
-        sums = _np.zeros(len(cols.paths), dtype=_np.int64)
-        _np.add.at(sums, cols.path_id[mask], cols.exclusive[mask])
-        for pid, ticks in enumerate(sums.tolist()):
-            if ticks > 0:
-                nodes[pid].self_ticks += ticks
+        values = ticks.tolist() if hasattr(ticks, "tolist") else ticks
+        for pid, t in enumerate(values):
+            if t > 0:
+                nodes[pid].self_ticks += t
         root.finalise()
         _prune_empty(root)
         return self
+
+    @classmethod
+    def _from_columns(cls, cols, title):
+        """Columnar analysis -> tree: one scatter-add of per-record
+        exclusive ticks onto the path table, then the shared sweep."""
+        mask = cols.exclusive > 0
+        if not mask.any():
+            raise ValueError("empty profile: nothing to draw")
+        sums = _np.zeros(len(cols.paths), dtype=_np.int64)
+        _np.add.at(sums, cols.path_id[mask], cols.exclusive[mask])
+        return cls.from_path_table(cols.paths, cols.methods, sums, title)
 
     # ------------------------------------------------------------------
 
@@ -84,13 +96,21 @@ class FlameGraph:
         """Iterate (depth, start, node) over the laid-out graph."""
         yield from self.root.walk(0, 0)
 
+    def inclusive_totals(self):
+        """Summed inclusive ticks per frame name across the whole
+        graph, memoised — the tree is immutable once built, so one
+        walk serves every ``share()`` call and the differential
+        palette."""
+        if self._inclusive is None:
+            totals = {}
+            for _, _, node in self.frames():
+                totals[node.name] = totals.get(node.name, 0) + node.total
+            self._inclusive = totals
+        return self._inclusive
+
     def share(self, name):
         """Fraction of total time in frames called `name` (summed)."""
-        total = 0
-        for _, _, node in self.frames():
-            if node.name == name:
-                total += node.total
-        return total / self.root.total
+        return self.inclusive_totals().get(name, 0) / self.root.total
 
     def to_folded(self):
         """The canonical folded-stacks text format."""

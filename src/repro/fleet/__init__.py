@@ -35,8 +35,11 @@ from repro.fleet.ingest import IngestListener
 from repro.fleet.protocol import FleetClient, ProtocolError
 from repro.fleet.windows import (
     OTHER_BUCKET,
+    ArrayProfile,
+    DictWindowSummary,
     FoldedProfile,
     MethodShare,
+    PathTable,
     WindowStore,
     WindowSummary,
 )
@@ -44,6 +47,8 @@ from repro.fleet.workers import AnalysisPool, SegmentResult
 
 __all__ = [
     "AnalysisPool",
+    "ArrayProfile",
+    "DictWindowSummary",
     "FLEET_RULES",
     "FleetClient",
     "FleetDaemon",
@@ -54,6 +59,7 @@ __all__ = [
     "LocalSession",
     "MethodShare",
     "OTHER_BUCKET",
+    "PathTable",
     "ProtocolError",
     "SegmentResult",
     "WindowStore",

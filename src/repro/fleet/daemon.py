@@ -27,6 +27,13 @@ producer's dirty handoff degrades into exact quarantine accounting:
 ``salvaged + quarantined == entries`` holds per segment, per session,
 per tenant, and fleet-wide, and the quarantine counters feed the
 alert rules.
+
+The store's locking is per tenant (see
+:class:`~repro.fleet.windows.WindowStore`): the fold callback for one
+tenant's segment and a merged query for another tenant never contend,
+and queries return immutable snapshots served through the per-tenant
+incremental merged-profile cache — the sampler publishes its
+hit/fold/rebuild counters.
 """
 
 import threading
@@ -109,6 +116,15 @@ class FleetSampler(Sampler):
              "Cold paths folded into the <other> bucket."),
             ("windows_archived",
              "Windows expired past retention into tenant archives."),
+            ("merged_cache_hits",
+             "Merged-profile queries answered from the per-tenant "
+             "cache without touching any window."),
+            ("merged_cache_folds",
+             "Newly-stable windows folded incrementally into a "
+             "cached merged base."),
+            ("merged_cache_rebuilds",
+             "Merged bases rebuilt from scratch (archive churn or a "
+             "late segment in an old window)."),
         ):
             registry.counter(
                 f"fleet_{name}_total", help_text

@@ -24,6 +24,13 @@ working, and the daemon's windows become addressable:
 Errors are JSON all the way down: an unknown tenant or window is a
 404 body naming what *does* exist, a diff without ``a``/``b`` is a
 400 — never a stdlib HTML error page.
+
+The query path never blocks ingest of other tenants: every profile
+route takes an immutable :class:`~repro.fleet.windows.ArrayProfile`
+snapshot under the *tenant's own* lock (the store's locking is per
+tenant) and renders outside it, and the merged profile is served from
+the tenant's incremental cache, so a repeat query between ingests is
+a cache hit rather than a re-merge of all retained windows.
 """
 
 from repro.monitor.http import MonitorServer, _Handler

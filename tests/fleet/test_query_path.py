@@ -1,0 +1,149 @@
+"""The query path: per-tenant locks, snapshot immutability, and the
+incremental merged-profile cache."""
+
+import threading
+import time
+
+from repro.fleet import WindowStore
+
+A = ("app::Main()", "app::Parse()")
+B = ("app::Main()", "app::Process()")
+
+
+def make_store():
+    store = WindowStore(window_seconds=60.0, retention=4)
+    store.add("web", {A: 100}, {"app::Parse()": 1}, ts=0.0)
+    store.add("db", {B: 200}, {"app::Process()": 1}, ts=0.0)
+    return store
+
+
+# ----------------------------------------------------------------------
+# Per-tenant lock split
+
+
+def test_slow_query_on_one_tenant_does_not_block_another():
+    """A merged query stuck on tenant "web" must not delay ingest into
+    tenant "db" — the store has no global lock to contend on.  The
+    stuck query is simulated by holding web's own tenant lock, the
+    exact lock a slow query serialises on."""
+    store = make_store()
+    web_lock = store._state("web").lock
+    web_lock.acquire()
+    try:
+        query = threading.Thread(
+            target=store.merged, args=("web",), daemon=True
+        )
+        query.start()
+        query.join(timeout=0.1)
+        assert query.is_alive()  # web really is wedged...
+
+        start = time.perf_counter()
+        store.add("db", {B: 50}, ts=1.0)
+        assert store.merged("db").total_exclusive() == 250
+        assert time.perf_counter() - start < 1.0  # ...but db is not
+    finally:
+        web_lock.release()
+    query.join(timeout=5.0)
+    assert not query.is_alive()
+
+
+def test_profiles_are_immutable_snapshots():
+    """A handed-out profile never changes under later ingest — all
+    rendering happens outside the tenant lock on private arrays."""
+    store = make_store()
+    snapshot = store.merged("web")
+    before = snapshot.folded()
+    store.add("web", {A: 999, B: 1}, ts=1.0)
+    assert snapshot.folded() == before
+    assert snapshot.total_exclusive() == 100
+
+
+# ----------------------------------------------------------------------
+# Incremental merged-profile cache
+
+
+def test_repeat_query_is_a_cache_hit():
+    store = make_store()
+    first = store.merged("web")
+    assert store.merged("web") is first  # same object, no re-merge
+    assert store.totals()["merged_cache_hits"] == 1
+
+
+def test_ingest_invalidates_the_cached_answer():
+    store = make_store()
+    stale = store.merged("web")
+    store.add("web", {B: 50}, ts=1.0)
+    fresh = store.merged("web")
+    assert fresh is not stale
+    assert fresh.total_exclusive() == 150
+    assert fresh.folded()[B] == 50
+
+
+def test_newly_stable_windows_fold_incrementally():
+    """When ingest moves to a newer window, the previous newest folds
+    into the cached base with one array add — no rebuild."""
+    store = make_store()
+    store.merged("web")  # prime: base covers nothing, newest = w0
+    store.add("web", {B: 10}, ts=60.0)  # w1 opens; w0 is now stable
+    store.merged("web")
+    totals = store.totals()
+    assert totals["merged_cache_folds"] >= 1
+    assert totals["merged_cache_rebuilds"] == 1  # only the prime
+
+
+def test_archive_churn_rebuilds_the_base():
+    store = WindowStore(window_seconds=60.0, retention=2)
+    for i in range(3):
+        store.add("web", {A: 10}, ts=60.0 * i)
+        store.merged("web")
+    rebuilds = store.totals()["merged_cache_rebuilds"]
+    store.add("web", {A: 10}, ts=60.0 * 3)  # expires w1 into archive
+    assert store.merged("web").total_exclusive() == 40
+    assert store.totals()["merged_cache_rebuilds"] > rebuilds
+
+
+def test_flush_cache_forces_a_cold_remerge():
+    store = make_store()
+    warm = store.merged("web")
+    store.flush_cache("web")
+    cold = store.merged("web")
+    assert cold is not warm
+    assert cold.folded() == warm.folded()
+
+
+def test_explicit_window_subsets_bypass_the_cache():
+    store = make_store()
+    store.add("web", {B: 50}, ts=60.0)
+    merged = store.merged("web", wids=[0])
+    assert merged.folded() == {A: 100}
+    assert store.merged("web", wids=[0, 1]).total_exclusive() == 150
+    assert store.totals()["merged_cache_hits"] == 0
+
+
+# ----------------------------------------------------------------------
+# Daemon end to end: ingest between queries changes the answer
+
+
+def test_daemon_query_sees_post_cache_ingest(baseline_session):
+    from repro.fleet import FleetDaemon
+
+    daemon = FleetDaemon(jobs=2, prefer_processes=False)
+    daemon.start()
+    try:
+        with daemon.session(
+            "web", baseline_session["symtab"], session="s1"
+        ) as session:
+            session.publish(baseline_session["log_bytes"])
+        daemon.drain()
+        ticks = baseline_session["ticks"]
+        assert daemon.profile("web").total_exclusive() == ticks
+        # The merged answer is now cached; a second ingest must not be
+        # masked by it.
+        with daemon.session(
+            "web", baseline_session["symtab"], session="s2"
+        ) as session:
+            session.publish(baseline_session["log_bytes"])
+        daemon.drain()
+        assert daemon.profile("web").total_exclusive() == 2 * ticks
+    finally:
+        daemon.stop()
