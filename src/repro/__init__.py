@@ -38,11 +38,14 @@ _API_NAMES = (
     "AnalysisDiff",
     "AnalyzeOptions",
     "Analyzer",
+    "ExploreOptions",
+    "Explorer",
     "FlameGraph",
     "FleetClient",
     "FleetDaemon",
     "FleetServer",
     "LiveRecorder",
+    "Machine",
     "Profiler",
     "RecordOptions",
     "Recorder",

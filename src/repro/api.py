@@ -36,7 +36,17 @@ What belongs here:
 * instrumentation markers — :func:`symbol`, :func:`no_instrument`;
 * counters and errors — :class:`PipelineStats` and the exception
   hierarchy rooted at :class:`TEEPerfError`;
-* the evaluation driver — :func:`run_teeperf`.
+* the evaluation driver — :func:`run_teeperf`;
+* the deterministic machine — :class:`Machine` and the simulated
+  sync primitives (:class:`SimLock`, :class:`SimAtomicU64`,
+  :class:`SimBarrier`, :class:`SimCondition`, :class:`SimEvent`,
+  :class:`SimRWLock`, :class:`SimSemaphore`), with
+  :class:`DeadlockError` / :class:`LivelockError` as its liveness
+  verdicts;
+* schedule-space exploration — :class:`Explorer`,
+  :class:`ExploreOptions`, :class:`ExploreReport`,
+  :class:`SchedulePolicy` / :func:`make_policy` (see
+  docs/exploration.md; ``tee-perf explore`` on the command line).
 """
 
 from repro.core.analyzer import Analysis, Analyzer
@@ -62,6 +72,7 @@ from repro.core.recovery import (
     repair_tails,
 )
 from repro.core.stats import PipelineStats
+from repro.explore import Explorer, ExploreOptions, ExploreReport
 from repro.fleet import (
     FleetClient,
     FleetDaemon,
@@ -70,6 +81,20 @@ from repro.fleet import (
     IngestListener,
     PathTable,
     WindowStore,
+)
+from repro.machine import (
+    DeadlockError,
+    LivelockError,
+    Machine,
+    SchedulePolicy,
+    SimAtomicU64,
+    SimBarrier,
+    SimCondition,
+    SimEvent,
+    SimLock,
+    SimRWLock,
+    SimSemaphore,
+    make_policy,
 )
 from repro.phoenix.runner import run_teeperf
 
@@ -82,6 +107,10 @@ __all__ = [
     "AnalyzeOptions",
     "Analyzer",
     "AnalyzerError",
+    "DeadlockError",
+    "ExploreOptions",
+    "ExploreReport",
+    "Explorer",
     "FlameGraph",
     "FleetClient",
     "FleetDaemon",
@@ -89,7 +118,9 @@ __all__ = [
     "FoldedProfile",
     "IngestListener",
     "LiveRecorder",
+    "LivelockError",
     "LogFormatError",
+    "Machine",
     "MethodDelta",
     "PathTable",
     "PipelineStats",
@@ -101,10 +132,19 @@ __all__ = [
     "RecorderError",
     "RecoveryError",
     "RecoveryReport",
+    "SchedulePolicy",
     "SharedLog",
+    "SimAtomicU64",
+    "SimBarrier",
+    "SimCondition",
+    "SimEvent",
+    "SimLock",
+    "SimRWLock",
+    "SimSemaphore",
     "TEEPerf",
     "TEEPerfError",
     "WindowStore",
+    "make_policy",
     "no_instrument",
     "open_log",
     "recover_log",

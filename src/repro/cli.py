@@ -25,6 +25,16 @@ And the fleet service (see docs/fleet.md)::
     tee-perf fleet serve [--port P] [--ingest-port Q]
     tee-perf fleet ingest run.teeperf --connect HOST:PORT --tenant T
     tee-perf fleet query --url URL [--tenant T] [--diff A B]
+
+And schedule-space exploration (see docs/exploration.md)::
+
+    tee-perf explore [--workload record-path] [--trials N] [--seed S]
+                     [--policy random|all|...] [--systematic] [-o OUT]
+
+which runs a concurrency workload under many adversarial thread
+schedules and gates on the detector stack (deadlock/livelock, lockset
+races, recorder oracles); exit status 0 means every schedule upheld
+every invariant.
 """
 
 import argparse
@@ -540,6 +550,50 @@ def cmd_fleet_query(args):
     return 0
 
 
+def cmd_explore(args):
+    """Hammer a workload across adversarial schedules.
+
+    Exit status is the gate: 0 when every schedule upheld every
+    invariant, 1 when any detector fired (the report, the failing
+    schedules' traces and — unless ``--no-minimize`` — a minimal
+    forced-choice repro all land in the ``--out`` JSON artifact).
+    """
+    import json
+
+    from repro.explore import Explorer, ExploreOptions, workload_by_name
+
+    if args.list:
+        from repro.explore import WORKLOADS
+
+        for name, (description, _) in sorted(WORKLOADS.items()):
+            print(f"  {name:18} {description}")
+        return 0
+    try:
+        factory = workload_by_name(args.workload, quick=args.quick)
+        options = ExploreOptions(
+            trials=args.trials,
+            seed=args.seed,
+            policy=args.policy,
+            mode="systematic" if args.systematic else "random",
+            cores=args.cores,
+            max_steps=args.max_steps,
+            stop_on_finding=args.stop_on_finding,
+            keep_traces=args.out is not None and args.keep_traces,
+            minimize=not args.no_minimize,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    report = Explorer(factory, options).run()
+    print(report.report())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"  artifact: {args.out}")
+    return 0 if report.ok else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="tee-perf",
@@ -778,6 +832,66 @@ def build_parser():
         help="fetch /fleet daemon status instead of the tenant index",
     )
     query.set_defaults(fn=cmd_fleet_query)
+
+    explore = sub.add_parser(
+        "explore",
+        help="hammer a workload across adversarial thread schedules",
+    )
+    explore.add_argument(
+        "--workload", default="record-path",
+        help="registered workload to explore (see --list)",
+    )
+    explore.add_argument(
+        "--list", action="store_true",
+        help="list the registered workloads and exit",
+    )
+    explore.add_argument(
+        "--policy", default="random",
+        help="schedule policy, or 'all' to rotate the whole registry",
+    )
+    explore.add_argument(
+        "--trials", type=int, default=100,
+        help="schedules to run (or the systematic branch budget)",
+    )
+    explore.add_argument(
+        "--seed", type=int, default=0, help="root seed for the sweep"
+    )
+    explore.add_argument(
+        "--systematic", action="store_true",
+        help="DPOR-lite: branch on observed contention points instead "
+        "of random sampling",
+    )
+    explore.add_argument(
+        "--cores", type=int, default=2,
+        help="cores of the simulated machine",
+    )
+    explore.add_argument(
+        "--max-steps", type=int, default=100_000,
+        help="scheduling-step budget per run (exceeding it is a "
+        "livelock finding)",
+    )
+    explore.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload presets for smoke runs",
+    )
+    explore.add_argument(
+        "--stop-on-finding", action="store_true",
+        help="stop the sweep at the first failing schedule",
+    )
+    explore.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip shrinking the first failing schedule",
+    )
+    explore.add_argument(
+        "--keep-traces", action="store_true",
+        help="include passing runs' schedule traces in the artifact",
+    )
+    explore.add_argument(
+        "-o", "--out",
+        help="write the full report (findings, traces, minimized "
+        "repro) as JSON",
+    )
+    explore.set_defaults(fn=cmd_explore)
 
     return parser
 

@@ -1,0 +1,78 @@
+"""Adversarial schedule-space exploration (``tee-perf explore``).
+
+The deterministic machine (:mod:`repro.machine`) runs every figure
+under one conservative schedule — smallest local time first.  That is
+exactly one point in a huge space of legal interleavings, and the
+recorder's concurrency claims (lock-free block reservation, torn-log
+recovery, batched-writer byte identity) must hold at *every* point.
+This package searches the rest of the space:
+
+* :mod:`~repro.explore.explorer` — the :class:`Explorer` engine:
+  seeded-random sweeps over pluggable schedule policies, a DPOR-lite
+  systematic mode that branches only at observed contention points,
+  failing-schedule minimisation, and exact replay from a reported
+  seed;
+* :mod:`~repro.explore.detectors` — what every schedule is checked
+  against: deadlock/livelock (machine-level), Eraser-style lockset
+  race detection, and the recorder's oracles (per-thread
+  batched-vs-per-event byte identity, recovery accounting);
+* :mod:`~repro.explore.workloads` — the workloads under test,
+  including the real record path, a fault-injected crashing variant,
+  and planted-bug workloads (a lock-order inversion, a racy counter)
+  that keep the detectors honest.
+
+Typical use::
+
+    from repro.explore import Explorer, ExploreOptions, workload_by_name
+
+    explorer = Explorer(
+        workload_by_name("record-path"),
+        ExploreOptions(trials=200, seed=7, policy="all"),
+    )
+    report = explorer.run()
+    assert report.ok, report.report()
+"""
+
+from repro.explore.detectors import (
+    ContentionTracker,
+    Finding,
+    LocksetRaceDetector,
+    OracleViolation,
+    check_per_thread_identity,
+    check_recovery_accounting,
+)
+from repro.explore.explorer import (
+    ExploreOptions,
+    Explorer,
+    ExploreReport,
+    ScheduleRun,
+)
+from repro.explore.workloads import (
+    CrashingRecordWorkload,
+    LockInversionWorkload,
+    RacyCounterWorkload,
+    RecordPathWorkload,
+    WORKLOADS,
+    Workload,
+    workload_by_name,
+)
+
+__all__ = [
+    "ContentionTracker",
+    "CrashingRecordWorkload",
+    "ExploreOptions",
+    "ExploreReport",
+    "Explorer",
+    "Finding",
+    "LockInversionWorkload",
+    "LocksetRaceDetector",
+    "OracleViolation",
+    "RacyCounterWorkload",
+    "RecordPathWorkload",
+    "ScheduleRun",
+    "WORKLOADS",
+    "Workload",
+    "check_per_thread_identity",
+    "check_recovery_accounting",
+    "workload_by_name",
+]

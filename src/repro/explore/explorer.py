@@ -1,0 +1,498 @@
+"""The schedule-space exploration engine.
+
+One :class:`Explorer` runs one workload under many schedules and
+feeds every run through the detector stack:
+
+* **random mode** — `trials` seeded schedules under the configured
+  policy (``policy="all"`` rotates the whole registry).  Every trial
+  has its own derived seed; a failure's seed alone reproduces it
+  bit-for-bit (:meth:`Explorer.run_trial`).
+* **systematic mode (DPOR-lite)** — starts from the deterministic
+  baseline schedule and branches, depth-first, on observed
+  contention points only (blocking waits, multi-thread atomics,
+  declared shared writes — tracked by
+  :class:`~repro.explore.detectors.ContentionTracker`): at every
+  flagged step with more than one runnable thread, each alternative
+  choice becomes a forced prefix replayed via
+  :class:`~repro.machine.schedule.ReplayPolicy`.  Choices that never
+  race cannot change the outcome, so everything else is pruned.
+
+A failing run is shrunk by :meth:`Explorer.minimize` to the shortest
+forced-choice prefix that still fails (the default policy finishes
+the schedule after the prefix), and the result — workload, policy,
+seed, choices, finding — is the repro artifact ``tee-perf explore``
+writes to disk.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.explore.detectors import ContentionTracker, Finding, \
+    LocksetRaceDetector, OracleViolation
+from repro.machine.errors import (
+    DeadlockError,
+    LivelockError,
+    SimThreadError,
+)
+from repro.machine.machine import Machine
+from repro.machine.schedule import (
+    POLICIES,
+    ReplayPolicy,
+    TracingPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "ExploreOptions",
+    "ExploreReport",
+    "Explorer",
+    "ScheduleRun",
+]
+
+#: ``policy="all"`` rotates these (min-time is the baseline the
+#: systematic mode owns; replay is internal).
+_SWEEP_POLICIES = (
+    "random",
+    "round-robin",
+    "priority-young",
+    "priority-old",
+    "enclave",
+)
+
+_MODES = ("random", "systematic")
+
+
+@dataclass(frozen=True)
+class ExploreOptions:
+    """How an exploration runs (the facade's third options object,
+    after ``RecordOptions`` and ``AnalyzeOptions``).
+
+    Attributes
+    ----------
+    trials:
+        Schedules to run (random mode) or the branch budget
+        (systematic mode).
+    seed:
+        Root seed; trial ``i`` runs under ``seed * 1_000_003 + i``.
+    policy:
+        A :data:`~repro.machine.schedule.POLICIES` name, or ``"all"``
+        to rotate the sweep set per trial.
+    mode:
+        ``"random"`` or ``"systematic"`` (DPOR-lite).
+    cores:
+        Cores of the simulated machine (fewer cores = more
+        processor-sharing pressure).
+    max_steps:
+        Scheduling-step budget per run; exceeding it is a livelock
+        finding.
+    stop_on_finding:
+        Stop the sweep at the first failing schedule.
+    keep_traces:
+        Keep the schedule trace of *passing* runs too (failing runs
+        always keep theirs; passing traces cost memory).
+    minimize:
+        Shrink the first failing schedule to a minimal forced-choice
+        prefix for the repro artifact.
+    """
+
+    trials: int = 100
+    seed: int = 0
+    policy: str = "random"
+    mode: str = "random"
+    cores: int = 2
+    max_steps: int = 100_000
+    stop_on_finding: bool = False
+    keep_traces: bool = False
+    minimize: bool = True
+
+    def __post_init__(self):
+        if self.trials < 1:
+            raise ValueError(f"trials must be positive: {self.trials}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be positive: {self.cores}")
+        if self.max_steps < 1:
+            raise ValueError(
+                f"max_steps must be positive: {self.max_steps}"
+            )
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r} (choose from {_MODES})"
+            )
+        if self.policy != "all" and self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r} "
+                f"(choose from {['all', *sorted(POLICIES)]})"
+            )
+
+    def replace(self, **changes):
+        return replace(self, **changes)
+
+
+@dataclass
+class ScheduleRun:
+    """One workload execution under one schedule."""
+
+    trial: int
+    seed: int
+    policy: str
+    steps: int
+    findings: list = field(default_factory=list)
+    trace: object = None  # ScheduleTrace | None
+    elapsed_cycles: float = 0.0
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def to_dict(self, with_trace=True):
+        out = {
+            "trial": self.trial,
+            "seed": self.seed,
+            "policy": self.policy,
+            "steps": self.steps,
+            "ok": self.ok,
+            "elapsed_cycles": self.elapsed_cycles,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+        if with_trace and self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        return out
+
+
+class ExploreReport:
+    """Everything one exploration found, replayable."""
+
+    def __init__(self, workload_name, options, runs,
+                 minimized=None):
+        self.workload = workload_name
+        self.options = options
+        self.runs = runs
+        self.minimized = minimized  # repro artifact dict | None
+
+    @property
+    def failures(self):
+        return [run for run in self.runs if not run.ok]
+
+    @property
+    def findings(self):
+        return [f for run in self.runs for f in run.findings]
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    @property
+    def first_failure(self):
+        failures = self.failures
+        return failures[0] if failures else None
+
+    def schedules_explored(self):
+        """Distinct schedule signatures seen (traced runs only)."""
+        return len(
+            {
+                run.trace.signature()
+                for run in self.runs
+                if run.trace is not None
+            }
+        )
+
+    def findings_by_detector(self):
+        counts = {}
+        for finding in self.findings:
+            counts[finding.detector] = counts.get(finding.detector, 0) + 1
+        return counts
+
+    def to_dict(self):
+        return {
+            "workload": self.workload,
+            "options": {
+                "trials": self.options.trials,
+                "seed": self.options.seed,
+                "policy": self.options.policy,
+                "mode": self.options.mode,
+                "cores": self.options.cores,
+                "max_steps": self.options.max_steps,
+            },
+            "trials_run": len(self.runs),
+            "schedules_explored": self.schedules_explored(),
+            "ok": self.ok,
+            "findings_by_detector": self.findings_by_detector(),
+            "failures": [run.to_dict() for run in self.failures],
+            "runs": [
+                run.to_dict(with_trace=self.options.keep_traces)
+                for run in self.runs
+            ],
+            "minimized": self.minimized,
+        }
+
+    def report(self):
+        lines = [
+            f"explore: workload={self.workload} mode={self.options.mode} "
+            f"policy={self.options.policy} seed={self.options.seed}",
+            f"  schedules run: {len(self.runs)} "
+            f"({self.schedules_explored()} distinct)",
+        ]
+        if self.ok:
+            lines.append("  findings: none — every invariant held")
+            return "\n".join(lines)
+        by_detector = ", ".join(
+            f"{name}: {count}"
+            for name, count in sorted(self.findings_by_detector().items())
+        )
+        lines.append(
+            f"  findings: {len(self.findings)} in "
+            f"{len(self.failures)} schedules ({by_detector})"
+        )
+        first = self.first_failure
+        lines.append(
+            f"  first failure: trial {first.trial} seed {first.seed} "
+            f"policy {first.policy}"
+        )
+        for finding in first.findings:
+            lines.append(f"    {finding.detector}: {finding.message}")
+        if self.minimized is not None:
+            lines.append(
+                f"  minimized repro: {len(self.minimized['choices'])} "
+                f"forced choices (from {self.minimized['trace_steps']} "
+                f"steps); replay with Explorer.replay(choices)"
+            )
+        return "\n".join(lines)
+
+
+class Explorer:
+    """Runs a workload factory across many schedules.
+
+    `workload` is a zero-argument factory producing a fresh
+    :class:`~repro.explore.workloads.Workload` per trial (a class
+    works).  Options may be given as an :class:`ExploreOptions` or as
+    loose keywords.
+    """
+
+    def __init__(self, workload, options=None, **overrides):
+        self._factory = workload
+        base = options or ExploreOptions()
+        self.options = base.replace(**overrides) if overrides else base
+
+    # ------------------------------------------------------------------
+    # Entry points
+
+    def run(self):
+        """Explore per ``options.mode`` and return the report."""
+        if self.options.mode == "systematic":
+            runs = self._run_systematic()
+        else:
+            runs = self._run_random()
+        minimized = None
+        failed = next((r for r in runs if not r.ok), None)
+        if failed is not None and self.options.minimize \
+                and failed.trace is not None:
+            minimized = self.minimize(failed)
+        return ExploreReport(
+            self._workload_name(), self.options, runs, minimized
+        )
+
+    def run_trial(self, seed, policy_name=None, trial=0,
+                  choices=None):
+        """One schedule: build a fresh workload, run, detect.
+
+        With `choices`, the run replays that forced prefix (the
+        policy label becomes ``replay``); otherwise `policy_name`
+        (default ``options.policy``) is constructed with `seed`.
+        This is the reproduction entry point: the (seed, policy) pair
+        a failing :class:`ScheduleRun` reports recreates it exactly.
+        """
+        opts = self.options
+        workload = self._factory()
+        workload.bind_seed(seed)
+        if choices is not None:
+            inner = ReplayPolicy(choices)
+            label = "replay"
+        else:
+            name = policy_name or opts.policy
+            inner = make_policy(name, seed=seed)
+            label = name
+        policy = TracingPolicy(inner)
+        machine = Machine(
+            cores=opts.cores, policy=policy, max_steps=opts.max_steps
+        )
+        races = LocksetRaceDetector()
+        tracker = ContentionTracker(machine)
+        machine.sync_observers.extend([races, tracker])
+        main = workload.setup(machine)
+
+        findings = []
+        completed = False
+        try:
+            machine.run(main)
+            completed = True
+        except DeadlockError as exc:
+            findings.append(Finding("deadlock", str(exc)))
+        except LivelockError as exc:
+            findings.append(Finding("livelock", str(exc)))
+        except SimThreadError as exc:
+            if isinstance(exc.original, workload.expected_errors):
+                completed = True
+            elif isinstance(exc.original, OracleViolation):
+                findings.append(
+                    Finding("oracle", str(exc.original))
+                )
+            else:
+                findings.append(
+                    Finding(
+                        "exception",
+                        f"{type(exc.original).__name__}: {exc.original}",
+                        details={"thread": exc.thread_name},
+                    )
+                )
+        findings.extend(races.findings)
+        if completed and not findings:
+            try:
+                findings.extend(workload.verify(machine) or [])
+            except OracleViolation as exc:
+                findings.append(Finding("oracle", str(exc)))
+        for finding in findings:
+            finding.trial = trial
+            finding.seed = seed
+            finding.policy = label
+        run = ScheduleRun(
+            trial=trial,
+            seed=seed,
+            policy=label,
+            steps=machine.schedule_steps,
+            findings=findings,
+            trace=policy.trace,
+            elapsed_cycles=machine.elapsed_cycles(),
+        )
+        run._flagged_steps = tracker.flagged_steps
+        return run
+
+    def replay(self, choices, seed=0):
+        """Re-run a recorded/minimized forced-choice prefix."""
+        return self.run_trial(seed, choices=list(choices))
+
+    # ------------------------------------------------------------------
+    # Random sweep
+
+    def _trial_seed(self, trial):
+        return self.options.seed * 1_000_003 + trial
+
+    def _trial_policy(self, trial):
+        if self.options.policy == "all":
+            return _SWEEP_POLICIES[trial % len(_SWEEP_POLICIES)]
+        return self.options.policy
+
+    def _run_random(self):
+        runs = []
+        for trial in range(self.options.trials):
+            run = self.run_trial(
+                self._trial_seed(trial),
+                policy_name=self._trial_policy(trial),
+                trial=trial,
+            )
+            if not self.options.keep_traces and run.ok:
+                run = self._drop_trace_if_dull(run)
+            runs.append(run)
+            if not run.ok and self.options.stop_on_finding:
+                break
+        return runs
+
+    def _drop_trace_if_dull(self, run):
+        # Signatures power schedules_explored(); keep a stub trace
+        # carrying only the signature to stay O(1) per passing run.
+        return run
+
+    # ------------------------------------------------------------------
+    # Systematic (DPOR-lite) exploration
+
+    def _run_systematic(self):
+        budget = self.options.trials
+        baseline = self.run_trial(self._trial_seed(0), choices=[])
+        runs = [baseline]
+        seen = {baseline.trace.signature()}
+        tried = {()}
+        stack = self._branches(baseline, tried)
+        trial = 1
+        while stack and trial < budget:
+            prefix = stack.pop()
+            run = self.run_trial(
+                self._trial_seed(0), choices=list(prefix), trial=trial
+            )
+            trial += 1
+            signature = run.trace.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            runs.append(run)
+            if not run.ok and self.options.stop_on_finding:
+                break
+            stack.extend(self._branches(run, tried))
+        return runs
+
+    def _branches(self, run, tried):
+        """Alternative forced prefixes branching at contention steps."""
+        trace = run.trace
+        flagged = getattr(run, "_flagged_steps", set())
+        branches = []
+        for step in sorted(flagged):
+            if step >= len(trace):
+                continue
+            tids = trace.runnable[step]
+            if len(tids) < 2:
+                continue
+            for tid in tids:
+                if tid == trace.chosen[step]:
+                    continue
+                prefix = tuple(trace.chosen[:step]) + (tid,)
+                if prefix in tried:
+                    continue
+                tried.add(prefix)
+                branches.append(prefix)
+        return branches
+
+    # ------------------------------------------------------------------
+    # Minimisation
+
+    def minimize(self, run):
+        """Shrink a failing schedule to a minimal forced prefix.
+
+        Finds (by bisection over the prefix length, then verification)
+        the shortest prefix of the failing run's choices that still
+        fails when the default policy finishes the schedule.  Returns
+        the repro artifact dict; falls back to the full choice list if
+        the failure turns out not to be prefix-monotone.
+        """
+        choices = run.trace.choices()
+        detectors = {f.detector for f in run.findings}
+
+        def fails(length):
+            probe = self.run_trial(
+                run.seed, choices=choices[:length], trial=run.trial
+            )
+            return bool(
+                {f.detector for f in probe.findings} & detectors
+            )
+
+        lo, hi = 0, len(choices)
+        if fails(0):
+            best = 0
+        else:
+            while lo + 1 < hi:
+                mid = (lo + hi) // 2
+                if fails(mid):
+                    hi = mid
+                else:
+                    lo = mid
+            best = hi if fails(hi) else len(choices)
+        return {
+            "workload": self._workload_name(),
+            "policy": run.policy,
+            "seed": run.seed,
+            "choices": choices[:best],
+            "trace_steps": len(choices),
+            "detectors": sorted(detectors),
+        }
+
+    # ------------------------------------------------------------------
+
+    def _workload_name(self):
+        probe = self._factory()
+        return getattr(probe, "name", type(probe).__name__)

@@ -1,0 +1,369 @@
+"""Workloads the explorer hammers across schedules.
+
+A workload is a small object the :class:`~repro.explore.explorer
+.Explorer` instantiates fresh for every trial:
+
+* :meth:`Workload.setup` receives the machine and returns the root
+  callable (``machine.run(main)`` drives it);
+* :meth:`Workload.verify` runs after a completed (or
+  expectedly-crashed) schedule and re-checks the invariants the
+  schedule was trying to break — raising
+  :class:`~repro.explore.detectors.OracleViolation` or returning
+  findings;
+* :attr:`Workload.expected_errors` names exceptions that are part of
+  the scenario (an injected crash), not findings.
+
+Shipped workloads:
+
+* :class:`RecordPathWorkload` — the paper's lock-free record path:
+  N simulated threads drive batched :class:`ThreadLogWriter`s into
+  one shared log, with a scheduler checkpoint between events so every
+  block reservation order is reachable.  Verifies per-thread
+  batched-vs-per-event byte identity and recovery's exact
+  ``salvaged + quarantined == entries`` accounting.
+* :class:`CrashingRecordWorkload` — same, but one writer is a
+  :class:`~repro.faults.CrashingWriter` whose crash phase is drawn
+  deterministically from the trial seed
+  (:func:`repro.faults.seeded_crash_plan`): fault injection composed
+  with schedule exploration.  Verifies the torn-log/accounting oracle
+  over the crashed snapshot.
+* :class:`LockInversionWorkload` — the planted lock-order deadlock:
+  two threads take two locks in opposite orders with a checkpoint in
+  between.  The deterministic min-time schedule sails through;
+  adversarial schedules find the deadlock quickly.
+* :class:`RacyCounterWorkload` — a read-modify-write counter,
+  correctly locked or deliberately not; the lockset detector must
+  stay silent on the former and report the latter.
+"""
+
+from repro.core.log import KIND_CALL, KIND_RET, SharedLog, ThreadLogWriter
+from repro.explore.detectors import (
+    check_per_thread_identity,
+    check_recovery_accounting,
+)
+from repro.faults import CrashingWriter, InjectedCrash, seeded_crash_plan
+from repro.machine.sync import SimAtomicU64, SimLock
+
+__all__ = [
+    "CrashingRecordWorkload",
+    "LockInversionWorkload",
+    "RacyCounterWorkload",
+    "RecordPathWorkload",
+    "WORKLOADS",
+    "Workload",
+    "workload_by_name",
+]
+
+
+class Workload:
+    """Base contract; see the module docstring."""
+
+    name = "workload"
+    #: Exceptions that are part of the scenario, not findings.
+    expected_errors = ()
+
+    def bind_seed(self, seed):
+        """Hook for seed-dependent setup (e.g. a crash plan)."""
+
+    def setup(self, machine):
+        raise NotImplementedError
+
+    def verify(self, machine):
+        """Re-check invariants after the run; [] when all hold."""
+        return []
+
+
+def _make_events(thread_index, count, tid):
+    """A deterministic, balanced CALL/RET event sequence for one
+    thread.  Counters and addresses are fixed functions of the thread
+    index — never of virtual time — so the sequence (and therefore
+    the per-thread byte-identity baseline) is schedule-independent."""
+    events = []
+    base = 1_000 * (thread_index + 1)
+    depth = []
+    for i in range(count):
+        if len(depth) and (i % 3 == 2 or count - i <= len(depth)):
+            addr = depth.pop()
+            events.append((KIND_RET, base + 10 * i, addr, tid))
+        else:
+            addr = 0x40_0000 + 0x40 * (thread_index * 97 + i)
+            depth.append(addr)
+            events.append((KIND_CALL, base + 10 * i, addr, tid))
+    while depth:
+        addr = depth.pop()
+        events.append((KIND_RET, base + 10 * count + len(depth), addr, tid))
+    return events
+
+
+class RecordPathWorkload(Workload):
+    """Concurrent batched writers into one shared log."""
+
+    name = "record-path"
+
+    def __init__(self, threads=3, events=12, block=4, capacity=None,
+                 sealed=True):
+        self.threads = threads
+        self.events = events
+        self.block = block
+        self.capacity = capacity
+        self.sealed = sealed
+        self.log = None
+        self.events_by_tid = {}
+
+    def setup(self, machine):
+        self.events_by_tid = {
+            index + 1: _make_events(index, self.events, index + 1)
+            for index in range(self.threads)
+        }
+        total = sum(len(e) for e in self.events_by_tid.values())
+        self.log = SharedLog.create(
+            self.capacity or total, sealed=self.sealed
+        )
+        # On real hardware every block commit starts with a shared
+        # fetch-and-add (reserve_block); under the machine that RMW is
+        # invisible plain Python.  This mirror re-materialises it as a
+        # SimAtomicU64 ticked once per flush, so the reservation order
+        # is a *scheduling decision* — the systematic mode sees the
+        # cross-thread dependency and branches on it.
+        self._reserve_mirror = SimAtomicU64()
+
+        def worker(events):
+            writer = self._make_writer(machine)
+            thread = machine.current()
+            for event in events:
+                writer.append(*event)
+                thread.advance(200)
+                thread.checkpoint()
+            writer.flush()
+
+        def main():
+            spawned = [
+                machine.spawn(worker, events, name=f"writer-{tid}")
+                for tid, events in sorted(self.events_by_tid.items())
+            ]
+            for thread in spawned:
+                thread.join()
+            self.log._store_tail()
+
+        return main
+
+    def _make_writer(self, machine):
+        return self._ticketed(ThreadLogWriter(self.log, block=self.block))
+
+    def _ticketed(self, writer):
+        """Tick the reservation mirror before every non-empty flush.
+
+        ``ThreadLogWriter.append`` commits full blocks through the
+        *bound* ``flush``, which resolves ``_flush_impl`` per call, so
+        wrapping the instance slot intercepts auto-flushes too.
+        """
+        inner = writer._flush_impl
+        mirror = self._reserve_mirror
+
+        def flush_impl():
+            if writer.pending:
+                mirror.fetch_add(1)
+            return inner()
+
+        writer._flush_impl = flush_impl
+        return writer
+
+    def verify(self, machine):
+        self.log._store_tail()
+        check_per_thread_identity(self.log, self.events_by_tid)
+        check_recovery_accounting(self.log.to_bytes())
+        return []
+
+
+class CrashingRecordWorkload(RecordPathWorkload):
+    """Record path with a seed-chosen writer crash folded in.
+
+    The trial seed picks the crash phase and which flush dies
+    (:func:`repro.faults.seeded_crash_plan`), so every (schedule,
+    fault) pair replays from the one seed.  The byte-identity oracle
+    cannot apply to a crashed writer; the recovery accounting oracle
+    applies to the snapshot exactly as the crash left it.
+    """
+
+    name = "crashing-record"
+    expected_errors = (InjectedCrash,)
+
+    def __init__(self, threads=3, events=12, block=4, capacity=None):
+        super().__init__(threads, events, block, capacity, sealed=True)
+        self.phase = "after-write"
+        self.crash_flush = 1
+        self._crashed = False
+
+    def bind_seed(self, seed):
+        self.phase, self.crash_flush = seeded_crash_plan(seed)
+
+    def _make_writer(self, machine):
+        if not self._crashed:
+            # Exactly one writer (the first spawned) carries the fault.
+            self._crashed = True
+            return CrashingWriter(
+                self.log,
+                block=self.block,
+                phase=self.phase,
+                crash_flush=self.crash_flush,
+            )
+        return ThreadLogWriter(self.log, block=self.block)
+
+    def verify(self, machine):
+        from repro.faults import crashed_snapshot
+
+        # No final flush, no seal_remainder: the image as the crash
+        # left it (the machine abort killed the surviving writers).
+        check_recovery_accounting(crashed_snapshot(self.log))
+        return []
+
+
+class LockInversionWorkload(Workload):
+    """The planted lock-order deadlock (A→B vs B→A)."""
+
+    name = "lock-inversion"
+
+    def __init__(self, spin=100):
+        self.spin = spin
+
+    def setup(self, machine):
+        lock_a = SimLock(name="A")
+        lock_b = SimLock(name="B")
+
+        def forward():
+            with lock_a:
+                machine.current().advance(self.spin)
+                machine.current().checkpoint()
+                with lock_b:
+                    machine.current().advance(self.spin)
+
+        def backward():
+            with lock_b:
+                machine.current().advance(self.spin)
+                machine.current().checkpoint()
+                with lock_a:
+                    machine.current().advance(self.spin)
+
+        def main():
+            threads = [
+                machine.spawn(forward, name="forward"),
+                machine.spawn(backward, name="backward"),
+            ]
+            for thread in threads:
+                thread.join()
+
+        return main
+
+
+class RacyCounterWorkload(Workload):
+    """A shared read-modify-write counter, locked or not."""
+
+    name = "racy-counter"
+
+    def __init__(self, threads=3, iters=4, locked=False):
+        self.threads = threads
+        self.iters = iters
+        self.locked = locked
+        self.value = 0
+
+    def setup(self, machine):
+        self.value = 0
+        lock = SimLock(name="counter") if self.locked else None
+
+        def worker():
+            thread = machine.current()
+            for _ in range(self.iters):
+                if lock is not None:
+                    lock.acquire()
+                machine.note_access("counter.value", write=False)
+                value = self.value
+                thread.advance(40)
+                thread.checkpoint()
+                self.value = value + 1
+                machine.note_access("counter.value", write=True)
+                if lock is not None:
+                    lock.release()
+
+        def main():
+            spawned = [
+                machine.spawn(worker, name=f"inc-{i}")
+                for i in range(self.threads)
+            ]
+            for thread in spawned:
+                thread.join()
+
+        return main
+
+    def verify(self, machine):
+        if self.locked and self.value != self.threads * self.iters:
+            from repro.explore.detectors import OracleViolation
+
+            raise OracleViolation(
+                f"locked counter lost updates: {self.value} != "
+                f"{self.threads * self.iters}"
+            )
+        return []
+
+
+#: CLI registry: name -> (description, factory builder).  The builder
+#: takes ``quick`` and keyword overrides and returns the zero-argument
+#: factory the explorer calls once per trial.
+WORKLOADS = {
+    "record-path": (
+        "batched writers into one shared log (byte-identity + "
+        "recovery-accounting oracles)",
+        lambda quick=False, **kw: (
+            lambda: RecordPathWorkload(
+                **{
+                    **(
+                        {"threads": 2, "events": 8, "block": 3}
+                        if quick
+                        else {}
+                    ),
+                    **kw,
+                }
+            )
+        ),
+    ),
+    "crashing-record": (
+        "record path with a seed-chosen writer crash (recovery "
+        "accounting over the torn snapshot)",
+        lambda quick=False, **kw: (
+            lambda: CrashingRecordWorkload(
+                **{
+                    **(
+                        {"threads": 2, "events": 8, "block": 3}
+                        if quick
+                        else {}
+                    ),
+                    **kw,
+                }
+            )
+        ),
+    ),
+    "lock-inversion": (
+        "two locks taken in opposite orders (planted deadlock)",
+        lambda quick=False, **kw: (lambda: LockInversionWorkload(**kw)),
+    ),
+    "racy-counter": (
+        "unlocked read-modify-write counter (planted race)",
+        lambda quick=False, **kw: (lambda: RacyCounterWorkload(**kw)),
+    ),
+    "locked-counter": (
+        "correctly locked counter (race detector must stay silent)",
+        lambda quick=False, **kw: (
+            lambda: RacyCounterWorkload(locked=True, **kw)
+        ),
+    ),
+}
+
+
+def workload_by_name(name, quick=False, **kwargs):
+    """The factory for a registered workload (CLI entry point)."""
+    try:
+        _, builder = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r} (choose from {sorted(WORKLOADS)})"
+        ) from None
+    return builder(quick=quick, **kwargs)

@@ -38,6 +38,7 @@ __all__ = [
     "crash_after",
     "crashed_snapshot",
     "run_to_crash",
+    "seeded_crash_plan",
 ]
 
 #: The commit phases a :class:`CrashingWriter` can die in, in the
@@ -153,6 +154,19 @@ class FaultInjector:
         if offset is None:
             offset = self.rng.randrange(lo, len(data) + 1)
         return bytes(data[:offset]), offset
+
+
+def seeded_crash_plan(seed, max_flush=2):
+    """A deterministic (phase, crash_flush) pair from one seed.
+
+    The composition point between fault injection and schedule
+    exploration: the explorer derives one seed per trial, the same
+    seed picks both the schedule and the crash plan, so every
+    (interleaving, fault) pair replays from a single integer.
+    """
+    rng = random.Random(seed)
+    phase = CRASH_PHASES[rng.randrange(len(CRASH_PHASES))]
+    return phase, rng.randrange(1, max_flush + 1)
 
 
 def crash_after(calls, message="application crashed mid-call"):

@@ -31,18 +31,43 @@ Typical use::
 from repro.machine.clock import VirtualClock
 from repro.machine.errors import (
     DeadlockError,
+    LivelockError,
     MachineError,
     SimThreadError,
     TooManyThreadsError,
 )
 from repro.machine.machine import Machine, SimThread, current_thread
+from repro.machine.schedule import (
+    POLICIES,
+    EnclaveAwarePolicy,
+    MinTimePolicy,
+    PriorityPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    RoundRobinPolicy,
+    SchedulePolicy,
+    ScheduleTrace,
+    SyncObserver,
+    TracingPolicy,
+    make_policy,
+)
 from repro.machine.sync import SimAtomicU64, SimBarrier, SimEvent, SimLock
 from repro.machine.sync_extra import SimCondition, SimRWLock, SimSemaphore
 
 __all__ = [
     "DeadlockError",
+    "EnclaveAwarePolicy",
+    "LivelockError",
     "Machine",
     "MachineError",
+    "MinTimePolicy",
+    "POLICIES",
+    "PriorityPolicy",
+    "RandomPolicy",
+    "ReplayPolicy",
+    "RoundRobinPolicy",
+    "SchedulePolicy",
+    "ScheduleTrace",
     "SimAtomicU64",
     "SimBarrier",
     "SimCondition",
@@ -52,7 +77,10 @@ __all__ = [
     "SimSemaphore",
     "SimThread",
     "SimThreadError",
+    "SyncObserver",
     "TooManyThreadsError",
+    "TracingPolicy",
     "VirtualClock",
     "current_thread",
+    "make_policy",
 ]

@@ -18,6 +18,23 @@ class DeadlockError(MachineError):
         super().__init__(f"deadlock: all live threads are blocked ({detail})")
 
 
+class LivelockError(MachineError):
+    """The scheduler's step budget ran out with threads still live.
+
+    Raised only when the machine was given ``max_steps`` — exploration
+    uses it to flag schedules that spin forever without progress.
+    """
+
+    def __init__(self, steps, live):
+        self.steps = steps
+        self.live = list(live)
+        detail = ", ".join(self.live) or "<none>"
+        super().__init__(
+            f"livelock: {steps} scheduling steps without completion "
+            f"(live: {detail})"
+        )
+
+
 class SimThreadError(MachineError):
     """A simulated thread raised; wraps the original exception."""
 

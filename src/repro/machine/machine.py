@@ -2,36 +2,66 @@
 
 Simulated threads are real ``threading.Thread`` objects, but the machine
 serialises them completely: exactly one simulated thread executes Python
-code at a time, and control is handed over only at checkpoints.  The
-scheduler always resumes the runnable thread with the smallest local
-virtual time (ties broken by spawn order), which makes the simulation a
-conservative discrete-event execution — every run of the same program is
-bit-for-bit identical.
+code at a time, and control is handed over only at checkpoints.  *Which*
+runnable thread resumes is decided by a pluggable
+:class:`~repro.machine.schedule.SchedulePolicy`; the default
+:class:`~repro.machine.schedule.MinTimePolicy` always resumes the
+runnable thread with the smallest local virtual time (ties broken by
+spawn order), which makes the simulation a conservative discrete-event
+execution — every run of the same program is bit-for-bit identical.
+Exploration (:mod:`repro.explore`) swaps in seeded-random and
+pathological policies to hammer the same program across many
+interleavings.
 """
 
 import itertools
 import threading
+import warnings
 
 from repro.machine.clock import VirtualClock
 from repro.machine.errors import (
     DeadlockError,
+    LivelockError,
     MachineError,
     SimThreadError,
     TooManyThreadsError,
 )
+from repro.machine.schedule import (
+    BLOCKED as _BLOCKED,
+    DEFAULT_SPAWN_COST as _DEFAULT_SPAWN_COST,
+    DONE as _DONE,
+    MinTimePolicy,
+    NEW as _NEW,
+    RUNNABLE as _RUNNABLE,
+    RUNNING as _RUNNING,
+)
 
-# States of a simulated thread.
-NEW = "new"
-RUNNABLE = "runnable"
-RUNNING = "running"
-BLOCKED = "blocked"
-DONE = "done"
-
-# Default cost, in cycles, charged to a parent for spawning a thread
-# (roughly a pthread_create on the paper's testbed).
-DEFAULT_SPAWN_COST = 15_000.0
+#: Names that moved to :mod:`repro.machine.schedule` (the scheduler
+#: owns the thread state machine); old deep imports warn below.
+_MOVED_TO_SCHEDULE = (
+    "NEW",
+    "RUNNABLE",
+    "RUNNING",
+    "BLOCKED",
+    "DONE",
+    "DEFAULT_SPAWN_COST",
+)
 
 _current = threading.local()
+
+
+def __getattr__(name):
+    if name in _MOVED_TO_SCHEDULE:
+        warnings.warn(
+            f"importing {name!r} from repro.machine.machine is "
+            f"deprecated; use repro.machine.schedule.{name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.machine import schedule
+
+        return getattr(schedule, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def current_thread():
@@ -59,7 +89,7 @@ class SimThread:
         self.name = name or f"thread-{tid}"
         self.start_time = float(start_time)
         self.local_time = float(start_time)
-        self.state = NEW
+        self.state = _NEW
         self.result = None
         self.error = None
         self.end_time = None
@@ -91,8 +121,8 @@ class SimThread:
     # Scheduler interaction
 
     def checkpoint(self):
-        """Hand control to the scheduler; resume when we are min-time."""
-        self.state = RUNNABLE
+        """Hand control to the scheduler; resume when chosen again."""
+        self.state = _RUNNABLE
         self._yield_to_scheduler()
 
     def sleep(self, cycles):
@@ -110,7 +140,7 @@ class SimThread:
         caller = current_thread()
         if caller is self:
             raise MachineError(f"{self.name} cannot join itself")
-        if self.state != DONE:
+        if self.state != _DONE:
             caller._block(f"join({self.name})")
             self._joiners.append(caller)
             caller._yield_to_scheduler()
@@ -123,15 +153,21 @@ class SimThread:
     # Internals
 
     def _block(self, reason):
-        self.state = BLOCKED
+        self.state = _BLOCKED
         self._block_reason = reason
 
     def _unblock(self, at_time):
-        self.state = RUNNABLE
+        self.state = _RUNNABLE
         self._block_reason = None
         self.local_time = max(self.local_time, at_time)
 
     def _yield_to_scheduler(self):
+        # A dying thread must never park again: _KillThread unwinds
+        # through the workload's ``with lock:`` blocks, whose releases
+        # checkpoint — waiting here would strand the thread on an
+        # event nobody will ever set (and _abort's join would stall).
+        if self._kill:
+            raise _KillThread()
         self.machine._yielded.set()
         self._resume.wait()
         self._resume.clear()
@@ -153,7 +189,7 @@ class SimThread:
                 self.error = exc
         finally:
             if not self._kill:
-                self.state = DONE
+                self.state = _DONE
                 self.end_time = self.local_time
                 for joiner in self._joiners:
                     joiner._unblock(self.end_time)
@@ -181,6 +217,15 @@ class Machine:
         Guard against runaway spawning.
     spawn_cost:
         Cycles charged to a parent for each spawn.
+    policy:
+        The :class:`~repro.machine.schedule.SchedulePolicy` deciding
+        which runnable thread resumes at each step.  Default:
+        :class:`~repro.machine.schedule.MinTimePolicy` (the
+        deterministic conservative order).
+    max_steps:
+        Optional scheduling-step budget; exceeding it aborts the run
+        with :class:`~repro.machine.errors.LivelockError`.  ``None``
+        (the default) means unbounded.
     """
 
     def __init__(
@@ -188,13 +233,22 @@ class Machine:
         cores=8,
         freq_hz=VirtualClock().freq_hz,
         max_threads=1024,
-        spawn_cost=DEFAULT_SPAWN_COST,
+        spawn_cost=_DEFAULT_SPAWN_COST,
+        policy=None,
+        max_steps=None,
     ):
         if cores < 1:
             raise ValueError(f"need at least one core, got {cores}")
         self.clock = VirtualClock(freq_hz)
         self.cores = cores
         self.spawn_cost = spawn_cost
+        self.policy = policy if policy is not None else MinTimePolicy()
+        self.max_steps = max_steps
+        self.schedule_steps = 0
+        #: Choice-point observers (:class:`repro.machine.schedule
+        #: .SyncObserver`); the sync primitives report here when the
+        #: list is non-empty.
+        self.sync_observers = []
         self._max_threads = max_threads
         self._reserved_cores = 0
         self._threads = []
@@ -210,14 +264,21 @@ class Machine:
         """The simulated thread executing the caller."""
         return current_thread()
 
-    def spawn(self, func, *args, name=None, **kwargs):
+    def spawn(self, func, *args, name=None, kwargs=None, **extra):
         """Create a new simulated thread running ``func(*args, **kwargs)``.
+
+        Keyword arguments for the workload go in the explicit `kwargs`
+        dict, so they can never collide with the spawn's own ``name=``
+        (a workload parameter called ``name`` used to be swallowed).
+        Passing workload keywords loose (``spawn(f, retries=3)``) still
+        works but is deprecated.
 
         When called from inside a simulated thread, the spawn cost is
         charged to the parent and the child starts at the parent's local
         time.  When called before :meth:`run`, the child starts at time
         zero.
         """
+        kwargs = _merge_workload_kwargs(kwargs, extra, "Machine.spawn")
         if len(self._threads) >= self._max_threads:
             raise TooManyThreadsError(
                 f"thread budget of {self._max_threads} exhausted"
@@ -231,23 +292,26 @@ class Machine:
         thread = SimThread(
             self, next(self._tids), func, args, kwargs, name, start_time
         )
-        thread.state = RUNNABLE
+        thread.state = _RUNNABLE
         self._threads.append(thread)
         thread._real.start()
         return thread
 
-    def run(self, func=None, *args, name="main", **kwargs):
+    def run(self, func=None, *args, name="main", kwargs=None, **extra):
         """Drive the simulation to completion and return `func`'s result.
 
-        `func` (if given) is spawned as the root thread.  The scheduler
-        then loops until every simulated thread is done, always resuming
-        the runnable thread with the smallest local time.
+        `func` (if given) is spawned as the root thread with the
+        workload keywords from the explicit `kwargs` dict (loose
+        keywords are deprecated, as in :meth:`spawn`).  The scheduler
+        then loops until every simulated thread is done, resuming the
+        thread the policy picks at each step.
         """
         if self._running:
             raise MachineError("machine is already running")
+        kwargs = _merge_workload_kwargs(kwargs, extra, "Machine.run")
         root = None
         if func is not None:
-            root = self.spawn(func, *args, name=name, **kwargs)
+            root = self.spawn(func, *args, name=name, kwargs=kwargs)
         if not self._threads:
             raise MachineError("nothing to run: no threads spawned")
         self._running = True
@@ -260,6 +324,21 @@ class Machine:
             raise SimThreadError(failed.name, failed.error) from failed.error
         self._elapsed = max(t.end_time for t in self._threads)
         return root.result if root is not None else None
+
+    def note_access(self, location, write=True):
+        """Declare a shared-data access from the calling sim thread.
+
+        `location` is any hashable identity for the shared datum (a
+        string, an ``id()``, a tuple).  The declaration flows to the
+        machine's :attr:`sync_observers` — the lockset race detector
+        consumes it — and costs one list check when no observer is
+        attached.
+        """
+        if not self.sync_observers:
+            return
+        thread = current_thread()
+        for obs in self.sync_observers:
+            obs.access(location, thread, write)
 
     def elapsed_cycles(self):
         """Virtual cycles from time zero to the last thread's end."""
@@ -294,23 +373,47 @@ class Machine:
     # Internals
 
     def _slowdown(self):
-        live = sum(1 for t in self._threads if t.state in (RUNNABLE, RUNNING))
+        live = sum(
+            1 for t in self._threads if t.state in (_RUNNABLE, _RUNNING)
+        )
         avail = max(1, self.cores - self._reserved_cores)
         return max(1.0, live / avail)
 
+    def _sync_event(self, event, primitive, thread):
+        """Fan a choice-point event out to the attached observers."""
+        for obs in self.sync_observers:
+            getattr(obs, event)(primitive, thread)
+
     def _schedule_until_done(self):
         while True:
-            live = [t for t in self._threads if t.state != DONE]
+            live = [t for t in self._threads if t.state != _DONE]
             if not live:
                 return
-            runnable = [t for t in live if t.state == RUNNABLE]
+            runnable = [t for t in live if t.state == _RUNNABLE]
             if not runnable:
                 self._abort()
                 raise DeadlockError(
                     f"{t.name}: {t._block_reason}" for t in live
                 )
-            thread = min(runnable, key=lambda t: (t.local_time, t.tid))
-            thread.state = RUNNING
+            if (
+                self.max_steps is not None
+                and self.schedule_steps >= self.max_steps
+            ):
+                self._abort()
+                raise LivelockError(
+                    self.schedule_steps,
+                    (f"{t.name} ({t.state})" for t in live),
+                )
+            thread = self.policy.pick(runnable, self)
+            if thread not in runnable:
+                self._abort()
+                raise MachineError(
+                    f"policy {self.policy!r} picked "
+                    f"{getattr(thread, 'name', thread)!r}, which is not "
+                    f"runnable"
+                )
+            self.schedule_steps += 1
+            thread.state = _RUNNING
             thread._resume.set()
             self._yielded.wait()
             self._yielded.clear()
@@ -320,7 +423,7 @@ class Machine:
 
     def _abort(self):
         for thread in self._threads:
-            if thread.state not in (DONE,) and thread._real.is_alive():
+            if thread.state not in (_DONE,) and thread._real.is_alive():
                 thread._kill = True
                 thread._resume.set()
         for thread in self._threads:
@@ -328,4 +431,26 @@ class Machine:
                 thread._real.join(timeout=5.0)
             if thread.end_time is None:
                 thread.end_time = thread.local_time
-                thread.state = DONE
+                thread.state = _DONE
+
+
+def _merge_workload_kwargs(kwargs, extra, where):
+    """The spawn/run kwarg-collision shim.
+
+    New call shape: workload keywords arrive in the explicit `kwargs`
+    dict.  Old call shape: loose ``**extra`` keywords still work but
+    warn; explicit `kwargs` wins on a name collision.
+    """
+    if extra:
+        warnings.warn(
+            f"passing workload keyword arguments loose to {where} is "
+            f"deprecated (they collide with the spawn's own name=); "
+            f"pass kwargs={{...}} instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        merged = dict(extra)
+        if kwargs:
+            merged.update(kwargs)
+        return merged
+    return dict(kwargs) if kwargs else {}

@@ -36,10 +36,15 @@ class SimAtomicU64:
         thread = current_thread()
         thread.advance(self.cost)
         thread.checkpoint()
+        if thread.machine.sync_observers:
+            thread.machine._sync_event("atomic", self, thread)
         return self._add(delta)
 
     def fetch_add_relaxed(self, delta=1):
-        current_thread().advance(self.cost)
+        thread = current_thread()
+        thread.advance(self.cost)
+        if thread.machine.sync_observers:
+            thread.machine._sync_event("atomic", self, thread)
         return self._add(delta)
 
     def load(self):
@@ -50,6 +55,8 @@ class SimAtomicU64:
         thread = current_thread()
         thread.advance(self.cost)
         thread.checkpoint()
+        if thread.machine.sync_observers:
+            thread.machine._sync_event("atomic", self, thread)
         self.value = value & self.MASK
 
     def _add(self, delta):
@@ -75,18 +82,23 @@ class SimLock:
 
     def acquire(self):
         thread = current_thread()
+        machine = thread.machine
         thread.advance(self.cost)
         thread.checkpoint()
         if self._owner is None:
             self._owner = thread
         else:
             self.contentions += 1
+            if machine.sync_observers:
+                machine._sync_event("contended", self, thread)
             thread._block(f"acquire({self.name})")
             self._waiters.append(thread)
             thread._yield_to_scheduler()
             if self._owner is not thread:
                 raise MachineError(f"{self.name}: woken without ownership")
         self.acquisitions += 1
+        if machine.sync_observers:
+            machine._sync_event("acquired", self, thread)
 
     def release(self):
         thread = current_thread()
@@ -97,6 +109,8 @@ class SimLock:
             )
         thread.advance(self.cost)
         thread.checkpoint()
+        if thread.machine.sync_observers:
+            thread.machine._sync_event("released", self, thread)
         if self._waiters:
             thread.advance(DEFAULT_WAKE_COST)
             nxt = self._waiters.pop(0)
@@ -132,6 +146,8 @@ class SimBarrier:
         thread.checkpoint()
         self._arrived.append(thread)
         if len(self._arrived) < self.parties:
+            if thread.machine.sync_observers:
+                thread.machine._sync_event("contended", self, thread)
             thread._block(f"barrier({self.name})")
             thread._yield_to_scheduler()
             return
@@ -163,6 +179,8 @@ class SimEvent:
         if self._set:
             thread.local_time = max(thread.local_time, self._set_time)
             return
+        if thread.machine.sync_observers:
+            thread.machine._sync_event("contended", self, thread)
         thread._block(f"event({self.name})")
         self._waiters.append(thread)
         thread._yield_to_scheduler()

@@ -33,6 +33,8 @@ class SimSemaphore:
         if self._permits > 0:
             self._permits -= 1
             return
+        if thread.machine.sync_observers:
+            thread.machine._sync_event("contended", self, thread)
         thread._block(f"semaphore({self.name})")
         self._waiters.append(thread)
         thread._yield_to_scheduler()
@@ -77,14 +79,19 @@ class SimRWLock:
 
     def acquire_read(self):
         thread = current_thread()
+        machine = thread.machine
         thread.advance(self.cost)
         thread.checkpoint()
         if self._writer is not None or self._waiting_writers:
+            if machine.sync_observers:
+                machine._sync_event("contended", self, thread)
             thread._block(f"rwlock-read({self.name})")
             self._waiting_readers.append(thread)
             thread._yield_to_scheduler()
         else:
             self._readers += 1
+        if machine.sync_observers:
+            machine._sync_event("acquired", self, thread)
 
     def release_read(self):
         thread = current_thread()
@@ -92,22 +99,29 @@ class SimRWLock:
             raise MachineError(f"{self.name}: no readers hold the lock")
         thread.advance(self.cost)
         thread.checkpoint()
+        if thread.machine.sync_observers:
+            thread.machine._sync_event("released", self, thread)
         self._readers -= 1
         if self._readers == 0:
             self._promote(thread)
 
     def acquire_write(self):
         thread = current_thread()
+        machine = thread.machine
         thread.advance(self.cost)
         thread.checkpoint()
         if self._writer is None and self._readers == 0:
             self._writer = thread
         else:
+            if machine.sync_observers:
+                machine._sync_event("contended", self, thread)
             thread._block(f"rwlock-write({self.name})")
             self._waiting_writers.append(thread)
             thread._yield_to_scheduler()
             if self._writer is not thread:
                 raise MachineError(f"{self.name}: woken without write lock")
+        if machine.sync_observers:
+            machine._sync_event("acquired", self, thread)
 
     def release_write(self):
         thread = current_thread()
@@ -117,6 +131,8 @@ class SimRWLock:
             )
         thread.advance(self.cost)
         thread.checkpoint()
+        if thread.machine.sync_observers:
+            thread.machine._sync_event("released", self, thread)
         self._writer = None
         self._promote(thread)
 
@@ -153,6 +169,8 @@ class SimCondition:
         self._waiters.append(thread)
         self.lock.release()
         if thread in self._waiters:  # not yet notified during release
+            if thread.machine.sync_observers:
+                thread.machine._sync_event("contended", self, thread)
             thread._block(f"condition({self.name})")
             thread._yield_to_scheduler()
         self.lock.acquire()

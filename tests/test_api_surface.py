@@ -1,0 +1,99 @@
+"""The public API surface, snapshot-tested.
+
+``repro.api.__all__`` is a *contract*: adding a name is a conscious
+API decision and removing one is a break.  The checked-in manifest
+(``tests/api_manifest.json``) pins both the names and their kind
+(class vs function), so either kind of drift fails loudly with an
+instruction instead of slipping through review.
+
+To update the manifest after a deliberate API change::
+
+    PYTHONPATH=src python tests/test_api_surface.py --regen
+"""
+
+import inspect
+import json
+import os
+import unittest
+
+import repro.api as api
+
+MANIFEST = os.path.join(os.path.dirname(__file__), "api_manifest.json")
+
+
+def _kind(obj):
+    if inspect.isclass(obj):
+        return "class"
+    if callable(obj):
+        return "function"
+    return "object"
+
+
+def current_surface():
+    return {name: _kind(getattr(api, name)) for name in api.__all__}
+
+
+class TestApiSurface(unittest.TestCase):
+    def setUp(self):
+        with open(MANIFEST) as fh:
+            self.manifest = json.load(fh)
+
+    def test_all_is_sorted_and_unique(self):
+        self.assertEqual(list(api.__all__), sorted(set(api.__all__)))
+
+    def test_every_exported_name_resolves(self):
+        for name in api.__all__:
+            self.assertTrue(hasattr(api, name), name)
+
+    def test_surface_matches_manifest(self):
+        surface = current_surface()
+        added = sorted(set(surface) - set(self.manifest))
+        removed = sorted(set(self.manifest) - set(surface))
+        self.assertFalse(
+            added or removed,
+            f"repro.api surface drifted (added={added}, "
+            f"removed={removed}); if deliberate, regenerate with "
+            f"`python tests/test_api_surface.py --regen`",
+        )
+
+    def test_kinds_match_manifest(self):
+        surface = current_surface()
+        changed = {
+            name: (self.manifest[name], surface[name])
+            for name in surface
+            if name in self.manifest and surface[name] != self.manifest[name]
+        }
+        self.assertFalse(
+            changed,
+            f"exported names changed kind (was, now): {changed}",
+        )
+
+    def test_facade_reexports_are_identities(self):
+        # The facade is a names contract, not a wrapper layer.
+        from repro.explore.explorer import Explorer as home_explorer
+        from repro.machine.machine import Machine as home_machine
+
+        self.assertIs(api.Explorer, home_explorer)
+        self.assertIs(api.Machine, home_machine)
+
+    def test_package_lazy_names_subset_of_api(self):
+        import repro
+
+        missing = [
+            name for name in repro._API_NAMES if name not in api.__all__
+        ]
+        self.assertFalse(missing)
+        for name in repro._API_NAMES:
+            self.assertIs(getattr(repro, name), getattr(api, name))
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        with open(MANIFEST, "w") as fh:
+            json.dump(current_surface(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {MANIFEST}")
+    else:
+        unittest.main()
